@@ -1,0 +1,83 @@
+//! End-to-end exploration throughput (Table 1 scalability) and the
+//! query-cache ablation at exploration level.
+//!
+//! Uses T1/T3-shaped workloads on scaled-down PLIC configurations so a
+//! bench iteration stays in the milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsc_plic::PlicConfig;
+use symsc_symex::{Explorer, Width};
+use symsc_testbench::{test_bench, SuiteParams, TestId};
+
+fn scaled(sources: u32) -> PlicConfig {
+    let mut cfg = PlicConfig::fe310();
+    cfg.sources = sources;
+    cfg.max_priority = 7;
+    cfg
+}
+
+fn bench_t1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration/t1_by_sources");
+    group.sample_size(10);
+    for sources in [8u32, 16, 32, 51] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sources),
+            &sources,
+            |b, &sources| {
+                let params = SuiteParams::default();
+                b.iter(|| {
+                    let report = Explorer::new()
+                        .explore(test_bench(TestId::T1, scaled(sources), params));
+                    assert!(!report.passed());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_t3_masking(c: &mut Criterion) {
+    c.bench_function("exploration/t3_masking_16_sources", |b| {
+        let params = SuiteParams::default();
+        b.iter(|| {
+            let report =
+                Explorer::new().explore(test_bench(TestId::T3, scaled(16), params));
+            assert!(report.passed());
+        })
+    });
+}
+
+fn bench_query_cache_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation 5 at the exploration level: forked re-execution
+    // replays identical prefixes, so the cache pays off across paths.
+    let mut group = c.benchmark_group("exploration/query_cache");
+    group.sample_size(10);
+    for cached in [true, false] {
+        let name = if cached { "cached" } else { "uncached" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = Explorer::new()
+                    .query_cache(cached)
+                    .explore(|ctx| {
+                        // A forking ladder: 6 nested two-way decisions.
+                        let x = ctx.symbolic("x", Width::W8);
+                        for bit in 0..6u32 {
+                            let b = x.bit(bit).to_word();
+                            let one = ctx.word(1, Width::W1);
+                            let _ = ctx.decide(&b.eq(&one));
+                        }
+                    });
+                assert_eq!(report.stats.paths, 64);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_t1_scaling,
+    bench_t3_masking,
+    bench_query_cache_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Peripheral-kernel scheduling benchmarks and the sorted-wakelist
+//! ablation (DESIGN.md ablation 4).
+//!
+//! The paper's PK claims an "optimized scheduling mechanism" with waiting
+//! processes "managed in a sorted list". The ablation compares the
+//! kernel's heap-based wakelist against a naive linear-scan scheduler on
+//! the same timer workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsc_pk::{Kernel, NotifyKind, ProcessCtx, SimTime, Suspend};
+
+/// N independent periodic timers, advanced until each fired 10 times.
+fn heap_scheduler_workload(timers: u64) {
+    let mut kernel = Kernel::new();
+    for t in 0..timers {
+        let period = SimTime::from_ns(3 + t % 17);
+        let mut remaining = 10u32;
+        kernel.spawn(&format!("timer{t}"), move |_ctx: &mut ProcessCtx<'_>| {
+            if remaining == 0 {
+                return Suspend::Terminate;
+            }
+            remaining -= 1;
+            Suspend::WaitTime(period)
+        });
+    }
+    while kernel.step() {}
+}
+
+/// The same workload on a deliberately naive scheduler: wake times in an
+/// unsorted Vec, scanned linearly for the minimum at every step.
+fn naive_scheduler_workload(timers: u64) {
+    struct Timer {
+        next: u64,
+        period: u64,
+        remaining: u32,
+    }
+    let mut list: Vec<Timer> = (0..timers)
+        .map(|t| Timer {
+            next: 3 + t % 17,
+            period: 3 + t % 17,
+            remaining: 10,
+        })
+        .collect();
+    let mut fired = 0u64;
+    while !list.is_empty() {
+        // Linear scan for the earliest wake (the naive "sorted list").
+        let (idx, _) = list
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.next)
+            .expect("non-empty");
+        let t = &mut list[idx];
+        fired += 1;
+        t.remaining -= 1;
+        if t.remaining == 0 {
+            list.swap_remove(idx);
+        } else {
+            t.next += t.period;
+        }
+    }
+    assert_eq!(fired, timers * 10);
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/wakelist_ablation");
+    for timers in [64u64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("heap_wakelist", timers),
+            &timers,
+            |b, &t| b.iter(|| heap_scheduler_workload(t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_scan", timers),
+            &timers,
+            |b, &t| b.iter(|| naive_scheduler_workload(t)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_notify_throughput(c: &mut Criterion) {
+    c.bench_function("kernel/notify_deliver_1000", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new();
+            let e = kernel.create_event("ping");
+            let mut count = 0u32;
+            kernel.spawn("listener", move |_ctx: &mut ProcessCtx<'_>| {
+                count += 1;
+                std::hint::black_box(count);
+                Suspend::WaitEvent(e)
+            });
+            kernel.step();
+            for _ in 0..1000 {
+                kernel.notify(e, NotifyKind::Delta);
+                kernel.step();
+            }
+        })
+    });
+}
+
+fn bench_event_override(c: &mut Criterion) {
+    // Stress the notification-override rules: repeated timed notifies that
+    // keep superseding each other.
+    c.bench_function("kernel/timed_notify_override_1000", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new();
+            let e = kernel.create_event("raced");
+            kernel.spawn("listener", move |_ctx: &mut ProcessCtx<'_>| {
+                Suspend::WaitEvent(e)
+            });
+            kernel.step();
+            for d in (1..=1000u64).rev() {
+                kernel.notify(e, NotifyKind::Timed(SimTime::from_ns(d)));
+            }
+            while kernel.step() {}
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_notify_throughput,
+    bench_event_override
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Integer vs floating-point simulation time (DESIGN.md ablation 1).
+//!
+//! The paper's PK redesigns `sc_time` "to use integer arithmetic wherever
+//! possible, to both speed up the symbolic execution and expand the
+//! possibilities for symbolic propagation". This bench quantifies the raw
+//! arithmetic side on the host: the PK's `u64` picosecond time versus an
+//! `f64`-based mock of SystemC's representation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symsc_pk::SimTime;
+
+/// A floating-point time mock mirroring SystemC's double-based sc_time.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+struct FloatTime(f64);
+
+impl FloatTime {
+    fn from_ns(ns: u64) -> FloatTime {
+        FloatTime(ns as f64 * 1e-9)
+    }
+    fn add(self, rhs: FloatTime) -> FloatTime {
+        FloatTime(self.0 + rhs.0)
+    }
+}
+
+const N: u64 = 100_000;
+
+fn bench_integer_time(c: &mut Criterion) {
+    c.bench_function("sim_time/integer_accumulate_compare", |b| {
+        b.iter(|| {
+            let step = SimTime::from_ns(7);
+            let deadline = SimTime::from_ns(N * 3);
+            let mut now = SimTime::ZERO;
+            let mut wakes = 0u64;
+            while now < deadline {
+                now += step;
+                if now > SimTime::from_ns(N) {
+                    wakes += 1;
+                }
+            }
+            black_box(wakes)
+        })
+    });
+}
+
+fn bench_float_time(c: &mut Criterion) {
+    c.bench_function("sim_time/float_accumulate_compare", |b| {
+        b.iter(|| {
+            let step = FloatTime::from_ns(7);
+            let deadline = FloatTime::from_ns(N * 3);
+            let mut now = FloatTime(0.0);
+            let mut wakes = 0u64;
+            while now < deadline {
+                now = now.add(step);
+                if now > FloatTime::from_ns(N) {
+                    wakes += 1;
+                }
+            }
+            black_box(wakes)
+        })
+    });
+}
+
+fn bench_exactness(c: &mut Criterion) {
+    // Not a speed bench: demonstrates why exactness matters. Integer time
+    // accumulates 1/3 ns steps exactly in ps; float drifts.
+    c.bench_function("sim_time/integer_exact_ordering", |b| {
+        b.iter(|| {
+            let mut now = SimTime::ZERO;
+            for _ in 0..3000 {
+                now += SimTime::from_ps(333);
+            }
+            assert_eq!(now.as_ps(), 999_000);
+            black_box(now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_integer_time, bench_float_time, bench_exactness);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+use std::time::Instant;
+use symsc_smt::{SatResult, Solver, TermPool, Width};
+
+fn main() {
+    let w = Width::W32;
+    // Shape A: one-hot select chain, prove non-zero (T1's pending check)
+    for n in [8u32, 16, 24, 32, 51] {
+        let mut p = TermPool::new();
+        let i = p.var("i", w);
+        let one = p.constant(1, w);
+        let nn = p.constant(n as u64, w);
+        let lo = p.uge(i, one);
+        let hi = p.ule(i, nn);
+        let zero = p.constant(0, w);
+        let mut best = zero;
+        let one1 = p.constant(1, w);
+        for k in 1..=n {
+            let kc = p.constant(k as u64, w);
+            let pend = p.eq(i, kc);
+            let bz = p.eq(best, zero);
+            let take = p.and(pend, bz);
+            best = p.ite(take, kc, best);
+        }
+        let _ = one1;
+        let sel = p.eq(best, i);
+        let bad = p.not(sel);
+        let t = Instant::now();
+        let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
+        println!("A n={n}: {:?} in {:.3}s", matches!(r, SatResult::Unsat), t.elapsed().as_secs_f64());
+    }
+    // Shape B: with priority max-chain (ugt comparisons) like next_pending
+    for n in [8u32, 16, 24, 32] {
+        let mut p = TermPool::new();
+        let i = p.var("i", w);
+        let one = p.constant(1, w);
+        let nn = p.constant(n as u64, w);
+        let lo = p.uge(i, one);
+        let hi = p.ule(i, nn);
+        let zero = p.constant(0, w);
+        let mut best_id = zero;
+        let mut best_prio = zero;
+        for k in 1..=n {
+            let kc = p.constant(k as u64, w);
+            let pend = p.eq(i, kc);
+            let prio = p.constant(1, w);
+            let pg = p.ugt(prio, best_prio);
+            let take = p.and(pend, pg);
+            best_id = p.ite(take, kc, best_id);
+            best_prio = p.ite(take, prio, best_prio);
+        }
+        // then clear at best: second chain keyed on big `best_id`
+        let mut best2_id = zero;
+        let mut best2_prio = zero;
+        for k in 1..=n {
+            let kc = p.constant(k as u64, w);
+            let was_set = p.eq(i, kc);
+            let cleared = p.eq(best_id, kc);
+            let nc = p.not(cleared);
+            let pend = p.and(was_set, nc);
+            let prio = p.constant(1, w);
+            let pg = p.ugt(prio, best2_prio);
+            let take = p.and(pend, pg);
+            best2_id = p.ite(take, kc, best2_id);
+            best2_prio = p.ite(take, prio, best2_prio);
+        }
+        let empty = p.eq(best2_id, zero);
+        let bad = p.not(empty);
+        let t = Instant::now();
+        let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
+        println!("B n={n}: {:?} in {:.3}s", matches!(r, SatResult::Unsat), t.elapsed().as_secs_f64());
+    }
+}

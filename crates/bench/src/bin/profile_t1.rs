@@ -1,0 +1,34 @@
+use std::time::Instant;
+use symsc_plic::PlicConfig;
+use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::Verifier;
+
+fn main() {
+    let sources: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let test = match std::env::args().nth(2).as_deref() {
+        Some("t2") => TestId::T2,
+        Some("t3") => TestId::T3,
+        Some("t4") => TestId::T4,
+        Some("t5") => TestId::T5,
+        _ => TestId::T1,
+    };
+    let mut cfg = PlicConfig::fe310();
+    cfg.sources = sources;
+    cfg.max_priority = 7;
+    let start = Instant::now();
+    let o = run_test(test, cfg, &SuiteParams::default(), &Verifier::new(test.name()));
+    let s = &o.report.stats;
+    println!(
+        "{test} sources={sources}: {} paths={} decisions={} instr={} time={:.2}s solver_time={:.2}s",
+        o.result_label(), s.paths, s.decisions, s.instructions,
+        start.elapsed().as_secs_f64(), s.solver_time.as_secs_f64(),
+    );
+    println!(
+        "  queries={} sat={} unsat={} cached={} trivial={} solve_time={:.2}s",
+        s.solver.queries, s.solver.sat, s.solver.unsat, s.solver.cache_hits,
+        s.solver.trivial, s.solver.solve_time.as_secs_f64()
+    );
+}

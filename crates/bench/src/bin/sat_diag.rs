@@ -1,0 +1,51 @@
+// quick diag: solve shape A n=20 and print SAT core stats
+use std::time::Instant;
+use symsc_smt::blast::Blaster;
+use symsc_smt::cnf::{load_aig, CnfResult};
+use symsc_smt::sat::SatSolver;
+use symsc_smt::{TermPool, Width};
+
+fn main() {
+    let n: u32 = std::env::args().nth(1).and_then(|x| x.parse().ok()).unwrap_or(24);
+    let w = Width::W32;
+    let mut p = TermPool::new();
+    let i = p.var("i", w);
+    let one = p.constant(1, w);
+    let nn = p.constant(n as u64, w);
+    let lo = p.uge(i, one);
+    let hi = p.ule(i, nn);
+    let zero = p.constant(0, w);
+    let mut best = zero;
+    for k in 1..=n {
+        let kc = p.constant(k as u64, w);
+        let pend = p.eq(i, kc);
+        let bz = p.eq(best, zero);
+        let take = p.and(pend, bz);
+        best = p.ite(take, kc, best);
+    }
+    let sel = p.eq(best, i);
+    let bad = p.not(sel);
+
+    let t0 = Instant::now();
+    let mut blaster = Blaster::new();
+    let mut roots = Vec::new();
+    for c in [lo, hi, bad] {
+        roots.push(blaster.blast(&p, c)[0]);
+    }
+    eprintln!("[{:.3}s] blasted: AIG nodes {}", t0.elapsed().as_secs_f64(), blaster.aig().len());
+    let mut sat = SatSolver::new();
+    eprintln!("[{:.3}s] term pool size {}", t0.elapsed().as_secs_f64(), p.len());
+    let t = Instant::now();
+    match load_aig(blaster.aig(), &roots, &mut sat) {
+        CnfResult::TriviallyUnsat => println!("trivially unsat"),
+        CnfResult::Loaded(_) => {
+            eprintln!("[{:.3}s] cnf loaded: vars {}", t0.elapsed().as_secs_f64(), sat.num_vars());
+            let r = sat.solve();
+            let s = sat.stats();
+            println!(
+                "result={} in {:.3}s: decisions={} conflicts={} props={} restarts={} learnt={}",
+                r, t.elapsed().as_secs_f64(), s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_clauses
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates the paper's **Table 1**: full symbolic exploration of the
+//! five tests against the original (faithful) FE310 PLIC.
+//!
+//! Columns match the paper: Test, Result (with the number of distinct
+//! detected failures), executed engine operations (the reproduction's
+//! analogue of executed LLVM instructions), wall time, explored paths, and
+//! the share of time spent in the SMT solver.
+//!
+//! Expected shape (paper -> this reproduction): T1 Fail(1), T2 Pass,
+//! T3 Pass, T4 Fail(3), T5 Fail(4); solver time dominating most tests.
+//!
+//! Run: `cargo run --release -p symsc-bench --bin table1`
+
+use symsc_bench::f_label;
+use symsc_plic::PlicConfig;
+use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::{Table, Verifier};
+
+fn main() {
+    let config = PlicConfig::fe310();
+    let params = SuiteParams::default();
+
+    println!(
+        "Table 1: test results for the original PLIC (FE310: {} sources, {} priority levels)",
+        config.sources, config.max_priority
+    );
+    println!();
+
+    let mut table = Table::new(&[
+        "Test",
+        "Result",
+        "#Exec. Ops",
+        "Time [s]",
+        "Paths",
+        "Solver",
+    ]);
+    let mut findings: Vec<String> = Vec::new();
+
+    for test in TestId::ALL {
+        let outcome = run_test(test, config, &params, &Verifier::new(test.name()));
+        table.row(&outcome.table_row());
+        for error in outcome.report.distinct_errors() {
+            let label = f_label(error)
+                .map(|l| format!("{l}: "))
+                .unwrap_or_default();
+            findings.push(format!(
+                "  {} -> {label}{} (inputs {})",
+                test.name(),
+                error.message,
+                error.counterexample
+            ));
+        }
+    }
+
+    println!("{table}");
+    println!("Detected failures:");
+    for f in &findings {
+        println!("{f}");
+    }
+    println!();
+    println!("Note: '#Exec. Ops' counts engine operations (term constructions +");
+    println!("branch decisions), the native analogue of the paper's executed");
+    println!("LLVM instructions. Absolute values are not comparable to KLEE's.");
+}

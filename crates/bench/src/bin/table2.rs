@@ -1,0 +1,73 @@
+//! Regenerates the paper's **Table 2**: how fast each test detects the
+//! original bugs (F1-F6, runs on the faithful PLIC) and the injected
+//! faults (IF1-IF6, each injected into the fixed PLIC).
+//!
+//! Cells report the time from exploration start to the first detection of
+//! that specific bug; "-" means the test cannot observe the bug at all
+//! (the paper's dashes). Absolute times are not comparable to the paper's
+//! (minutes on a Xeon under KLEE); the detection *pattern* is the result.
+//!
+//! Run: `cargo run --release -p symsc-bench --bin table2`
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use symsc_bench::{cell_time, f_label, F_LABELS};
+use symsc_plic::{InjectedFault, PlicConfig, PlicVariant};
+use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::{Table, Verifier};
+
+fn main() {
+    let params = SuiteParams::default();
+    let faithful = PlicConfig::fe310();
+    let fixed = PlicConfig::fe310().variant(PlicVariant::Fixed);
+
+    println!("Table 2: time to first detection per test (rows) and bug (columns)");
+    println!();
+
+    let mut header: Vec<String> = vec!["".to_string()];
+    header.extend(F_LABELS.iter().map(|s| s.to_string()));
+    header.extend(InjectedFault::ALL.iter().map(|f| f.label().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for test in TestId::ALL {
+        let mut row = vec![test.name().to_string()];
+
+        // F columns: one exploration of the faithful PLIC; earliest
+        // detection per original bug.
+        let outcome = run_test(test, faithful, &params, &Verifier::new(test.name()));
+        let mut first: BTreeMap<&'static str, Duration> = BTreeMap::new();
+        for error in &outcome.report.errors {
+            if let Some(label) = f_label(error) {
+                first.entry(label).or_insert(error.found_at);
+            }
+        }
+        for label in F_LABELS {
+            row.push(match first.get(label) {
+                Some(t) => cell_time(*t),
+                None => "-".to_string(),
+            });
+        }
+
+        // IF columns: one exploration per injected fault on the fixed
+        // PLIC; first error of any kind is the detection.
+        for fault in InjectedFault::ALL {
+            let config = fixed.fault(fault);
+            let outcome = run_test(test, config, &params, &Verifier::new(test.name()));
+            row.push(match outcome.report.first_error() {
+                Some(error) => cell_time(error.found_at),
+                None => "-".to_string(),
+            });
+        }
+        table.row(&row);
+    }
+
+    println!("{table}");
+    println!("Expected detection pattern (paper Table 2, deviations in EXPERIMENTS.md):");
+    println!("  T1 -> F1, IF1, IF2, IF4, IF5");
+    println!("  T2 -> IF2, IF3, IF5");
+    println!("  T3 -> IF6");
+    println!("  T4 -> F2, F3 (+F5 here; the paper attributes T4's third find to F4)");
+    println!("  T5 -> F3, F4, F5, F6");
+}

@@ -1,0 +1,312 @@
+//! Hand-assembler for the supported RV32I subset.
+//!
+//! Each function encodes one instruction word (standard RV32I formats),
+//! so driver programs in tests and examples stay readable:
+//!
+//! ```
+//! use symsc_iss::asm;
+//! let program = vec![
+//!     asm::addi(1, 0, 42), // x1 = 42
+//!     asm::ebreak(),
+//! ];
+//! assert_eq!(program.len(), 2);
+//! ```
+//!
+//! Register arguments are `x0..=x31`; immediates are range-checked with
+//! assertions (an out-of-range immediate in a hand-written program is a
+//! bug in the program, not a runtime condition).
+
+fn check_reg(r: u32) {
+    assert!(r < 32, "register x{r} out of range");
+}
+
+fn imm12(imm: i32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "imm12 out of range: {imm}");
+    (imm as u32) & 0xFFF
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    check_reg(rd);
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rd);
+    (imm12(imm) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    let imm = imm12(imm);
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+}
+
+fn b_type(imm: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    assert!(imm % 2 == 0, "branch offset must be even");
+    assert!((-4096..=4094).contains(&imm), "b-imm out of range: {imm}");
+    let imm = imm as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0b1100011
+}
+
+/// `lui rd, imm20` — load upper immediate (`rd = imm20 << 12`).
+pub fn lui(rd: u32, imm20: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm20 < (1 << 20), "imm20 out of range");
+    (imm20 << 12) | (rd << 7) | 0b0110111
+}
+
+/// `auipc rd, imm20` — add upper immediate to PC.
+pub fn auipc(rd: u32, imm20: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm20 < (1 << 20), "imm20 out of range");
+    (imm20 << 12) | (rd << 7) | 0b0010111
+}
+
+/// `jal rd, offset` — jump and link (offset relative to this instruction).
+pub fn jal(rd: u32, offset: i32) -> u32 {
+    check_reg(rd);
+    assert!(offset % 2 == 0, "jump offset must be even");
+    assert!((-(1 << 20)..(1 << 20)).contains(&offset), "j-imm range");
+    let imm = offset as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | 0b1101111
+}
+
+/// `jalr rd, rs1, imm` — indirect jump and link.
+pub fn jalr(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0b1100111)
+}
+
+/// `beq rs1, rs2, offset`.
+pub fn beq(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b000)
+}
+
+/// `bne rs1, rs2, offset`.
+pub fn bne(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b001)
+}
+
+/// `blt rs1, rs2, offset` (signed).
+pub fn blt(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b100)
+}
+
+/// `bge rs1, rs2, offset` (signed).
+pub fn bge(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b101)
+}
+
+/// `bltu rs1, rs2, offset` (unsigned).
+pub fn bltu(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b110)
+}
+
+/// `bgeu rs1, rs2, offset` (unsigned).
+pub fn bgeu(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b111)
+}
+
+/// `lw rd, imm(rs1)` — 32-bit load.
+pub fn lw(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b010, rd, 0b0000011)
+}
+
+/// `sw rs2, imm(rs1)` — 32-bit store.
+pub fn sw(rs2: u32, rs1: u32, imm: i32) -> u32 {
+    s_type(imm, rs2, rs1, 0b010, 0b0100011)
+}
+
+/// `addi rd, rs1, imm`.
+pub fn addi(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0b0010011)
+}
+
+/// `slti rd, rs1, imm` (signed set-less-than).
+pub fn slti(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b010, rd, 0b0010011)
+}
+
+/// `sltiu rd, rs1, imm` (unsigned set-less-than).
+pub fn sltiu(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b011, rd, 0b0010011)
+}
+
+/// `xori rd, rs1, imm`.
+pub fn xori(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b100, rd, 0b0010011)
+}
+
+/// `ori rd, rs1, imm`.
+pub fn ori(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b110, rd, 0b0010011)
+}
+
+/// `andi rd, rs1, imm`.
+pub fn andi(rd: u32, rs1: u32, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b111, rd, 0b0010011)
+}
+
+/// `slli rd, rs1, shamt`.
+pub fn slli(rd: u32, rs1: u32, shamt: u32) -> u32 {
+    assert!(shamt < 32);
+    i_type(shamt as i32, rs1, 0b001, rd, 0b0010011)
+}
+
+/// `srli rd, rs1, shamt`.
+pub fn srli(rd: u32, rs1: u32, shamt: u32) -> u32 {
+    assert!(shamt < 32);
+    i_type(shamt as i32, rs1, 0b101, rd, 0b0010011)
+}
+
+/// `srai rd, rs1, shamt`.
+pub fn srai(rd: u32, rs1: u32, shamt: u32) -> u32 {
+    assert!(shamt < 32);
+    i_type((shamt | 0x400) as i32, rs1, 0b101, rd, 0b0010011)
+}
+
+/// `add rd, rs1, rs2`.
+pub fn add(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sub rd, rs1, rs2`.
+pub fn sub(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0b0100000, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sll rd, rs1, rs2`.
+pub fn sll(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b001, rd, 0b0110011)
+}
+
+/// `slt rd, rs1, rs2` (signed).
+pub fn slt(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b010, rd, 0b0110011)
+}
+
+/// `sltu rd, rs1, rs2` (unsigned).
+pub fn sltu(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b011, rd, 0b0110011)
+}
+
+/// `xor rd, rs1, rs2`.
+pub fn xor(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b100, rd, 0b0110011)
+}
+
+/// `srl rd, rs1, rs2`.
+pub fn srl(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b101, rd, 0b0110011)
+}
+
+/// `sra rd, rs1, rs2`.
+pub fn sra(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0b0100000, rs2, rs1, 0b101, rd, 0b0110011)
+}
+
+/// `or rd, rs1, rs2`.
+pub fn or(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b110, rd, 0b0110011)
+}
+
+/// `and rd, rs1, rs2`.
+pub fn and(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    r_type(0, rs2, rs1, 0b111, rd, 0b0110011)
+}
+
+/// `ebreak` — halts the simulated hart (the ISS's exit convention).
+pub fn ebreak() -> u32 {
+    0x0010_0073
+}
+
+/// `wfi` — wait for interrupt.
+pub fn wfi() -> u32 {
+    0x1050_0073
+}
+
+/// `nop` (`addi x0, x0, 0`).
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// `li rd, value` for values representable as `lui` + `addi` — returns the
+/// one- or two-instruction sequence loading an arbitrary 32-bit constant.
+pub fn li(rd: u32, value: u32) -> Vec<u32> {
+    let lo = (value & 0xFFF) as i32;
+    let lo_signed = if lo >= 0x800 { lo - 0x1000 } else { lo };
+    let hi = value.wrapping_sub(lo_signed as u32) >> 12;
+    if hi == 0 {
+        vec![addi(rd, 0, lo_signed)]
+    } else {
+        vec![lui(rd, hi & 0xFFFFF), addi(rd, rd, lo_signed)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings() {
+        // Cross-checked against the RISC-V spec / standard assemblers.
+        assert_eq!(addi(1, 0, 42), 0x02A0_0093); // addi x1, x0, 42
+        assert_eq!(add(3, 1, 2), 0x0020_81B3); // add x3, x1, x2
+        assert_eq!(sub(3, 1, 2), 0x4020_81B3); // sub x3, x1, x2
+        assert_eq!(lw(5, 10, 8), 0x0085_2283); // lw x5, 8(x10)
+        assert_eq!(sw(5, 10, 8), 0x0055_2423); // sw x5, 8(x10)
+        assert_eq!(lui(7, 0x12345), 0x1234_53B7); // lui x7, 0x12345
+        assert_eq!(jal(0, 8), 0x0080_006F); // jal x0, +8
+        assert_eq!(beq(1, 2, 8), 0x0020_8463); // beq x1, x2, +8
+        assert_eq!(ebreak(), 0x0010_0073);
+        assert_eq!(nop(), 0x0000_0013);
+    }
+
+    #[test]
+    fn negative_immediates() {
+        assert_eq!(addi(1, 1, -1), 0xFFF0_8093); // addi x1, x1, -1
+        assert_eq!(beq(0, 0, -4), 0xFE00_0EE3); // beq x0, x0, -4
+    }
+
+    #[test]
+    fn li_splits_large_constants() {
+        assert_eq!(li(1, 42), vec![addi(1, 0, 42)]);
+        let seq = li(2, 0x0C00_0004);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0], lui(2, 0x0C000));
+        assert_eq!(seq[1], addi(2, 2, 4));
+        // A constant whose low half has bit 11 set needs the carry fix-up.
+        let seq = li(3, 0x1000_0800);
+        assert_eq!(seq[0], lui(3, 0x10001));
+        assert_eq!(seq[1], addi(3, 3, -2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_immediate_panics() {
+        let _ = addi(1, 0, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "register")]
+    fn bad_register_panics() {
+        let _ = add(32, 0, 0);
+    }
+}

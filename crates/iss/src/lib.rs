@@ -1,0 +1,63 @@
+//! # symsc-iss — a minimal RV32I instruction-set simulator
+//!
+//! The paper's platform context is a full virtual prototype: "beside the
+//! instruction set simulator, which is an abstract model of the processor,
+//! TLM peripherals … are a central part of the VP". This crate supplies
+//! that remaining piece in miniature: a single-HART RV32I-subset
+//! interpreter that acts as the TLM *initiator* — bare-metal driver
+//! programs execute on it and reach peripherals through loads and stores
+//! over a [`BlockingTransport`](symsc_tlm::BlockingTransport) (usually the
+//! [`Router`](symsc_tlm::Router) bus).
+//!
+//! The twist, as everywhere in this workspace: the **register file is
+//! symbolic**. A driver program can be verified against *all* values of
+//! an input register at once — branches on symbolic data fork the
+//! exploration through the engine, exactly like the peripherals' decode
+//! logic does.
+//!
+//! Supported subset (enough for memory-mapped driver code): `lui`,
+//! `auipc`, `jal`, `jalr`, the six conditional branches, `lw`/`sw`,
+//! the OP-IMM and OP arithmetic/logic/shift instructions, `ebreak`
+//! (halt) and `wfi` (wait for interrupt). No CSRs, no traps, no
+//! compressed instructions — substitutions documented in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use symsc_iss::{asm, Cpu, StepOutcome};
+//! use symsc_pk::Kernel;
+//! use symsc_symex::{Explorer, Width};
+//! use symsc_tlm::{BlockingTransport, GenericPayload, ResponseStatus};
+//! # use symsc_symex::SymCtx;
+//! # struct Nothing;
+//! # impl BlockingTransport for Nothing {
+//! #     fn b_transport(&mut self, _c: &SymCtx, _k: &mut Kernel, p: &mut GenericPayload) {
+//! #         p.response = ResponseStatus::Ok;
+//! #     }
+//! # }
+//!
+//! // x3 = x1 + x2; halt.
+//! let program = vec![asm::add(3, 1, 2), asm::ebreak()];
+//!
+//! let report = Explorer::new().explore(|ctx| {
+//!     let mut kernel = Kernel::new();
+//!     let mut bus = Nothing;
+//!     let mut cpu = Cpu::new(ctx, program.clone());
+//!     cpu.set_reg(ctx, 1, ctx.symbolic("a", Width::W32));
+//!     cpu.set_reg(ctx, 2, ctx.word32(10));
+//!     let outcome = cpu.run(ctx, &mut kernel, &mut bus, 10);
+//!     assert_eq!(outcome, StepOutcome::Halted);
+//!     let a = ctx.symbolic("a", Width::W32);
+//!     let expected = a.add(&ctx.word32(10));
+//!     ctx.check(&cpu.reg(ctx, 3).eq(&expected), "x3 = a + 10");
+//! });
+//! assert!(report.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+
+pub use cpu::{Cpu, StepOutcome};

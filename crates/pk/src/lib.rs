@@ -1,0 +1,62 @@
+//! # symsc-pk — a lightweight peripheral kernel
+//!
+//! A drop-in replacement for the SystemC simulation kernel, specialized for
+//! TLM *peripherals* and for symbolic execution, reproducing the Peripheral
+//! Kernel (PK) of the paper (§4.3):
+//!
+//! * **Integer-only simulation time** — [`SimTime`] is a `u64` picosecond
+//!   count. The real SystemC `sc_time` is built on floating point, which
+//!   the paper identifies as both a performance problem and a blocker for
+//!   symbolic propagation (KLEE concretizes floats).
+//! * **Function-call processes** — SystemC threads rely on user-space
+//!   context switching (QuickThreads), which crashes symbolic interpreters.
+//!   The paper pre-processes threads into functions with an embedded FSM
+//!   (Fig. 3 → Fig. 4). Here a process *is* that translated form: a
+//!   [`Process`] whose `resume` runs until it returns a
+//!   [`Suspend`] request, with all state held in the
+//!   implementor (the `static` locals of the translated C++).
+//! * **Sorted wakelist scheduling** — waiting processes and timed event
+//!   notifications are kept in a time-ordered heap; every
+//!   [`Kernel::step`] advances global time by the maximum amount possible
+//!   without skipping a wake-up, then runs every process scheduled for that
+//!   instant (plus the delta cycles it spawns).
+//!
+//! SystemC semantics that peripherals rely on are kept faithful:
+//! dynamic `sc_event` waits, immediate/delta/timed `notify` with the
+//! standard override rules (an immediate notification cancels pending ones;
+//! of two timed notifications the earlier wins; a delta notification beats
+//! any timed one), and delta-cycle evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use symsc_pk::{Kernel, NotifyKind, SimTime, Suspend};
+//!
+//! let mut kernel = Kernel::new();
+//! let tick = kernel.create_event("tick");
+//!
+//! // A process in the paper's translated (FSM) form: body, then wait.
+//! kernel.spawn("listener", move |_ctx: &mut symsc_pk::ProcessCtx<'_>| {
+//!     Suspend::WaitEvent(tick)
+//! });
+//!
+//! kernel.notify(tick, NotifyKind::Timed(SimTime::from_ns(5)));
+//! kernel.step(); // initialization delta at t=0
+//! kernel.step(); // fires the event at t=5ns
+//! assert_eq!(kernel.time(), SimTime::from_ns(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod kernel;
+pub mod process;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+pub use event::{Event, NotifyKind};
+pub use kernel::{Kernel, KernelStats};
+pub use process::{Process, ProcessCtx, ProcessId, Suspend};
+pub use time::SimTime;

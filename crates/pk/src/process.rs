@@ -1,0 +1,98 @@
+//! Processes in translated (function-call) form.
+//!
+//! The paper's key enabling step is rewriting SystemC threads — which
+//! suspend via user-space context switches — into plain functions with an
+//! embedded FSM (its Fig. 3 → Fig. 4). A [`Process`] here *is* that
+//! translated form: `resume` runs the body from the last label until the
+//! next `wait`, which it expresses by *returning* a [`Suspend`] request.
+//! All "local" state lives in the implementor, exactly like the `static`
+//! variables the translation introduces.
+
+use crate::event::{Event, NotifyKind};
+use crate::sched::SchedCore;
+use crate::time::SimTime;
+
+/// Identifier of a spawned process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// The process's dense index within its kernel.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a process asks the scheduler for when it suspends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suspend {
+    /// `wait(event)` — sleep until the event fires.
+    WaitEvent(Event),
+    /// `wait()` — sleep until any event of the process's *static
+    /// sensitivity list* fires (see
+    /// [`Kernel::spawn_sensitive`](crate::Kernel::spawn_sensitive)).
+    /// With an empty list the process sleeps forever, as in SystemC.
+    WaitStatic,
+    /// `wait(t)` — sleep for a fixed duration.
+    WaitTime(SimTime),
+    /// `wait(event, timeout)` — sleep until the event fires or the
+    /// timeout elapses, whichever comes first.
+    WaitEventTimeout(Event, SimTime),
+    /// `return` — the thread terminates forever.
+    Terminate,
+}
+
+/// The services a process may use while running (a restricted view of the
+/// kernel, safe to hand out during evaluation).
+#[derive(Debug)]
+pub struct ProcessCtx<'a> {
+    pub(crate) core: &'a mut SchedCore,
+    pub(crate) me: ProcessId,
+}
+
+impl ProcessCtx<'_> {
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Notifies an event (processes may trigger each other).
+    pub fn notify(&mut self, event: Event, kind: NotifyKind) {
+        self.core.notify(event, kind);
+    }
+
+    /// Cancels a pending notification, like `sc_event::cancel`.
+    pub fn cancel(&mut self, event: Event) {
+        self.core.cancel(event);
+    }
+
+    /// The id of the running process.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+}
+
+/// A schedulable process in translated (resumable-function) form.
+///
+/// Closures implement this automatically, so simple processes can be
+/// spawned inline:
+///
+/// ```
+/// use symsc_pk::{Kernel, Suspend, SimTime};
+/// let mut kernel = Kernel::new();
+/// kernel.spawn("heartbeat", |_ctx: &mut symsc_pk::ProcessCtx<'_>| {
+///     Suspend::WaitTime(SimTime::from_ns(10))
+/// });
+/// ```
+pub trait Process {
+    /// Runs the process body from its last suspension point to the next,
+    /// returning how it wants to suspend.
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_>) -> Suspend;
+}
+
+impl<F: FnMut(&mut ProcessCtx<'_>) -> Suspend> Process for F {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_>) -> Suspend {
+        self(ctx)
+    }
+}
+

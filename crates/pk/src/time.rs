@@ -1,0 +1,176 @@
+//! Integer simulation time.
+//!
+//! The paper's PK replaces SystemC's floating-point `sc_time` with integer
+//! arithmetic "to both speed up the symbolic execution and expand the
+//! possibilities for symbolic propagation" (§4.3). [`SimTime`] is a `u64`
+//! picosecond count: exact, cheap, totally ordered.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use symsc_pk::SimTime;
+/// let t = SimTime::from_ns(2) + SimTime::from_ps(500);
+/// assert_eq!(t.as_ps(), 2_500);
+/// assert!(t < SimTime::from_us(1));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From picoseconds.
+    pub const fn from_ps(ps: u64) -> SimTime {
+        SimTime(ps)
+    }
+
+    /// From nanoseconds.
+    pub const fn from_ns(ns: u64) -> SimTime {
+        SimTime(ns * 1_000)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us * 1_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_sec(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// As picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// As whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whether this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    /// Panics on overflow in debug builds (wraps in release), matching
+    /// ordinary integer arithmetic.
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    /// Panics on underflow in debug builds; use
+    /// [`checked_sub`](SimTime::checked_sub) when the order is unknown.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps % 1_000_000_000_000 == 0 {
+            write!(f, "{}s", ps / 1_000_000_000_000)
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_sec(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(SimTime::from_ns(3).as_ns(), 3);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(13));
+        assert_eq!(a - b, SimTime::from_ns(7));
+        assert_eq!(b * 4, SimTime::from_ns(12));
+        assert!(b < a);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_ns(7)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_picks_the_largest_exact_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_us(2).to_string(), "2us");
+        assert_eq!(SimTime::from_ps(1_500).to_string(), "1500ps");
+        assert_eq!(SimTime::from_sec(1).to_string(), "1s");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the peripheral kernel's scheduling semantics.
+//!
+//! Ground truth is computed independently (sorting, min-tracking) and the
+//! kernel must agree for arbitrary workloads: exact wake times, global
+//! time order, FIFO fairness within an instant, and the
+//! earlier-notification-wins override rule.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use symsc_pk::{Kernel, NotifyKind, ProcessCtx, SimTime, Suspend};
+
+#[derive(Clone, Debug)]
+struct TimerSpec {
+    delay_ns: u64,
+}
+
+fn timers() -> impl Strategy<Value = Vec<TimerSpec>> {
+    proptest::collection::vec((1u64..200).prop_map(|delay_ns| TimerSpec { delay_ns }), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every one-shot timer fires exactly at its programmed time, and the
+    /// observed global firing order is the stable sort by time (FIFO for
+    /// equal times, by spawn order).
+    #[test]
+    fn one_shot_timers_fire_in_time_order(specs in timers()) {
+        let mut kernel = Kernel::new();
+        let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (id, spec) in specs.iter().enumerate() {
+            let log = log.clone();
+            let delay = SimTime::from_ns(spec.delay_ns);
+            let mut armed = false;
+            kernel.spawn(&format!("t{id}"), move |ctx: &mut ProcessCtx<'_>| {
+                if armed {
+                    log.borrow_mut().push((id, ctx.time().as_ns()));
+                    return Suspend::Terminate;
+                }
+                armed = true;
+                Suspend::WaitTime(delay)
+            });
+        }
+        while kernel.step() {}
+
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), specs.len(), "every timer fires once");
+        for &(id, at) in log.iter() {
+            prop_assert_eq!(at, specs[id].delay_ns, "timer {} fires on time", id);
+        }
+        // Expected order: stable sort by (time, spawn id).
+        let mut expected: Vec<(usize, u64)> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, s)| (id, s.delay_ns))
+            .collect();
+        expected.sort_by_key(|&(id, t)| (t, id));
+        let got: Vec<(usize, u64)> = log.iter().map(|&(id, t)| (id, t)).collect();
+        let expected: Vec<(usize, u64)> = expected.into_iter().collect();
+        prop_assert_eq!(got, expected, "stable time order");
+        prop_assert_eq!(
+            kernel.time().as_ns(),
+            specs.iter().map(|s| s.delay_ns).max().unwrap(),
+            "simulation ends at the last wake"
+        );
+    }
+
+    /// With several timed notifications racing on one event, the waiter
+    /// wakes exactly once, at the earliest delay (the override rule).
+    #[test]
+    fn earliest_timed_notification_wins(delays in proptest::collection::vec(1u64..500, 1..12)) {
+        let mut kernel = Kernel::new();
+        let e = kernel.create_event("raced");
+        let wakes: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let w = wakes.clone();
+        let mut started = false;
+        kernel.spawn("waiter", move |ctx: &mut ProcessCtx<'_>| {
+            if started {
+                w.borrow_mut().push(ctx.time().as_ns());
+            }
+            started = true;
+            Suspend::WaitEvent(e)
+        });
+        kernel.step(); // park the waiter
+        for &d in &delays {
+            kernel.notify(e, NotifyKind::Timed(SimTime::from_ns(d)));
+        }
+        while kernel.step() {}
+
+        let earliest = *delays.iter().min().unwrap();
+        prop_assert_eq!(&*wakes.borrow(), &vec![earliest], "one wake, earliest");
+    }
+
+    /// `run_until` never overshoots: after running to a random deadline,
+    /// the kernel's time is exactly the deadline and no wake scheduled
+    /// after it has fired.
+    #[test]
+    fn run_until_is_exact(specs in timers(), deadline in 1u64..250) {
+        let mut kernel = Kernel::new();
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for (id, spec) in specs.iter().enumerate() {
+            let fired = fired.clone();
+            let delay = SimTime::from_ns(spec.delay_ns);
+            let mut armed = false;
+            kernel.spawn(&format!("t{id}"), move |ctx: &mut ProcessCtx<'_>| {
+                if armed {
+                    fired.borrow_mut().push(ctx.time().as_ns());
+                    return Suspend::Terminate;
+                }
+                armed = true;
+                Suspend::WaitTime(delay)
+            });
+        }
+        kernel.run_until(SimTime::from_ns(deadline));
+
+        prop_assert_eq!(kernel.time().as_ns(), deadline, "pauses exactly at t");
+        let expected: Vec<u64> = {
+            let mut v: Vec<u64> = specs
+                .iter()
+                .map(|s| s.delay_ns)
+                .filter(|&t| t <= deadline)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut got = fired.borrow().clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected, "exactly the wakes up to the deadline");
+    }
+
+    /// Cancelling after an arbitrary prefix of notifications silences the
+    /// event: no wake ever happens.
+    #[test]
+    fn cancel_silences_pending_notifications(delays in proptest::collection::vec(1u64..100, 1..6)) {
+        let mut kernel = Kernel::new();
+        let e = kernel.create_event("cancelled");
+        let wakes = Rc::new(RefCell::new(0u32));
+        let w = wakes.clone();
+        let mut started = false;
+        kernel.spawn("waiter", move |_ctx: &mut ProcessCtx<'_>| {
+            if started {
+                *w.borrow_mut() += 1;
+            }
+            started = true;
+            Suspend::WaitEvent(e)
+        });
+        kernel.step();
+        for &d in &delays {
+            kernel.notify(e, NotifyKind::Timed(SimTime::from_ns(d)));
+        }
+        kernel.cancel(e);
+        while kernel.step() {}
+        prop_assert_eq!(*wakes.borrow(), 0, "cancelled event never fires");
+    }
+}

@@ -1,0 +1,400 @@
+//! A CLINT-style core-local interruptor (timer peripheral).
+//!
+//! The paper's future work proposes applying the approach "beyond TLM
+//! peripherals ... for verification of other SystemC IP components". This
+//! module is that extension: a second, independent peripheral built on the
+//! same PK + TLM + symbolic stack — a simplified SiFive CLINT with a
+//! software-interrupt register and a 64-bit timer compare.
+//!
+//! Register map (word-granular subset of the real CLINT):
+//!
+//! | offset   | register      | access |
+//! |----------|---------------|--------|
+//! | `0x0000` | `msip`        | RW     |
+//! | `0x4000` | `mtimecmp` lo | RW     |
+//! | `0x4004` | `mtimecmp` hi | RW     |
+//! | `0xBFF8` | `mtime` lo    | RO     |
+//! | `0xBFFC` | `mtime` hi    | RO     |
+//!
+//! `mtime` ticks once per nanosecond of simulated time. Writing `mtimecmp`
+//! schedules a timer interrupt at the compare point; the comparator runs
+//! as a PK process woken through an `sc_event`, mirroring the PLIC's
+//! structure. `mtimecmp` writes are concretized (KLEE-style) because they
+//! feed the kernel's concrete time arithmetic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Event, Kernel, NotifyKind, Process, ProcessCtx, SimTime, Suspend};
+use symsc_symex::{SymCtx, SymWord};
+use symsc_tlm::{
+    Access, BlockingTransport, CheckMode, GenericPayload, RegisterBank, RegisterModel,
+};
+
+use crate::plic::InterruptTarget;
+
+const REGION_MSIP: usize = 0;
+const REGION_MTIMECMP: usize = 1;
+const REGION_MTIME: usize = 2;
+
+/// Byte offset of `msip`.
+pub const MSIP_BASE: u64 = 0x0000;
+/// Byte offset of `mtimecmp` (lo word; hi at +4).
+pub const MTIMECMP_BASE: u64 = 0x4000;
+/// Byte offset of `mtime` (lo word; hi at +4).
+pub const MTIME_BASE: u64 = 0xBFF8;
+
+struct ClintState {
+    ctx: SymCtx,
+    e_cmp: Event,
+    /// Concretized compare point, in mtime ticks (nanoseconds).
+    mtimecmp: u64,
+    msip: SymWord,
+    timer_armed: bool,
+    timer_target: Option<Rc<RefCell<dyn InterruptTarget>>>,
+    software_target: Option<Rc<RefCell<dyn InterruptTarget>>>,
+}
+
+impl ClintState {
+    fn mtime_now(kernel: &Kernel) -> u64 {
+        kernel.time().as_ns()
+    }
+
+    /// (Re)arms the comparator event for the current `mtimecmp`.
+    fn arm(&mut self, kernel: &mut Kernel) {
+        let now = Self::mtime_now(kernel);
+        self.timer_armed = true;
+        if self.mtimecmp <= now {
+            kernel.notify(self.e_cmp, NotifyKind::Delta);
+        } else {
+            let delay = SimTime::from_ns(self.mtimecmp - now);
+            // An earlier pending notification would win; cancel first so a
+            // re-written (later) mtimecmp reschedules correctly.
+            kernel.cancel(self.e_cmp);
+            kernel.notify(self.e_cmp, NotifyKind::Timed(delay));
+        }
+    }
+}
+
+/// The comparator process, in translated FSM form like the PLIC's
+/// [`RunThread`](crate::process::RunThread).
+struct CompareThread {
+    state: Rc<RefCell<ClintState>>,
+    started: bool,
+}
+
+impl Process for CompareThread {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_>) -> Suspend {
+        let e_cmp = self.state.borrow().e_cmp;
+        if !self.started {
+            self.started = true;
+            return Suspend::WaitEvent(e_cmp);
+        }
+        let mut st = self.state.borrow_mut();
+        if !st.timer_armed {
+            return Suspend::WaitEvent(e_cmp);
+        }
+        let now = ctx.time().as_ns();
+        if now >= st.mtimecmp {
+            st.timer_armed = false;
+            if let Some(target) = &st.timer_target {
+                target.borrow_mut().trigger_external_interrupt();
+            }
+        } else {
+            // Spurious wake (mtimecmp moved later): re-arm.
+            let delay = SimTime::from_ns(st.mtimecmp - now);
+            ctx.notify(e_cmp, NotifyKind::Timed(delay));
+        }
+        Suspend::WaitEvent(e_cmp)
+    }
+}
+
+/// The CLINT peripheral.
+///
+/// # Example
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use symsc_pk::{Kernel, SimTime};
+/// use symsc_plic::{Clint, InterruptTarget};
+/// use symsc_symex::Explorer;
+///
+/// struct Hart { timer_fired: bool }
+/// impl InterruptTarget for Hart {
+///     fn trigger_external_interrupt(&mut self) { self.timer_fired = true; }
+/// }
+///
+/// let report = Explorer::new().explore(|ctx| {
+///     let mut kernel = Kernel::new();
+///     let clint = Clint::new(ctx, &mut kernel);
+///     let hart = Rc::new(RefCell::new(Hart { timer_fired: false }));
+///     clint.connect_timer(hart.clone());
+///     kernel.step();
+///     clint.write_mtimecmp(&mut kernel, 100); // fire at mtime = 100 (ns)
+///     kernel.run_until(SimTime::from_ns(100));
+///     assert!(hart.borrow().timer_fired);
+/// });
+/// assert!(report.passed());
+/// ```
+pub struct Clint {
+    state: Rc<RefCell<ClintState>>,
+    bank: RegisterBank,
+}
+
+impl std::fmt::Debug for Clint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("Clint")
+            .field("mtimecmp", &st.mtimecmp)
+            .field("timer_armed", &st.timer_armed)
+            .finish()
+    }
+}
+
+impl Clint {
+    /// Instantiates the CLINT and spawns its comparator process.
+    pub fn new(ctx: &SymCtx, kernel: &mut Kernel) -> Clint {
+        let e_cmp = kernel.create_event("clint.e_cmp");
+        let state = Rc::new(RefCell::new(ClintState {
+            ctx: ctx.clone(),
+            e_cmp,
+            mtimecmp: u64::MAX,
+            msip: ctx.word32(0),
+            timer_armed: false,
+            timer_target: None,
+            software_target: None,
+        }));
+        kernel.spawn(
+            "clint.compare",
+            CompareThread {
+                state: state.clone(),
+                started: false,
+            },
+        );
+        let bank = RegisterBank::new(CheckMode::TlmError)
+            .region("msip", MSIP_BASE, 1, Access::ReadWrite)
+            .region("mtimecmp", MTIMECMP_BASE, 2, Access::ReadWrite)
+            .region("mtime", MTIME_BASE, 2, Access::ReadOnly);
+        Clint { state, bank }
+    }
+
+    /// Connects the timer-interrupt line.
+    pub fn connect_timer(&self, target: Rc<RefCell<dyn InterruptTarget>>) {
+        self.state.borrow_mut().timer_target = Some(target);
+    }
+
+    /// Connects the software-interrupt line (`msip`).
+    pub fn connect_software(&self, target: Rc<RefCell<dyn InterruptTarget>>) {
+        self.state.borrow_mut().software_target = Some(target);
+    }
+
+    /// Convenience: set the 64-bit compare value directly.
+    pub fn write_mtimecmp(&self, kernel: &mut Kernel, ticks: u64) {
+        let mut st = self.state.borrow_mut();
+        st.mtimecmp = ticks;
+        st.arm(kernel);
+    }
+
+    /// The current `mtime` value (ticks = nanoseconds of simulated time).
+    pub fn mtime(&self, kernel: &Kernel) -> u64 {
+        ClintState::mtime_now(kernel)
+    }
+}
+
+struct ClintRegs {
+    state: Rc<RefCell<ClintState>>,
+}
+
+impl RegisterModel for ClintRegs {
+    fn read_word(
+        &mut self,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        region: usize,
+        word_index: &SymWord,
+    ) -> SymWord {
+        let st = self.state.borrow();
+        match region {
+            REGION_MSIP => st.msip.clone(),
+            REGION_MTIMECMP => {
+                let lo = ctx.word32(st.mtimecmp as u32);
+                let hi = ctx.word32((st.mtimecmp >> 32) as u32);
+                let zero = ctx.word32(0);
+                let is_lo = word_index.eq(&zero);
+                lo.select(&is_lo, &hi)
+            }
+            REGION_MTIME => {
+                let now = ClintState::mtime_now(kernel);
+                let lo = ctx.word32(now as u32);
+                let hi = ctx.word32((now >> 32) as u32);
+                let zero = ctx.word32(0);
+                let is_lo = word_index.eq(&zero);
+                lo.select(&is_lo, &hi)
+            }
+            _ => unreachable!("unknown CLINT region {region}"),
+        }
+    }
+
+    fn write_word(
+        &mut self,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        region: usize,
+        word_index: &SymWord,
+        value: &SymWord,
+    ) {
+        let mut st = self.state.borrow_mut();
+        match region {
+            REGION_MSIP => {
+                st.msip = value.clone();
+                let one = ctx.word32(1);
+                let raised = value.and(&one).eq(&one);
+                if st.ctx.decide(&raised) {
+                    if let Some(target) = &st.software_target {
+                        target.borrow_mut().trigger_external_interrupt();
+                    }
+                }
+            }
+            REGION_MTIMECMP => {
+                // Timer compare feeds concrete kernel time: concretize.
+                let v = value.concretize();
+                let zero = ctx.word32(0);
+                let is_lo = word_index.eq(&zero);
+                if st.ctx.decide(&is_lo) {
+                    st.mtimecmp = (st.mtimecmp & !0xFFFF_FFFF) | v;
+                } else {
+                    st.mtimecmp = (st.mtimecmp & 0xFFFF_FFFF) | (v << 32);
+                }
+                st.arm(kernel);
+            }
+            REGION_MTIME => unreachable!("mtime is read-only"),
+            _ => unreachable!("unknown CLINT region {region}"),
+        }
+    }
+}
+
+impl BlockingTransport for Clint {
+    fn b_transport(&mut self, ctx: &SymCtx, kernel: &mut Kernel, payload: &mut GenericPayload) {
+        let mut regs = ClintRegs {
+            state: self.state.clone(),
+        };
+        self.bank.transport(&mut regs, ctx, kernel, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_symex::Explorer;
+    use symsc_tlm::ResponseStatus;
+
+    struct Hart {
+        fired: u32,
+    }
+    impl InterruptTarget for Hart {
+        fn trigger_external_interrupt(&mut self) {
+            self.fired += 1;
+        }
+    }
+
+    #[test]
+    fn timer_fires_at_compare_point() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let clint = Clint::new(ctx, &mut kernel);
+            let hart = Rc::new(RefCell::new(Hart { fired: 0 }));
+            clint.connect_timer(hart.clone());
+            kernel.step();
+            clint.write_mtimecmp(&mut kernel, 50);
+            kernel.run_until(SimTime::from_ns(49));
+            assert_eq!(hart.borrow().fired, 0, "not before the deadline");
+            kernel.run_until(SimTime::from_ns(51));
+            assert_eq!(hart.borrow().fired, 1);
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn rewriting_mtimecmp_later_reschedules() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let clint = Clint::new(ctx, &mut kernel);
+            let hart = Rc::new(RefCell::new(Hart { fired: 0 }));
+            clint.connect_timer(hart.clone());
+            kernel.step();
+            clint.write_mtimecmp(&mut kernel, 20);
+            clint.write_mtimecmp(&mut kernel, 200);
+            kernel.run_until(SimTime::from_ns(100));
+            assert_eq!(hart.borrow().fired, 0, "pushed out to 200");
+            kernel.run_until(SimTime::from_ns(201));
+            assert_eq!(hart.borrow().fired, 1);
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn compare_in_the_past_fires_immediately() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let clint = Clint::new(ctx, &mut kernel);
+            let hart = Rc::new(RefCell::new(Hart { fired: 0 }));
+            clint.connect_timer(hart.clone());
+            kernel.step();
+            kernel.run_until(SimTime::from_ns(10));
+            clint.write_mtimecmp(&mut kernel, 5); // already past
+            kernel.step();
+            assert_eq!(hart.borrow().fired, 1);
+            assert_eq!(kernel.time(), SimTime::from_ns(10), "no time needed");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn msip_write_raises_software_interrupt() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut clint = Clint::new(ctx, &mut kernel);
+            let hart = Rc::new(RefCell::new(Hart { fired: 0 }));
+            clint.connect_software(hart.clone());
+            kernel.step();
+            let mut p = GenericPayload::write(ctx, ctx.word32(0), 4);
+            p.set_word(0, ctx.word32(1));
+            clint.b_transport(ctx, &mut kernel, &mut p);
+            assert!(p.response.is_ok());
+            assert_eq!(hart.borrow().fired, 1);
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn mtime_reads_track_simulated_time() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut clint = Clint::new(ctx, &mut kernel);
+            let hart = Rc::new(RefCell::new(Hart { fired: 0 }));
+            clint.connect_timer(hart.clone());
+            kernel.step();
+            clint.write_mtimecmp(&mut kernel, 30);
+            kernel.run_until(SimTime::from_ns(30));
+            let mut p = GenericPayload::read(ctx, ctx.word32(MTIME_BASE as u32), 4);
+            clint.b_transport(ctx, &mut kernel, &mut p);
+            assert!(p.response.is_ok());
+            ctx.check(&p.word(0).eq(&ctx.word32(30)), "mtime lo == 30");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn mtime_is_read_only() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut clint = Clint::new(ctx, &mut kernel);
+            kernel.step();
+            let mut p = GenericPayload::write(ctx, ctx.word32(MTIME_BASE as u32), 4);
+            p.set_word(0, ctx.word32(1));
+            clint.b_transport(ctx, &mut kernel, &mut p);
+            assert_eq!(p.response, ResponseStatus::CommandError);
+        });
+    }
+}

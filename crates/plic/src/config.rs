@@ -1,0 +1,248 @@
+//! PLIC configuration: variants, injected faults and the memory map.
+
+use symsc_pk::SimTime;
+
+/// Byte offset of `priority[1]`; `priority[i]` lives at `4 * i`.
+pub const PRIORITY_BASE: u64 = 0x0000_0004;
+/// Byte offset of the pending-interrupt bitmap.
+pub const PENDING_BASE: u64 = 0x0000_1000;
+/// Byte offset of the HART-0 enable bitmap; HART `h` at
+/// `ENABLE_BASE + h * ENABLE_STRIDE`.
+pub const ENABLE_BASE: u64 = 0x0000_2000;
+/// Stride between per-HART enable blocks.
+pub const ENABLE_STRIDE: u64 = 0x80;
+/// Byte offset of the HART-0 priority threshold; HART `h` at
+/// `THRESHOLD_BASE + h * CONTEXT_STRIDE`.
+pub const THRESHOLD_BASE: u64 = 0x0020_0000;
+/// Byte offset of the HART-0 claim/response register; HART `h` at
+/// `CLAIM_BASE + h * CONTEXT_STRIDE`.
+pub const CLAIM_BASE: u64 = 0x0020_0004;
+/// Stride between per-HART threshold/claim context blocks.
+pub const CONTEXT_STRIDE: u64 = 0x1000;
+
+/// Which edition of the PLIC source to model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PlicVariant {
+    /// The original RISC-V VP code, including the six real bugs the paper
+    /// found:
+    ///
+    /// * **F1** — `trigger_interrupt` *asserts* that the interrupt id is
+    ///   valid instead of returning an error; invalid ids abort the model.
+    /// * **F2** — misaligned TLM register accesses fail an assertion
+    ///   instead of returning `TLM_ADDRESS_ERROR`.
+    /// * **F3** — addresses with no register mapping fail an assertion
+    ///   instead of returning `TLM_ADDRESS_ERROR`.
+    /// * **F4** — writes to read-only registers fail an assertion instead
+    ///   of returning `TLM_COMMAND_ERROR`.
+    /// * **F5** — a transaction whose start address matches a register is
+    ///   accepted even when its length runs past the register boundary,
+    ///   producing an out-of-bounds copy.
+    /// * **F6** — the claim/response *write* callback asserts that an
+    ///   external interrupt is in flight (`hart_eip`); a completion racing
+    ///   ahead of the PLIC thread (trigger → write before the thread is
+    ///   scheduled) fails the assertion.
+    #[default]
+    Faithful,
+    /// The repaired model: invalid gateway ids are ignored, decode
+    /// violations produce TLM error responses, boundary overruns return
+    /// `TLM_BURST_ERROR`, and a completion without a pending external
+    /// interrupt is tolerated.
+    Fixed,
+}
+
+/// The paper's six injected faults (§5.3), each a one-line mutation of the
+/// PLIC. They are usually injected into [`PlicVariant::Fixed`] so that the
+/// original bugs do not mask them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InjectedFault {
+    /// **IF1** — off-by-one in the gateway's id bound (`<=` instead of
+    /// `<`), letting id `sources + 1` overflow the pending array.
+    If1OffByOneGateway,
+    /// **IF2** — interrupts with id 13 set their pending bit but the
+    /// `e_run` notification is dropped.
+    If2DropNotifyId13,
+    /// **IF3** — completion does not re-notify `e_run`, so a second
+    /// simultaneously pending interrupt is never delivered.
+    If3SkipRetrigger,
+    /// **IF4** — the gateway delays `e_run` ten times longer for high
+    /// interrupt ids (above 32 in the FE310 configuration; above
+    /// `sources / 2` for scaled-down configurations) — a timing-model
+    /// error.
+    If4LateNotifyHighIds,
+    /// **IF5** — clearing pending interrupt 7 returns early, leaving the
+    /// bit set.
+    If5EarlyClearReturn,
+    /// **IF6** — the eligibility check compares `priority >= threshold`
+    /// instead of strictly greater.
+    If6ThresholdOffByOne,
+}
+
+impl InjectedFault {
+    /// All six faults, in paper order.
+    pub const ALL: [InjectedFault; 6] = [
+        InjectedFault::If1OffByOneGateway,
+        InjectedFault::If2DropNotifyId13,
+        InjectedFault::If3SkipRetrigger,
+        InjectedFault::If4LateNotifyHighIds,
+        InjectedFault::If5EarlyClearReturn,
+        InjectedFault::If6ThresholdOffByOne,
+    ];
+
+    /// The paper's label for this fault ("IF1" … "IF6").
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectedFault::If1OffByOneGateway => "IF1",
+            InjectedFault::If2DropNotifyId13 => "IF2",
+            InjectedFault::If3SkipRetrigger => "IF3",
+            InjectedFault::If4LateNotifyHighIds => "IF4",
+            InjectedFault::If5EarlyClearReturn => "IF5",
+            InjectedFault::If6ThresholdOffByOne => "IF6",
+        }
+    }
+}
+
+/// Static configuration of a PLIC instance.
+///
+/// # Example
+///
+/// ```
+/// use symsc_plic::{PlicConfig, PlicVariant};
+/// let cfg = PlicConfig::fe310();
+/// assert_eq!(cfg.sources, 51);
+/// assert_eq!(cfg.max_priority, 32);
+/// assert_eq!(cfg.variant, PlicVariant::Faithful);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlicConfig {
+    /// Number of HARTs (interrupt targets). The FE310 has one.
+    pub harts: u32,
+    /// Number of interrupt sources (valid ids are `1..=sources`).
+    pub sources: u32,
+    /// Highest priority level (0 disables a source).
+    pub max_priority: u32,
+    /// Faithful (buggy) or fixed model.
+    pub variant: PlicVariant,
+    /// At most one injected fault.
+    pub fault: Option<InjectedFault>,
+    /// Gateway-to-delivery latency: the delay of the `e_run` notification
+    /// issued by `trigger_interrupt` (one clock cycle in the VP).
+    pub clock_cycle: SimTime,
+}
+
+impl PlicConfig {
+    /// The FE310 configuration used throughout the paper's evaluation:
+    /// one HART, 51 interrupt sources, 32 priority levels.
+    pub fn fe310() -> PlicConfig {
+        PlicConfig {
+            harts: 1,
+            sources: 51,
+            max_priority: 32,
+            variant: PlicVariant::Faithful,
+            fault: None,
+            clock_cycle: SimTime::from_ns(10),
+        }
+    }
+
+    /// A small configuration (8 sources) for fast unit tests and the
+    /// quickstart example.
+    pub fn small() -> PlicConfig {
+        PlicConfig {
+            sources: 8,
+            max_priority: 7,
+            ..PlicConfig::fe310()
+        }
+    }
+
+    /// Sets the number of HARTs (builder style).
+    pub fn harts(mut self, harts: u32) -> PlicConfig {
+        assert!(harts >= 1, "a PLIC needs at least one HART");
+        self.harts = harts;
+        self
+    }
+
+    /// Sets the variant (builder style).
+    pub fn variant(mut self, variant: PlicVariant) -> PlicConfig {
+        self.variant = variant;
+        self
+    }
+
+    /// Injects a fault (builder style).
+    pub fn fault(mut self, fault: InjectedFault) -> PlicConfig {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Whether a given fault is active.
+    pub fn has_fault(&self, fault: InjectedFault) -> bool {
+        self.fault == Some(fault)
+    }
+
+    /// Number of 32-bit words in the pending/enable bitmaps
+    /// (ids `0..=sources` → `ceil((sources + 1) / 32)`).
+    pub fn bitmap_words(&self) -> usize {
+        ((self.sources as usize + 1) + 31) / 32
+    }
+
+    /// The id boundary above which IF4 stretches the delivery latency:
+    /// 32 as in the paper when the configuration has more than 32
+    /// sources, half the sources otherwise (so the fault stays observable
+    /// in scaled-down test configurations).
+    pub fn if4_boundary(&self) -> u32 {
+        if self.sources > 32 {
+            32
+        } else {
+            self.sources / 2
+        }
+    }
+
+    /// A shape-preserving scaled-down FE310 (16 sources, 8 priority
+    /// levels) for fast debug-mode unit testing. All twelve bugs remain
+    /// expressible and the Table 1 pass/fail pattern is unchanged.
+    pub fn fe310_scaled() -> PlicConfig {
+        PlicConfig {
+            sources: 16,
+            max_priority: 8,
+            ..PlicConfig::fe310()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fe310_matches_the_paper_footnote() {
+        let c = PlicConfig::fe310();
+        assert_eq!(c.sources, 51);
+        assert_eq!(c.max_priority, 32);
+        assert_eq!(c.bitmap_words(), 2);
+        assert!(c.fault.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PlicConfig::fe310()
+            .variant(PlicVariant::Fixed)
+            .fault(InjectedFault::If3SkipRetrigger);
+        assert_eq!(c.variant, PlicVariant::Fixed);
+        assert!(c.has_fault(InjectedFault::If3SkipRetrigger));
+        assert!(!c.has_fault(InjectedFault::If1OffByOneGateway));
+    }
+
+    #[test]
+    fn bitmap_words_rounds_up() {
+        let mut c = PlicConfig::small();
+        assert_eq!(c.bitmap_words(), 1); // ids 0..=8 → 9 bits
+        c.sources = 31;
+        assert_eq!(c.bitmap_words(), 1); // ids 0..=31 → 32 bits
+        c.sources = 32;
+        assert_eq!(c.bitmap_words(), 2); // ids 0..=32 → 33 bits
+    }
+
+    #[test]
+    fn fault_labels() {
+        let labels: Vec<&str> = InjectedFault::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels, ["IF1", "IF2", "IF3", "IF4", "IF5", "IF6"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # symsc-plic — the RISC-V Platform-Level Interrupt Controller (DUV)
+//!
+//! A faithful Rust port of the FE310 PLIC TLM peripheral from the
+//! open-source RISC-V VP — the device under verification of the reproduced
+//! paper. The FE310 configuration is one HART, 51 interrupt sources and 32
+//! priority levels.
+//!
+//! ## Register map (the paper's Fig. 1)
+//!
+//! | offset       | register                     | access |
+//! |--------------|------------------------------|--------|
+//! | `0x0000_0004`| `priority[1..=51]`           | RW     |
+//! | `0x0000_1000`| `pending` bitmap (2 words)   | RO     |
+//! | `0x0000_2000`| `enable` bitmap (2 words)    | RW     |
+//! | `0x0020_0000`| `threshold` (HART 0)         | RW     |
+//! | `0x0020_0004`| `claim_response` (HART 0)    | RW     |
+//!
+//! Functionality lives in the `run()` SystemC thread — here the
+//! [`RunThread`](process::RunThread) written in the paper's *translated*
+//! FSM form (its Fig. 4) — synchronized through the `e_run` event, which
+//! [`Plic::trigger_interrupt`] notifies when a new interrupt arrives.
+//!
+//! ## Bugs, on purpose
+//!
+//! [`PlicVariant::Faithful`] reproduces the six real bugs the paper found
+//! (F1–F6); [`PlicVariant::Fixed`] is the repaired model. On top of either,
+//! one of the paper's six injected faults ([`InjectedFault`], IF1–IF6) can
+//! be enabled to reproduce the fault-injection study of its Table 2. See
+//! the crate's `config` module for the precise bug inventory.
+//!
+//! The crate also contains an independent executable [`reference`](mod@reference) model
+//! (claim-order oracle) used by property tests, and a CLINT-style
+//! [`timer`](clint) peripheral demonstrating the approach on a second IP
+//! block (the paper's future-work item).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clint;
+pub mod config;
+pub mod plic;
+pub mod process;
+pub mod reference;
+pub mod state;
+pub mod uart;
+
+pub use clint::Clint;
+pub use uart::Uart;
+pub use config::{InjectedFault, PlicConfig, PlicVariant};
+pub use plic::{InterruptTarget, Plic};
+pub use reference::ReferencePlic;

@@ -1,0 +1,83 @@
+//! The PLIC `run` thread in translated (FSM) form — the paper's Fig. 4.
+//!
+//! The original SystemC thread (Fig. 3) is:
+//!
+//! ```c++
+//! void run() {
+//!     while (true) {
+//!         wait(e_run);                                   // context switch
+//!         for (unsigned i = 0; i < NumberCores; ++i) {
+//!             if (!hart_eip[i]) {
+//!                 if (hart_has_pending_enabled_interrupts(i)) {
+//!                     hart_eip[i] = true;
+//!                     target_harts[i]->trigger_external_interrupt();
+//!                 }
+//!             }
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! The paper's translation replaces the `wait` with a label/`goto` FSM and
+//! `static` locals. [`RunThread`] is that translation expressed in safe
+//! Rust: the `position` label is an enum field, the "statics" are the
+//! shared [`PlicState`], and each `resume` call executes from the last
+//! label to the next `wait`, which it *returns* as a [`Suspend`] request.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Process, ProcessCtx, Suspend};
+
+use crate::state::PlicState;
+
+/// The FSM label — the paper's `enum class Label { init, lbl1 }`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// First activation: fall through to the first `wait(e_run)`.
+    Init,
+    /// Resumption point after `wait(e_run)`: run the loop body once.
+    Lbl1,
+}
+
+/// The translated `run` process of the PLIC.
+#[derive(Debug)]
+pub struct RunThread {
+    state: Rc<RefCell<PlicState>>,
+    position: Label,
+}
+
+impl RunThread {
+    /// Creates the thread over the shared PLIC state.
+    pub fn new(state: Rc<RefCell<PlicState>>) -> RunThread {
+        RunThread {
+            state,
+            position: Label::Init,
+        }
+    }
+
+    /// The current FSM label (exposed for tests).
+    pub fn position(&self) -> Label {
+        self.position
+    }
+}
+
+impl Process for RunThread {
+    fn resume(&mut self, _ctx: &mut ProcessCtx<'_>) -> Suspend {
+        // --[ header ]-- dispatch on the saved position.
+        match self.position {
+            Label::Init => {
+                // First execution reaches the top of the while(true) loop
+                // and immediately waits for e_run.
+            }
+            Label::Lbl1 => {
+                // --[ body ]-- the unmodified logic of the original thread.
+                self.state.borrow_mut().run_body();
+            }
+        }
+        // context-switch transformation: save the position, then "wait".
+        self.position = Label::Lbl1;
+        let e_run = self.state.borrow().e_run;
+        Suspend::WaitEvent(e_run)
+    }
+}

@@ -1,0 +1,224 @@
+//! An independent, purely concrete PLIC oracle.
+//!
+//! Deliberately written in the most obvious way (sets and linear scans,
+//! no bitmaps, no symbolic values) so it can serve as ground truth for
+//! property tests of the TLM model: drive both with the same concrete
+//! stimulus and compare observable behavior.
+
+use std::collections::BTreeSet;
+
+/// A concrete reference model of PLIC claim/delivery semantics.
+///
+/// # Example
+///
+/// ```
+/// use symsc_plic::ReferencePlic;
+/// let mut p = ReferencePlic::new(51);
+/// p.set_priority(5, 3);
+/// p.set_enabled(5, true);
+/// p.trigger(5).unwrap();
+/// assert_eq!(p.next_deliverable(), Some(5));
+/// assert_eq!(p.claim(), 5);
+/// assert_eq!(p.claim(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferencePlic {
+    sources: u32,
+    priorities: Vec<u32>,
+    pending: BTreeSet<u32>,
+    enabled: BTreeSet<u32>,
+    threshold: u32,
+}
+
+/// Error for an out-of-range interrupt id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidInterruptId(pub u32);
+
+impl std::fmt::Display for InvalidInterruptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid interrupt id {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidInterruptId {}
+
+impl ReferencePlic {
+    /// A reference PLIC with ids `1..=sources`, all priorities zero,
+    /// everything disabled, threshold zero.
+    pub fn new(sources: u32) -> ReferencePlic {
+        ReferencePlic {
+            sources,
+            priorities: vec![0; sources as usize + 1],
+            pending: BTreeSet::new(),
+            enabled: BTreeSet::new(),
+            threshold: 0,
+        }
+    }
+
+    /// Number of sources.
+    pub fn sources(&self) -> u32 {
+        self.sources
+    }
+
+    /// Sets `priority[irq]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `irq` is out of range (oracle misuse is a test bug).
+    pub fn set_priority(&mut self, irq: u32, priority: u32) {
+        assert!(irq >= 1 && irq <= self.sources);
+        self.priorities[irq as usize] = priority;
+    }
+
+    /// The priority of `irq`.
+    pub fn priority(&self, irq: u32) -> u32 {
+        self.priorities[irq as usize]
+    }
+
+    /// Enables or disables a source.
+    pub fn set_enabled(&mut self, irq: u32, enabled: bool) {
+        assert!(irq >= 1 && irq <= self.sources);
+        if enabled {
+            self.enabled.insert(irq);
+        } else {
+            self.enabled.remove(&irq);
+        }
+    }
+
+    /// Sets the HART threshold.
+    pub fn set_threshold(&mut self, threshold: u32) {
+        self.threshold = threshold;
+    }
+
+    /// Raises interrupt `irq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidInterruptId`] for ids outside `1..=sources` (the
+    /// *fixed* gateway behavior).
+    pub fn trigger(&mut self, irq: u32) -> Result<(), InvalidInterruptId> {
+        if irq == 0 || irq > self.sources {
+            return Err(InvalidInterruptId(irq));
+        }
+        self.pending.insert(irq);
+        Ok(())
+    }
+
+    /// Whether `irq` is pending.
+    pub fn is_pending(&self, irq: u32) -> bool {
+        self.pending.contains(&irq)
+    }
+
+    fn best(&self, consider_threshold: bool) -> Option<u32> {
+        let mut best: Option<(u32, u32)> = None; // (priority, id)
+        for &irq in &self.pending {
+            if !self.enabled.contains(&irq) {
+                continue;
+            }
+            let prio = self.priorities[irq as usize];
+            if prio == 0 {
+                continue;
+            }
+            if consider_threshold && prio <= self.threshold {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // Strictly greater: ties keep the earlier (lower) id,
+                // which the BTreeSet iteration order guarantees.
+                Some((bp, _)) => prio > bp,
+            };
+            if better {
+                best = Some((prio, irq));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// The interrupt that would be delivered to the HART now (threshold
+    /// considered), if any.
+    pub fn next_deliverable(&self) -> Option<u32> {
+        self.best(true)
+    }
+
+    /// Claims the best pending interrupt (threshold ignored, per spec),
+    /// clearing its pending bit. Returns 0 when nothing is claimable.
+    pub fn claim(&mut self) -> u32 {
+        match self.best(false) {
+            Some(id) => {
+                self.pending.remove(&id);
+                id
+            }
+            None => 0,
+        }
+    }
+
+    /// The full claim sequence until the controller drains empty.
+    pub fn drain(&mut self) -> Vec<u32> {
+        let mut order = Vec::new();
+        loop {
+            let id = self.claim();
+            if id == 0 {
+                return order;
+            }
+            order.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(sources: u32, irqs: &[(u32, u32)]) -> ReferencePlic {
+        let mut p = ReferencePlic::new(sources);
+        for &(irq, prio) in irqs {
+            p.set_priority(irq, prio);
+            p.set_enabled(irq, true);
+            p.trigger(irq).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn claims_in_priority_then_id_order() {
+        let mut p = armed(51, &[(10, 1), (3, 5), (20, 5), (7, 2)]);
+        assert_eq!(p.drain(), vec![3, 20, 7, 10]);
+    }
+
+    #[test]
+    fn invalid_ids_are_rejected() {
+        let mut p = ReferencePlic::new(51);
+        assert_eq!(p.trigger(0), Err(InvalidInterruptId(0)));
+        assert_eq!(p.trigger(52), Err(InvalidInterruptId(52)));
+        assert!(p.trigger(51).is_ok());
+    }
+
+    #[test]
+    fn threshold_gates_delivery_not_claim() {
+        let mut p = armed(51, &[(5, 2)]);
+        p.set_threshold(2);
+        assert_eq!(p.next_deliverable(), None);
+        assert_eq!(p.claim(), 5, "claim ignores the threshold");
+    }
+
+    #[test]
+    fn zero_priority_never_deliverable() {
+        let mut p = ReferencePlic::new(8);
+        p.set_enabled(3, true);
+        p.trigger(3).unwrap();
+        assert_eq!(p.next_deliverable(), None);
+        assert_eq!(p.claim(), 0);
+        assert!(p.is_pending(3), "unclaimable stays pending");
+    }
+
+    #[test]
+    fn disabled_sources_stay_pending_but_silent() {
+        let mut p = ReferencePlic::new(8);
+        p.set_priority(2, 3);
+        p.trigger(2).unwrap();
+        assert_eq!(p.claim(), 0);
+        p.set_enabled(2, true);
+        assert_eq!(p.claim(), 2);
+    }
+}

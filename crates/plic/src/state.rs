@@ -1,0 +1,627 @@
+//! The PLIC's internal registers and core logic.
+//!
+//! Everything here is *per-path* state: the symbolic engine re-creates the
+//! peripheral on every explored path. Register contents are symbolic words
+//! ([`SymArray`]/[`SymWord`]), so symbolic interrupt ids, priorities and
+//! thresholds propagate through the logic without forking; only genuine
+//! control decisions (notification, eligibility) fork via `decide`.
+//!
+//! Per the RISC-V PLIC architecture (the paper's Fig. 1), the interrupt
+//! *sources* (priorities, pending bits) are global while enables,
+//! thresholds, the claim/complete interface and the `eip` line are
+//! per-HART. The FE310 instantiates one HART; the model supports any
+//! number.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Event, Kernel, NotifyKind};
+use symsc_symex::{ErrorKind, SymArray, SymBool, SymCtx, SymWord, Width};
+
+use crate::config::{InjectedFault, PlicConfig, PlicVariant};
+use crate::plic::InterruptTarget;
+
+/// Mutable PLIC state shared between the TLM interface, the gateway and
+/// the `run` thread.
+pub struct PlicState {
+    pub(crate) config: PlicConfig,
+    pub(crate) ctx: SymCtx,
+    pub(crate) e_run: Event,
+    /// `priority[irq]`, index 0 unused (id 0 is reserved).
+    pub(crate) priorities: SymArray,
+    /// Pending-interrupt flags, one 1-bit entry per id (a shift-free
+    /// encoding of the pending bitmap: equality-guarded selects blast to
+    /// far smaller SAT formulas than symbolic one-hot shifts).
+    pub(crate) pending: SymArray,
+    /// Per-HART enable flags, same encoding.
+    pub(crate) enabled: Vec<SymArray>,
+    /// Per-HART priority threshold.
+    pub(crate) threshold: Vec<SymWord>,
+    /// Per-HART external-interrupt-pending line (the paper's `hart_eip`,
+    /// used to suppress re-triggers).
+    pub(crate) hart_eip: Vec<bool>,
+    /// The connected HARTs (interrupt targets).
+    pub(crate) targets: Vec<Option<Rc<RefCell<dyn InterruptTarget>>>>,
+}
+
+impl std::fmt::Debug for PlicState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlicState")
+            .field("config", &self.config)
+            .field("hart_eip", &self.hart_eip)
+            .finish()
+    }
+}
+
+impl PlicState {
+    pub(crate) fn new(ctx: &SymCtx, config: PlicConfig, e_run: Event) -> PlicState {
+        let flags = config.sources as usize + 1;
+        let harts = config.harts as usize;
+        PlicState {
+            config,
+            ctx: ctx.clone(),
+            e_run,
+            priorities: SymArray::filled(ctx, flags, 0, Width::W32),
+            pending: SymArray::filled(ctx, flags, 0, Width::W1),
+            enabled: (0..harts)
+                .map(|_| SymArray::filled(ctx, flags, 0, Width::W1))
+                .collect(),
+            threshold: (0..harts).map(|_| ctx.word32(0)).collect(),
+            hart_eip: vec![false; harts],
+            targets: (0..harts).map(|_| None).collect(),
+        }
+    }
+
+    // ----- bitmap helpers (shift-free 1-bit flag encoding) -----
+
+    pub(crate) fn set_pending(&mut self, irq: &SymWord) {
+        let one = self.ctx.word(1, Width::W1);
+        self.pending.store(irq, &one);
+    }
+
+    /// Clears the pending bit of `irq` (IF5 returns early for id 7).
+    pub(crate) fn clear_pending(&mut self, irq: &SymWord) {
+        if self.config.has_fault(InjectedFault::If5EarlyClearReturn) {
+            let seven = self.ctx.word32(7);
+            if self.ctx.decide(&irq.eq(&seven)) {
+                return; // injected bug: id 7 is never cleared
+            }
+        }
+        let zero = self.ctx.word(0, Width::W1);
+        self.pending.store(irq, &zero);
+    }
+
+    /// The pending bit of a *concrete* id, as a symbolic boolean.
+    pub(crate) fn pending_bit(&self, irq: u32) -> SymBool {
+        let one = self.ctx.word(1, Width::W1);
+        self.pending.get(irq as usize).eq(&one)
+    }
+
+    /// The enable bit of a *concrete* id for `hart`.
+    pub(crate) fn enabled_bit(&self, hart: usize, irq: u32) -> SymBool {
+        let one = self.ctx.word(1, Width::W1);
+        self.enabled[hart].get(irq as usize).eq(&one)
+    }
+
+    /// The pending bit of a *symbolic* id, as a symbolic boolean
+    /// (pure dataflow; no forking).
+    pub(crate) fn pending_bit_symbolic(&self, irq: &SymWord) -> SymBool {
+        let one = self.ctx.word(1, Width::W1);
+        self.pending.select(irq).eq(&one)
+    }
+
+    /// Reads one 32-bit register word of a flag bitmap (the TLM view):
+    /// bit `b` of word `w` is flag `32 * w + b`.
+    pub(crate) fn bitmap_register_word(&self, map: &SymArray, word: &SymWord) -> SymWord {
+        let ctx = &self.ctx;
+        let words = self.config.bitmap_words() as u32;
+        let mut out = ctx.word32(0);
+        for w in 0..words {
+            // Compose bits 31..0 of this register word, MSB first.
+            let mut composed: Option<SymWord> = None;
+            for b in (0..32).rev() {
+                let flag = (w * 32 + b) as usize;
+                let bit = if flag < map.len() {
+                    map.get(flag).clone()
+                } else {
+                    ctx.word(0, Width::W1)
+                };
+                composed = Some(match composed {
+                    None => bit,
+                    Some(c) => c.concat(&bit),
+                });
+            }
+            let composed = composed.expect("32 bits composed");
+            let here = word.eq(&ctx.word32(w));
+            out = composed.select(&here, &out);
+        }
+        out
+    }
+
+    /// Writes one 32-bit register word of a flag bitmap (the TLM view).
+    pub(crate) fn bitmap_register_write(
+        map: &mut SymArray,
+        config: &PlicConfig,
+        word: &SymWord,
+        value: &SymWord,
+        ctx: &SymCtx,
+    ) {
+        let words = config.bitmap_words() as u32;
+        for w in 0..words {
+            let here = word.eq(&ctx.word32(w));
+            for b in 0..32 {
+                let flag = (w * 32 + b) as usize;
+                if flag >= map.len() {
+                    break;
+                }
+                let bit = value.extract(b, b);
+                let merged = bit.select(&here, map.get(flag));
+                map.set(flag, merged);
+            }
+        }
+    }
+
+    // ----- interrupt selection (pure dataflow, no forking) -----
+
+    /// The highest-priority pending *and enabled* interrupt for `hart`,
+    /// with ties broken toward the lowest id (the RISC-V PLIC rule).
+    /// Returns id 0 when nothing is eligible. `consider_threshold`
+    /// additionally requires the priority to exceed the HART's threshold
+    /// (the delivery check; claiming ignores the threshold).
+    pub(crate) fn next_pending_interrupt(
+        &self,
+        hart: usize,
+        consider_threshold: bool,
+    ) -> SymWord {
+        let ctx = &self.ctx;
+        let zero = ctx.word32(0);
+        let mut best_id = zero.clone();
+        let mut best_prio = zero.clone();
+        for irq in 1..=self.config.sources {
+            let prio = self.priorities.get(irq as usize);
+            let pend = self.pending_bit(irq);
+            let enab = self.enabled_bit(hart, irq);
+            let mut eligible = pend.and(&enab).and(&prio.ugt(&zero));
+            if consider_threshold {
+                // IF6 misreads the spec: `>=` instead of strictly greater.
+                let passes = if self.config.has_fault(InjectedFault::If6ThresholdOffByOne) {
+                    prio.uge(&self.threshold[hart])
+                } else {
+                    prio.ugt(&self.threshold[hart])
+                };
+                eligible = eligible.and(&passes);
+            }
+            // Strictly-greater keeps the earlier (lower) id on ties.
+            let better = eligible.and(&prio.ugt(&best_prio));
+            let id_const = ctx.word32(irq);
+            best_id = id_const.select(&better, &best_id);
+            best_prio = prio.select(&better, &best_prio);
+        }
+        best_id
+    }
+
+    /// Whether any interrupt is deliverable to `hart` right now.
+    pub(crate) fn has_pending_enabled_interrupt(&self, hart: usize) -> SymBool {
+        let zero = self.ctx.word32(0);
+        self.next_pending_interrupt(hart, true).ne(&zero)
+    }
+
+    // ----- gateway (paper Fig. 1: trigger_interrupt) -----
+
+    /// An external interrupt line fires. This is the
+    /// `gateway_trigger_interrupt` of the VP: validate the id, set the
+    /// pending bit, and notify `e_run` one clock cycle later.
+    pub(crate) fn gateway_trigger(&mut self, kernel: &mut Kernel, irq: &SymWord) {
+        let ctx = self.ctx.clone();
+        let one = ctx.word32(1);
+        // IF1 widens the accepted range by one.
+        let bound = if self.config.has_fault(InjectedFault::If1OffByOneGateway) {
+            self.config.sources + 1
+        } else {
+            self.config.sources
+        };
+        let upper = ctx.word32(bound);
+        let valid = irq.uge(&one).and(&irq.ule(&upper));
+        match self.config.variant {
+            PlicVariant::Faithful => {
+                // F1: a plain assert. Under verification this aborts the
+                // model; in a release build it would corrupt memory.
+                if ctx.decide(&valid.not()) {
+                    panic!("assertion failed: interrupt id out of range in trigger_interrupt");
+                }
+            }
+            PlicVariant::Fixed => {
+                if ctx.decide(&valid.not()) {
+                    return; // repaired: invalid ids are ignored
+                }
+            }
+        }
+
+        // The conceptual pending array holds ids 0..=sources; anything
+        // beyond is a buffer overflow (reachable only through IF1).
+        let n = ctx.word32(self.config.sources);
+        if ctx.decide(&irq.ugt(&n)) {
+            ctx.fail(
+                ErrorKind::OutOfBounds,
+                "write past the end of the pending-interrupt array",
+            );
+        }
+
+        self.set_pending(irq);
+
+        // IF2 drops the notification for id 13 (pending bit already set).
+        if self.config.has_fault(InjectedFault::If2DropNotifyId13) {
+            let thirteen = ctx.word32(13);
+            if ctx.decide(&irq.eq(&thirteen)) {
+                return;
+            }
+        }
+
+        // IF4 stretches the delivery latency for high ids.
+        let mut delay = self.config.clock_cycle;
+        if self.config.has_fault(InjectedFault::If4LateNotifyHighIds) {
+            let boundary = ctx.word32(self.config.if4_boundary());
+            if ctx.decide(&irq.ugt(&boundary)) {
+                delay = delay * 10;
+            }
+        }
+        kernel.notify(self.e_run, NotifyKind::Timed(delay));
+    }
+
+    // ----- claim / complete (the per-HART claim_response register) -----
+
+    /// A read of `claim_response` by `hart`: returns the best claimable
+    /// interrupt (ignoring the threshold, per the PLIC spec) and clears
+    /// its pending bit. Returns id 0 when nothing is pending.
+    pub(crate) fn claim(&mut self, hart: usize) -> SymWord {
+        let best = self.next_pending_interrupt(hart, false);
+        let zero = self.ctx.word32(0);
+        let claimed = best.ne(&zero);
+        if self.ctx.decide(&claimed) {
+            self.clear_pending(&best.clone());
+        }
+        best
+    }
+
+    /// A write of `claim_response` by `hart`: the HART signals completion
+    /// of the interrupt it claimed. Clears `hart_eip` and re-notifies
+    /// `e_run` so remaining pending interrupts are re-evaluated.
+    pub(crate) fn complete(&mut self, kernel: &mut Kernel, hart: usize, _completed_id: &SymWord) {
+        if self.config.variant == PlicVariant::Faithful {
+            // F6: "previously thought never to be false". A completion
+            // racing ahead of the PLIC thread (trigger, then write, before
+            // the thread was scheduled) reaches this with eip still clear.
+            assert!(
+                self.hart_eip[hart],
+                "assertion failed: claim_response written without external interrupt in flight"
+            );
+        }
+        self.hart_eip[hart] = false;
+        if self.config.has_fault(InjectedFault::If3SkipRetrigger) {
+            return; // injected bug: remaining interrupts never re-trigger
+        }
+        // IF2 breaks the notification logic for id-13 interrupts wherever
+        // it runs: the completion re-trigger is also lost when the next
+        // deliverable interrupt is 13.
+        if self.config.has_fault(InjectedFault::If2DropNotifyId13) {
+            let best = self.next_pending_interrupt(hart, false);
+            let thirteen = self.ctx.word32(13);
+            let ctx = self.ctx.clone();
+            if ctx.decide(&best.eq(&thirteen)) {
+                return;
+            }
+        }
+        kernel.notify(self.e_run, NotifyKind::Timed(self.config.clock_cycle));
+    }
+
+    // ----- the run-thread body (paper Fig. 3, lines 4-10) -----
+
+    /// One activation of the PLIC main loop: for every HART, deliver an
+    /// external interrupt notification if one is due and none is in
+    /// flight — exactly the `for (unsigned i = 0; i < NumberCores; ++i)`
+    /// loop of the original thread.
+    pub(crate) fn run_body(&mut self) {
+        for hart in 0..self.config.harts as usize {
+            if self.hart_eip[hart] {
+                continue;
+            }
+            let due = self.has_pending_enabled_interrupt(hart);
+            if self.ctx.decide(&due) {
+                self.hart_eip[hart] = true;
+                if let Some(target) = &self.targets[hart] {
+                    target.borrow_mut().trigger_external_interrupt();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_symex::Explorer;
+
+    fn mk_state(ctx: &SymCtx, config: PlicConfig) -> (PlicState, Kernel) {
+        let mut kernel = Kernel::new();
+        let e_run = kernel.create_event("e_run");
+        (PlicState::new(ctx, config, e_run), kernel)
+    }
+
+    fn enable_all(st: &mut PlicState, ctx: &SymCtx, hart: usize) {
+        for f in 1..st.enabled[hart].len() {
+            st.enabled[hart].set(f, ctx.word(1, Width::W1));
+        }
+    }
+
+    #[test]
+    fn pending_bit_round_trip_concrete() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            let irq = ctx.word32(33); // second bitmap word
+            st.set_pending(&irq);
+            ctx.check(&st.pending_bit(33), "bit 33 set");
+            ctx.check(&st.pending_bit(32).not(), "bit 32 clear");
+            st.clear_pending(&irq);
+            ctx.check(&st.pending_bit(33).not(), "bit 33 cleared");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn pending_bit_round_trip_symbolic() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            let irq = ctx.symbolic("irq", Width::W32);
+            ctx.assume(&irq.uge(&ctx.word32(1)));
+            ctx.assume(&irq.ule(&ctx.word32(51)));
+            st.set_pending(&irq);
+            ctx.check(&st.pending_bit_symbolic(&irq), "symbolic pending bit set");
+        });
+        assert!(report.passed());
+        assert_eq!(report.stats.paths, 1, "bitmap ops must not fork");
+    }
+
+    #[test]
+    fn bitmap_register_view_matches_flags() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(1));
+            st.set_pending(&ctx.word32(33));
+            let w0 = st.bitmap_register_word(&st.pending.clone(), &ctx.word32(0));
+            let w1 = st.bitmap_register_word(&st.pending.clone(), &ctx.word32(1));
+            ctx.check(&w0.eq(&ctx.word32(1 << 1)), "word 0 holds bit 1");
+            ctx.check(&w1.eq(&ctx.word32(1 << 1)), "word 1 holds bit 33");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn bitmap_register_write_round_trips() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            let cfg = st.config;
+            let mut map = st.enabled[0].clone();
+            PlicState::bitmap_register_write(&mut map, &cfg, &ctx.word32(1), &ctx.word32(0x0005), ctx);
+            st.enabled[0] = map;
+            ctx.check(&st.enabled_bit(0, 32), "bit 32 set via register write");
+            ctx.check(&st.enabled_bit(0, 34), "bit 34 set via register write");
+            ctx.check(&st.enabled_bit(0, 33).not(), "bit 33 clear");
+            let w1 = st.bitmap_register_word(&st.enabled[0].clone(), &ctx.word32(1));
+            ctx.check(&w1.eq(&ctx.word32(0x0005)), "register readback");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn selection_prefers_higher_priority() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(3));
+            st.set_pending(&ctx.word32(10));
+            enable_all(&mut st, ctx, 0);
+            st.priorities.set(3, ctx.word32(1));
+            st.priorities.set(10, ctx.word32(5));
+            let best = st.next_pending_interrupt(0, false);
+            ctx.check(&best.eq(&ctx.word32(10)), "higher priority wins");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn selection_breaks_ties_by_lowest_id() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(7));
+            st.set_pending(&ctx.word32(4));
+            enable_all(&mut st, ctx, 0);
+            st.priorities.set(7, ctx.word32(3));
+            st.priorities.set(4, ctx.word32(3));
+            let best = st.next_pending_interrupt(0, false);
+            ctx.check(&best.eq(&ctx.word32(4)), "lowest id wins ties");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn priority_zero_never_interrupts() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(5));
+            enable_all(&mut st, ctx, 0);
+            // priority stays 0
+            let best = st.next_pending_interrupt(0, false);
+            ctx.check(&best.eq(&ctx.word32(0)), "priority 0 disables");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn disabled_interrupts_are_not_selected() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(5));
+            st.priorities.set(5, ctx.word32(3));
+            // enable bitmap stays 0
+            let best = st.next_pending_interrupt(0, false);
+            ctx.check(&best.eq(&ctx.word32(0)), "disabled stays silent");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn threshold_masks_delivery_but_not_claim() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(5));
+            enable_all(&mut st, ctx, 0);
+            st.priorities.set(5, ctx.word32(3));
+            st.threshold[0] = ctx.word32(3); // delivery needs strictly greater
+            let deliver = st.next_pending_interrupt(0, true);
+            ctx.check(&deliver.eq(&ctx.word32(0)), "masked by threshold");
+            let claimable = st.next_pending_interrupt(0, false);
+            ctx.check(&claimable.eq(&ctx.word32(5)), "claim ignores threshold");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn harts_have_independent_enables_and_thresholds() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310().harts(2);
+            let (mut st, _k) = mk_state(ctx, cfg);
+            st.set_pending(&ctx.word32(5));
+            st.priorities.set(5, ctx.word32(3));
+            enable_all(&mut st, ctx, 0);
+            // HART 1 keeps everything disabled.
+            let h0 = st.next_pending_interrupt(0, true);
+            let h1 = st.next_pending_interrupt(1, true);
+            ctx.check(&h0.eq(&ctx.word32(5)), "hart 0 sees irq 5");
+            ctx.check(&h1.eq(&ctx.word32(0)), "hart 1 sees nothing");
+
+            // Enable on hart 1 too, but mask with its threshold.
+            enable_all(&mut st, ctx, 1);
+            st.threshold[1] = ctx.word32(5);
+            let h1 = st.next_pending_interrupt(1, true);
+            ctx.check(&h1.eq(&ctx.word32(0)), "hart 1 masked by its threshold");
+            let h0 = st.next_pending_interrupt(0, true);
+            ctx.check(&h0.eq(&ctx.word32(5)), "hart 0 unaffected");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn faithful_gateway_asserts_on_invalid_id() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, mut k) = mk_state(ctx, PlicConfig::fe310());
+            let irq = ctx.symbolic("irq", Width::W32);
+            ctx.assume(&irq.ule(&ctx.word32(60)));
+            st.gateway_trigger(&mut k, &irq);
+        });
+        // F1: the validity assert fires (id 0 or 52..=60).
+        assert_eq!(report.distinct_errors().len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::ModelPanic);
+        let bad = report.errors[0].counterexample.value("irq");
+        assert!(bad == 0 || bad > 51, "counterexample {bad} is invalid");
+    }
+
+    #[test]
+    fn fixed_gateway_ignores_invalid_id() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
+            let (mut st, mut k) = mk_state(ctx, cfg);
+            let irq = ctx.symbolic("irq", Width::W32);
+            st.gateway_trigger(&mut k, &irq);
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn if1_overflows_the_pending_array() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310()
+                .variant(PlicVariant::Fixed)
+                .fault(InjectedFault::If1OffByOneGateway);
+            let (mut st, mut k) = mk_state(ctx, cfg);
+            let irq = ctx.symbolic("irq", Width::W32);
+            st.gateway_trigger(&mut k, &irq);
+        });
+        assert_eq!(report.distinct_errors().len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::OutOfBounds);
+        assert_eq!(report.errors[0].counterexample.value("irq"), 52);
+    }
+
+    #[test]
+    fn claim_returns_and_clears_best() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
+            st.set_pending(&ctx.word32(9));
+            enable_all(&mut st, ctx, 0);
+            st.priorities.set(9, ctx.word32(2));
+            let got = st.claim(0);
+            ctx.check(&got.eq(&ctx.word32(9)), "claims the pending irq");
+            ctx.check(&st.pending_bit(9).not(), "pending bit cleared");
+            let again = st.claim(0);
+            ctx.check(&again.eq(&ctx.word32(0)), "second claim is empty");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn faithful_complete_without_eip_is_f6() {
+        let report = Explorer::new().explore(|ctx| {
+            let (mut st, mut k) = mk_state(ctx, PlicConfig::fe310());
+            let id = ctx.word32(1);
+            st.complete(&mut k, 0, &id); // no interrupt in flight: the race
+        });
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::ModelPanic);
+        assert!(report.errors[0]
+            .message
+            .contains("without external interrupt in flight"));
+    }
+
+    #[test]
+    fn fixed_complete_without_eip_is_tolerated() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
+            let (mut st, mut k) = mk_state(ctx, cfg);
+            let id = ctx.word32(1);
+            st.complete(&mut k, 0, &id);
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn if5_leaves_id7_pending() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310()
+                .variant(PlicVariant::Fixed)
+                .fault(InjectedFault::If5EarlyClearReturn);
+            let (mut st, _k) = mk_state(ctx, cfg);
+            st.set_pending(&ctx.word32(7));
+            st.clear_pending(&ctx.word32(7));
+            ctx.check(&st.pending_bit(7).not(), "id 7 must clear");
+        });
+        assert!(!report.passed(), "IF5 must be observable");
+    }
+
+    #[test]
+    fn if6_delivers_at_equal_threshold() {
+        let report = Explorer::new().explore(|ctx| {
+            let cfg = PlicConfig::fe310()
+                .variant(PlicVariant::Fixed)
+                .fault(InjectedFault::If6ThresholdOffByOne);
+            let (mut st, _k) = mk_state(ctx, cfg);
+            st.set_pending(&ctx.word32(5));
+            enable_all(&mut st, ctx, 0);
+            st.priorities.set(5, ctx.word32(3));
+            st.threshold[0] = ctx.word32(3);
+            let deliver = st.next_pending_interrupt(0, true);
+            ctx.check(
+                &deliver.eq(&ctx.word32(0)),
+                "equal priority must be masked by the threshold",
+            );
+        });
+        assert!(!report.passed(), "IF6 must be observable");
+    }
+}

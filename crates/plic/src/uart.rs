@@ -1,0 +1,492 @@
+//! A SiFive-style UART TLM peripheral (third IP block).
+//!
+//! Extends the case study beyond the interrupt controller (the paper's
+//! future work): a transmit path with an 8-entry FIFO drained by a PK
+//! process at a programmable rate, and a watermark interrupt — the
+//! register interface of the FE310 UART, word-granular subset:
+//!
+//! | offset | register | access | layout |
+//! |--------|----------|--------|--------|
+//! | 0x00   | `txdata` | RW     | write: enqueue byte; read: bit 31 = FIFO full |
+//! | 0x08   | `txctrl` | RW     | bit 0 = txen, bits 18:16 = watermark |
+//! | 0x10   | `ie`     | RW     | bit 0 = txwm interrupt enable |
+//! | 0x14   | `ip`     | RO     | bit 0 = txwm pending (level < watermark) |
+//! | 0x18   | `div`    | RW     | baud divisor (cycles per byte) |
+//!
+//! The transmit FIFO level is *concrete* per path (it changes only through
+//! writes and the drain process), while the configuration registers may be
+//! symbolic — the same split the PLIC uses (`hart_eip` concrete, registers
+//! symbolic).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use symsc_pk::{Event, Kernel, NotifyKind, Process, ProcessCtx, SimTime, Suspend};
+use symsc_symex::{SymCtx, SymWord, Width};
+use symsc_tlm::{
+    Access, BlockingTransport, CheckMode, GenericPayload, RegisterBank, RegisterModel,
+};
+
+use crate::plic::InterruptTarget;
+
+/// Transmit FIFO capacity (the FE310's is 8 entries).
+pub const TX_FIFO_DEPTH: usize = 8;
+
+/// Byte offset of `txdata`.
+pub const TXDATA: u64 = 0x00;
+/// Byte offset of `txctrl`.
+pub const TXCTRL: u64 = 0x08;
+/// Byte offset of `ie`.
+pub const IE: u64 = 0x10;
+/// Byte offset of `ip`.
+pub const IP: u64 = 0x14;
+/// Byte offset of `div`.
+pub const DIV: u64 = 0x18;
+
+const REGION_TXDATA: usize = 0;
+const REGION_TXCTRL: usize = 1;
+const REGION_IE: usize = 2;
+const REGION_IP: usize = 3;
+const REGION_DIV: usize = 4;
+
+struct UartState {
+    ctx: SymCtx,
+    e_tx: Event,
+    /// Transmitted bytes, in order (observable by testbenches).
+    sent: Vec<SymWord>,
+    fifo: VecDeque<SymWord>,
+    txctrl: SymWord,
+    ie: SymWord,
+    /// Concretized cycles-per-byte (feeds concrete kernel time).
+    div_cycles: u64,
+    /// Interrupt line level (level-triggered toward the PLIC/CPU).
+    irq_line: bool,
+    irq_target: Option<Rc<RefCell<dyn InterruptTarget>>>,
+}
+
+impl UartState {
+    fn tx_enabled(&self) -> bool {
+        let one = self.ctx.word32(1);
+        let bit = self.txctrl.and(&one).eq(&one);
+        self.ctx.decide(&bit)
+    }
+
+    /// The configured watermark (bits 18:16 of txctrl), as a symbolic word.
+    fn watermark(&self) -> SymWord {
+        self.txctrl.extract(18, 16).zero_ext(Width::W32)
+    }
+
+    /// Whether the txwm condition holds: FIFO level strictly below the
+    /// watermark (the FE310 rule).
+    fn txwm_pending(&self) -> bool {
+        let level = self.ctx.word32(self.fifo.len() as u32);
+        let below = level.ult(&self.watermark());
+        self.ctx.decide(&below)
+    }
+
+    fn irq_enabled(&self) -> bool {
+        let one = self.ctx.word32(1);
+        let bit = self.ie.and(&one).eq(&one);
+        self.ctx.decide(&bit)
+    }
+
+    /// Re-evaluates the level-triggered interrupt line, notifying the
+    /// target on a rising edge.
+    fn update_irq(&mut self) {
+        let level = self.txwm_pending() && self.irq_enabled();
+        if level && !self.irq_line {
+            if let Some(t) = &self.irq_target {
+                t.borrow_mut().trigger_external_interrupt();
+            }
+        }
+        self.irq_line = level;
+    }
+}
+
+/// The transmit drain process: every `div` cycles, send one FIFO byte.
+struct TxThread {
+    state: Rc<RefCell<UartState>>,
+    started: bool,
+}
+
+impl Process for TxThread {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_>) -> Suspend {
+        let e_tx = self.state.borrow().e_tx;
+        if !self.started {
+            self.started = true;
+            return Suspend::WaitEvent(e_tx);
+        }
+        let mut st = self.state.borrow_mut();
+        if !st.tx_enabled() {
+            return Suspend::WaitEvent(e_tx);
+        }
+        if let Some(byte) = st.fifo.pop_front() {
+            st.sent.push(byte);
+            st.update_irq();
+        }
+        if st.fifo.is_empty() {
+            Suspend::WaitEvent(e_tx)
+        } else {
+            let cycles = st.div_cycles.max(1);
+            drop(st);
+            let _ = ctx; // time comes from the wait below
+            Suspend::WaitTime(SimTime::from_ns(cycles))
+        }
+    }
+}
+
+/// The UART peripheral.
+///
+/// # Example
+///
+/// ```
+/// use symsc_pk::{Kernel, SimTime};
+/// use symsc_plic::Uart;
+/// use symsc_symex::Explorer;
+/// use symsc_tlm::{BlockingTransport, GenericPayload};
+///
+/// let report = Explorer::new().explore(|ctx| {
+///     let mut kernel = Kernel::new();
+///     let mut uart = Uart::new(ctx, &mut kernel);
+///     kernel.step();
+///     // Enable TX and write a byte.
+///     let mut en = GenericPayload::write(ctx, ctx.word32(0x08), 4);
+///     en.set_word(0, ctx.word32(1));
+///     uart.b_transport(ctx, &mut kernel, &mut en);
+///     let mut tx = GenericPayload::write(ctx, ctx.word32(0x00), 4);
+///     tx.set_word(0, ctx.word32(b'A' as u32));
+///     uart.b_transport(ctx, &mut kernel, &mut tx);
+///     kernel.run_until(SimTime::from_ns(100));
+///     assert_eq!(uart.sent_count(), 1);
+/// });
+/// assert!(report.passed());
+/// ```
+pub struct Uart {
+    state: Rc<RefCell<UartState>>,
+    bank: RegisterBank,
+}
+
+impl std::fmt::Debug for Uart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("Uart")
+            .field("fifo_level", &st.fifo.len())
+            .field("sent", &st.sent.len())
+            .field("irq_line", &st.irq_line)
+            .finish()
+    }
+}
+
+impl Uart {
+    /// Instantiates the UART and spawns its transmit process.
+    pub fn new(ctx: &SymCtx, kernel: &mut Kernel) -> Uart {
+        let e_tx = kernel.create_event("uart.e_tx");
+        let state = Rc::new(RefCell::new(UartState {
+            ctx: ctx.clone(),
+            e_tx,
+            sent: Vec::new(),
+            fifo: VecDeque::new(),
+            txctrl: ctx.word32(0),
+            ie: ctx.word32(0),
+            div_cycles: 10,
+            irq_line: false,
+            irq_target: None,
+        }));
+        kernel.spawn(
+            "uart.tx",
+            TxThread {
+                state: state.clone(),
+                started: false,
+            },
+        );
+        let bank = RegisterBank::new(CheckMode::TlmError)
+            .region("txdata", TXDATA, 1, Access::ReadWrite)
+            .region("txctrl", TXCTRL, 1, Access::ReadWrite)
+            .region("ie", IE, 1, Access::ReadWrite)
+            .region("ip", IP, 1, Access::ReadOnly)
+            .region("div", DIV, 1, Access::ReadWrite);
+        Uart { state, bank }
+    }
+
+    /// Connects the txwm interrupt line (e.g. to a PLIC gateway bridge).
+    pub fn connect_irq(&self, target: Rc<RefCell<dyn InterruptTarget>>) {
+        self.state.borrow_mut().irq_target = Some(target);
+    }
+
+    /// Number of bytes fully transmitted so far.
+    pub fn sent_count(&self) -> usize {
+        self.state.borrow().sent.len()
+    }
+
+    /// The `index`-th transmitted byte (low 8 bits of the written word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sent_count()`.
+    pub fn sent_byte(&self, index: usize) -> SymWord {
+        self.state.borrow().sent[index].clone()
+    }
+
+    /// Current transmit-FIFO fill level.
+    pub fn fifo_level(&self) -> usize {
+        self.state.borrow().fifo.len()
+    }
+
+    /// Whether the interrupt line is currently raised.
+    pub fn irq_line(&self) -> bool {
+        self.state.borrow().irq_line
+    }
+}
+
+struct UartRegs {
+    state: Rc<RefCell<UartState>>,
+}
+
+impl RegisterModel for UartRegs {
+    fn read_word(
+        &mut self,
+        ctx: &SymCtx,
+        _kernel: &mut Kernel,
+        region: usize,
+        _word_index: &SymWord,
+    ) -> SymWord {
+        let st = self.state.borrow();
+        match region {
+            REGION_TXDATA => {
+                // bit 31 = FIFO full; data reads as zero (TX-only register).
+                if st.fifo.len() >= TX_FIFO_DEPTH {
+                    ctx.word32(1 << 31)
+                } else {
+                    ctx.word32(0)
+                }
+            }
+            REGION_TXCTRL => st.txctrl.clone(),
+            REGION_IE => st.ie.clone(),
+            REGION_IP => {
+                drop(st);
+                let pending = self.state.borrow_mut().txwm_pending();
+                ctx.word32(u32::from(pending))
+            }
+            REGION_DIV => ctx.word32(self.state.borrow().div_cycles as u32),
+            _ => unreachable!("unknown UART region {region}"),
+        }
+    }
+
+    fn write_word(
+        &mut self,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        region: usize,
+        _word_index: &SymWord,
+        value: &SymWord,
+    ) {
+        let mut st = self.state.borrow_mut();
+        match region {
+            REGION_TXDATA => {
+                if st.fifo.len() < TX_FIFO_DEPTH {
+                    let mask = ctx.word32(0xFF);
+                    st.fifo.push_back(value.and(&mask));
+                    let e_tx = st.e_tx;
+                    kernel.notify(e_tx, NotifyKind::Timed(SimTime::from_ns(st.div_cycles)));
+                    st.update_irq();
+                }
+                // Writing a full FIFO silently drops (FE310 behavior).
+            }
+            REGION_TXCTRL => {
+                st.txctrl = value.clone();
+                st.update_irq();
+                if st.tx_enabled() && !st.fifo.is_empty() {
+                    let e_tx = st.e_tx;
+                    kernel.notify(e_tx, NotifyKind::Timed(SimTime::from_ns(st.div_cycles)));
+                }
+            }
+            REGION_IE => {
+                st.ie = value.clone();
+                st.update_irq();
+            }
+            REGION_IP => unreachable!("ip is read-only"),
+            REGION_DIV => {
+                // Feeds concrete kernel time: concretize (KLEE-style).
+                st.div_cycles = value.concretize().max(1);
+            }
+            _ => unreachable!("unknown UART region {region}"),
+        }
+    }
+}
+
+impl BlockingTransport for Uart {
+    fn b_transport(&mut self, ctx: &SymCtx, kernel: &mut Kernel, payload: &mut GenericPayload) {
+        let mut regs = UartRegs {
+            state: self.state.clone(),
+        };
+        self.bank.transport(&mut regs, ctx, kernel, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_symex::Explorer;
+
+    struct Line {
+        raised: u32,
+    }
+    impl InterruptTarget for Line {
+        fn trigger_external_interrupt(&mut self) {
+            self.raised += 1;
+        }
+    }
+
+    fn write_reg(ctx: &SymCtx, kernel: &mut Kernel, uart: &mut Uart, addr: u32, value: u32) {
+        let mut p = GenericPayload::write(ctx, ctx.word32(addr), 4);
+        p.set_word(0, ctx.word32(value));
+        uart.b_transport(ctx, kernel, &mut p);
+        assert!(p.response.is_ok(), "write {addr:#x}");
+    }
+
+    fn read_reg(ctx: &SymCtx, kernel: &mut Kernel, uart: &mut Uart, addr: u32) -> SymWord {
+        let mut p = GenericPayload::read(ctx, ctx.word32(addr), 4);
+        uart.b_transport(ctx, kernel, &mut p);
+        assert!(p.response.is_ok(), "read {addr:#x}");
+        p.word(0).clone()
+    }
+
+    #[test]
+    fn transmits_bytes_in_order() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            kernel.step();
+            write_reg(ctx, &mut kernel, &mut uart, TXCTRL as u32, 1);
+            for b in [b'h', b'i', b'!'] {
+                write_reg(ctx, &mut kernel, &mut uart, TXDATA as u32, b as u32);
+            }
+            kernel.run_until(SimTime::from_ns(1000));
+            assert_eq!(uart.sent_count(), 3);
+            for (i, b) in [b'h', b'i', b'!'].iter().enumerate() {
+                ctx.check(
+                    &uart.sent_byte(i).eq(&ctx.word32(*b as u32)),
+                    "bytes leave in FIFO order",
+                );
+            }
+            assert_eq!(uart.fifo_level(), 0);
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn tx_disabled_holds_the_fifo() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            kernel.step();
+            write_reg(ctx, &mut kernel, &mut uart, TXDATA as u32, 42);
+            kernel.run_until(SimTime::from_ns(500));
+            assert_eq!(uart.sent_count(), 0, "txen is off");
+            assert_eq!(uart.fifo_level(), 1);
+            // Enabling drains it.
+            write_reg(ctx, &mut kernel, &mut uart, TXCTRL as u32, 1);
+            kernel.run_until(SimTime::from_ns(1000));
+            assert_eq!(uart.sent_count(), 1);
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn fifo_full_flag_and_overflow_drop() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            kernel.step();
+            // Fill the FIFO without enabling TX.
+            for b in 0..TX_FIFO_DEPTH as u32 + 2 {
+                write_reg(ctx, &mut kernel, &mut uart, TXDATA as u32, b);
+            }
+            assert_eq!(uart.fifo_level(), TX_FIFO_DEPTH, "overflow drops");
+            let txdata = read_reg(ctx, &mut kernel, &mut uart, TXDATA as u32);
+            ctx.check(&txdata.eq(&ctx.word32(1 << 31)), "full flag set");
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn watermark_interrupt_fires_when_level_drops_below() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            let line = Rc::new(RefCell::new(Line { raised: 0 }));
+            uart.connect_irq(line.clone());
+            kernel.step();
+
+            // watermark = 2 (bits 18:16), txen = 1; ie = txwm.
+            write_reg(ctx, &mut kernel, &mut uart, IE as u32, 1);
+            // 3 bytes queued -> level 3 >= watermark 2: no interrupt yet.
+            for b in 0..3u32 {
+                write_reg(ctx, &mut kernel, &mut uart, TXDATA as u32, b);
+            }
+            write_reg(ctx, &mut kernel, &mut uart, TXCTRL as u32, 1 | (2 << 16));
+            assert_eq!(line.borrow().raised, 0, "level 3 not below watermark 2");
+
+            // Drain: once level drops to 1 (< 2), the line rises.
+            kernel.run_until(SimTime::from_ns(1000));
+            assert!(uart.sent_count() == 3);
+            assert_eq!(line.borrow().raised, 1, "one rising edge");
+            assert!(uart.irq_line(), "level-triggered line stays up");
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn ip_register_reflects_watermark_condition() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            kernel.step();
+            // Empty FIFO, watermark 1 -> pending.
+            write_reg(ctx, &mut kernel, &mut uart, TXCTRL as u32, 1 << 16);
+            let ip = read_reg(ctx, &mut kernel, &mut uart, IP as u32);
+            ctx.check(&ip.eq(&ctx.word32(1)), "0 < watermark 1");
+            // Watermark 0 -> never pending.
+            write_reg(ctx, &mut kernel, &mut uart, TXCTRL as u32, 0);
+            let ip = read_reg(ctx, &mut kernel, &mut uart, IP as u32);
+            ctx.check(&ip.eq(&ctx.word32(0)), "level never below 0");
+        });
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn symbolic_watermark_verification() {
+        // For ANY watermark w in 0..=7 and an empty FIFO after draining
+        // one byte, the pending bit must equal (0 < w) — verified
+        // symbolically across all configurations at once.
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut uart = Uart::new(ctx, &mut kernel);
+            kernel.step();
+
+            let w = ctx.symbolic("watermark", Width::W32);
+            ctx.assume(&w.ule(&ctx.word32(7)));
+            let shifted = w.shl(&ctx.word32(16)).or(&ctx.word32(1)); // txen | w<<16
+            let mut p = GenericPayload::write(ctx, ctx.word32(TXCTRL as u32), 4);
+            p.set_word(0, shifted);
+            uart.b_transport(ctx, &mut kernel, &mut p);
+            assert!(p.response.is_ok());
+
+            write_reg(ctx, &mut kernel, &mut uart, TXDATA as u32, 7);
+            kernel.run_until(SimTime::from_ns(200));
+            assert_eq!(uart.sent_count(), 1);
+
+            let ip = read_reg(ctx, &mut kernel, &mut uart, IP as u32);
+            let zero = ctx.word32(0);
+            let expected_pending = zero.ult(&w); // level 0 < watermark?
+            let one = ctx.word32(1);
+            let got_pending = ip.eq(&one);
+            let agree = expected_pending
+                .implies(&got_pending)
+                .and(&got_pending.implies(&expected_pending));
+            ctx.check(&agree, "ip == (level < watermark) for every watermark");
+        });
+        assert!(report.passed(), "{report}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Concrete evaluation of terms under a variable assignment.
+//!
+//! Used to verify solver models, to replay counterexamples, and as the
+//! ground-truth oracle for the property tests that check the bit-blaster.
+
+use std::collections::HashMap;
+
+use crate::term::{Term, TermId, TermPool};
+
+/// Evaluates `root` under `assignment` (variable name → value).
+///
+/// Variables absent from the assignment evaluate to zero, matching the
+/// solver's treatment of don't-care variables.
+///
+/// The traversal is iterative, so arbitrarily deep terms (as produced by
+/// long symbolic-execution paths) cannot overflow the stack.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashMap;
+/// use symsc_smt::{TermPool, Width};
+/// use symsc_smt::eval::evaluate;
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.var("x", Width::W32);
+/// let one = pool.constant(1, Width::W32);
+/// let succ = pool.add(x, one);
+/// let mut env = HashMap::new();
+/// env.insert("x".to_string(), 41u64);
+/// assert_eq!(evaluate(&pool, succ, &env), 42);
+/// ```
+pub fn evaluate(pool: &TermPool, root: TermId, assignment: &HashMap<String, u64>) -> u64 {
+    let mut memo: HashMap<TermId, u64> = HashMap::new();
+    // Visited guard: terms are shared DAGs; without it, nodes reachable
+    // through many parents are re-expanded exponentially.
+    let mut visited: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+    let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+
+    while let Some((id, children_done)) = stack.pop() {
+        if memo.contains_key(&id) {
+            continue;
+        }
+        let term = pool.term(id);
+        if !children_done {
+            if !visited.insert(id) {
+                // Already expanded once; it will be (or was) computed when
+                // its queued (id, true) entry pops.
+                continue;
+            }
+            stack.push((id, true));
+            match *term {
+                Term::Const { .. } | Term::Var { .. } => {}
+                Term::Not(a) | Term::Neg(a) => stack.push((a, false)),
+                Term::And(a, b)
+                | Term::Or(a, b)
+                | Term::Xor(a, b)
+                | Term::Add(a, b)
+                | Term::Sub(a, b)
+                | Term::Mul(a, b)
+                | Term::Udiv(a, b)
+                | Term::Urem(a, b)
+                | Term::Shl(a, b)
+                | Term::Lshr(a, b)
+                | Term::Ashr(a, b)
+                | Term::Eq(a, b)
+                | Term::Ult(a, b)
+                | Term::Ule(a, b)
+                | Term::Slt(a, b)
+                | Term::Sle(a, b)
+                | Term::Concat(a, b) => {
+                    stack.push((a, false));
+                    stack.push((b, false));
+                }
+                Term::Ite(c, t, e) => {
+                    stack.push((c, false));
+                    stack.push((t, false));
+                    stack.push((e, false));
+                }
+                Term::ZeroExt { arg, .. }
+                | Term::SignExt { arg, .. }
+                | Term::Extract { arg, .. } => stack.push((arg, false)),
+            }
+            continue;
+        }
+
+        let width = pool.width(id);
+        let get = |x: TermId| memo[&x];
+        let value = match *term {
+            Term::Const { value, .. } => value,
+            Term::Var { ref name, .. } => {
+                width.truncate(assignment.get(&**name as &str).copied().unwrap_or(0))
+            }
+            Term::Not(a) => !get(a),
+            Term::Neg(a) => get(a).wrapping_neg(),
+            Term::And(a, b) => get(a) & get(b),
+            Term::Or(a, b) => get(a) | get(b),
+            Term::Xor(a, b) => get(a) ^ get(b),
+            Term::Add(a, b) => get(a).wrapping_add(get(b)),
+            Term::Sub(a, b) => get(a).wrapping_sub(get(b)),
+            Term::Mul(a, b) => get(a).wrapping_mul(get(b)),
+            Term::Udiv(a, b) => {
+                let d = get(b);
+                if d == 0 {
+                    width.mask()
+                } else {
+                    get(a) / d
+                }
+            }
+            Term::Urem(a, b) => {
+                let d = get(b);
+                if d == 0 {
+                    get(a)
+                } else {
+                    get(a) % d
+                }
+            }
+            Term::Shl(a, b) => {
+                let s = get(b);
+                if s >= u64::from(width.bits()) {
+                    0
+                } else {
+                    get(a) << s
+                }
+            }
+            Term::Lshr(a, b) => {
+                let s = get(b);
+                if s >= u64::from(width.bits()) {
+                    0
+                } else {
+                    get(a) >> s
+                }
+            }
+            Term::Ashr(a, b) => {
+                let aw = pool.width(a);
+                let sx = aw.sign_extend_to_64(get(a)) as i64;
+                let s = get(b).min(63);
+                (sx >> s) as u64
+            }
+            Term::Eq(a, b) => u64::from(get(a) == get(b)),
+            Term::Ult(a, b) => u64::from(get(a) < get(b)),
+            Term::Ule(a, b) => u64::from(get(a) <= get(b)),
+            Term::Slt(a, b) => {
+                let w = pool.width(a);
+                u64::from(
+                    (w.sign_extend_to_64(get(a)) as i64) < (w.sign_extend_to_64(get(b)) as i64),
+                )
+            }
+            Term::Sle(a, b) => {
+                let w = pool.width(a);
+                u64::from(
+                    (w.sign_extend_to_64(get(a)) as i64) <= (w.sign_extend_to_64(get(b)) as i64),
+                )
+            }
+            Term::Ite(c, t, e) => {
+                if get(c) == 1 {
+                    get(t)
+                } else {
+                    get(e)
+                }
+            }
+            Term::ZeroExt { arg, .. } => get(arg),
+            Term::SignExt { arg, .. } => {
+                let aw = pool.width(arg);
+                aw.sign_extend_to_64(get(arg))
+            }
+            Term::Extract { arg, lo, .. } => get(arg) >> lo,
+            Term::Concat(a, b) => {
+                let wl = pool.width(b);
+                (get(a) << wl.bits()) | get(b)
+            }
+        };
+        memo.insert(id, width.truncate(value));
+    }
+
+    memo[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Width;
+
+    fn env(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W16);
+        let y = p.var("y", Width::W16);
+        let prod = p.mul(x, y);
+        let sum = p.add(prod, x);
+        assert_eq!(evaluate(&p, sum, &env(&[("x", 3), ("y", 5)])), 18);
+    }
+
+    #[test]
+    fn missing_variables_default_to_zero() {
+        let mut p = TermPool::new();
+        let x = p.var("missing", Width::W32);
+        let one = p.constant(1, Width::W32);
+        let s = p.add(x, one);
+        assert_eq!(evaluate(&p, s, &HashMap::new()), 1);
+    }
+
+    #[test]
+    fn evaluates_predicates_and_ite() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W8);
+        let ten = p.constant(10, Width::W8);
+        let small = p.ult(x, ten);
+        let a = p.constant(1, Width::W8);
+        let b = p.constant(2, Width::W8);
+        let sel = p.ite(small, a, b);
+        assert_eq!(evaluate(&p, sel, &env(&[("x", 5)])), 1);
+        assert_eq!(evaluate(&p, sel, &env(&[("x", 50)])), 2);
+    }
+
+    #[test]
+    fn evaluates_signed_compare() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W8);
+        let zero = p.constant(0, Width::W8);
+        let neg = p.slt(x, zero);
+        assert_eq!(evaluate(&p, neg, &env(&[("x", 0x80)])), 1);
+        assert_eq!(evaluate(&p, neg, &env(&[("x", 0x7F)])), 0);
+    }
+
+    #[test]
+    fn evaluates_structure_ops() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W8);
+        let hi = p.extract(x, 7, 4);
+        let lo = p.extract(x, 3, 0);
+        let swapped = p.concat(lo, hi);
+        assert_eq!(evaluate(&p, swapped, &env(&[("x", 0xAB)])), 0xBA);
+        let z = p.zero_ext(x, Width::W32);
+        assert_eq!(evaluate(&p, z, &env(&[("x", 0xFF)])), 0xFF);
+        let s = p.sign_ext(x, Width::W16);
+        assert_eq!(evaluate(&p, s, &env(&[("x", 0xFF)])), 0xFFFF);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut p = TermPool::new();
+        let one = p.constant(1, Width::W32);
+        let mut acc = p.var("x", Width::W32);
+        for _ in 0..50_000 {
+            acc = p.add(acc, one);
+        }
+        // Hash-consing cannot collapse this chain (each step is distinct),
+        // so this genuinely exercises the iterative traversal.
+        assert_eq!(evaluate(&p, acc, &env(&[("x", 0)])), 50_000);
+    }
+
+    #[test]
+    fn division_semantics_match_builders() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W8);
+        let y = p.var("y", Width::W8);
+        let q = p.udiv(x, y);
+        let r = p.urem(x, y);
+        assert_eq!(evaluate(&p, q, &env(&[("x", 7), ("y", 0)])), 0xFF);
+        assert_eq!(evaluate(&p, r, &env(&[("x", 7), ("y", 0)])), 7);
+        assert_eq!(evaluate(&p, q, &env(&[("x", 7), ("y", 2)])), 3);
+        assert_eq!(evaluate(&p, r, &env(&[("x", 7), ("y", 2)])), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Satisfying assignments (models) returned by the solver.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete assignment of bitvector variables, produced for satisfiable
+/// queries. Variables not mentioned were unconstrained; they read as zero.
+///
+/// # Example
+///
+/// ```
+/// use symsc_smt::{Solver, SatResult, TermPool, Width};
+/// let mut pool = TermPool::new();
+/// let x = pool.var("x", Width::W8);
+/// let c = pool.constant(7, Width::W8);
+/// let eq = pool.eq(x, c);
+/// match Solver::new().check(&pool, &[eq]) {
+///     SatResult::Sat(model) => assert_eq!(model.value_or_zero("x"), 7),
+///     SatResult::Unsat => unreachable!(),
+/// }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Inserts or replaces a variable assignment. Public so that engine
+    /// layers can assemble witness models from cached assignments.
+    pub fn insert(&mut self, name: String, value: u64) {
+        self.values.insert(name, value);
+    }
+
+    /// The value assigned to `name`, if the variable was constrained.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// The value assigned to `name`, defaulting to zero for unconstrained
+    /// variables (the solver's don't-care convention).
+    pub fn value_or_zero(&self, name: &str) -> u64 {
+        self.value(name).unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model assigns no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Converts to a `name -> value` map usable with
+    /// [`eval::evaluate`](crate::eval::evaluate).
+    pub fn to_env(&self) -> HashMap<String, u64> {
+        self.values.clone()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pairs: Vec<(&str, u64)> = self.iter().collect();
+        pairs.sort_by_key(|&(name, _)| name);
+        write!(f, "{{")?;
+        for (i, (name, value)) in pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_sorted_and_nonempty() {
+        let mut m = Model::new();
+        m.insert("b".into(), 2);
+        m.insert("a".into(), 1);
+        assert_eq!(m.to_string(), "{a = 1, b = 2}");
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn missing_values_default_to_zero() {
+        let m = Model::new();
+        assert_eq!(m.value("ghost"), None);
+        assert_eq!(m.value_or_zero("ghost"), 0);
+    }
+}

@@ -1,0 +1,944 @@
+//! A CDCL SAT solver in the MiniSat tradition.
+//!
+//! Features: two-watched-literal propagation, VSIDS variable ordering with
+//! an indexed binary heap, first-UIP conflict analysis with cheap clause
+//! minimization, phase saving, Luby-sequence restarts and activity-based
+//! learnt-clause database reduction.
+//!
+//! The solver is deliberately single-shot (no incremental interface): the
+//! SMT layer builds a fresh instance per query and memoizes whole queries
+//! instead, which matches the workload of re-execution based symbolic
+//! exploration (many small, highly similar queries).
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable; `negated` selects polarity.
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is the negative polarity.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "¬v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Assign {
+    Undef,
+    True,
+    False,
+}
+
+impl Assign {
+    fn from_bool(b: bool) -> Assign {
+        if b {
+            Assign::True
+        } else {
+            Assign::False
+        }
+    }
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Cumulative solver counters, useful for benchmark reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of clauses learnt.
+    pub learnt_clauses: u64,
+}
+
+/// The CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use symsc_smt::sat::{Lit, SatSolver};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// // (a | b) & (!a | b) & (!b | a)  =>  a = b = true
+/// s.add_clause(&[Lit::new(a, false), Lit::new(b, false)]);
+/// s.add_clause(&[Lit::new(a, true), Lit::new(b, false)]);
+/// s.add_clause(&[Lit::new(b, true), Lit::new(a, false)]);
+/// assert!(s.solve());
+/// assert!(s.value(a) && s.value(b));
+/// ```
+#[derive(Debug)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<Assign>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<u32>,
+    heap_pos: Vec<i32>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    num_learnt: usize,
+    reduce_count: u64,
+    stats: SatStats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f64 = 1.0 / 0.999;
+
+impl Default for SatSolver {
+    fn default() -> SatSolver {
+        SatSolver::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            num_learnt: 0,
+            reduce_count: 0,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(Assign::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(-1);
+        self.heap_insert(v.0);
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> Assign {
+        match self.assign[l.var().index()] {
+            Assign::Undef => Assign::Undef,
+            Assign::True => {
+                if l.is_negated() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+            Assign::False => {
+                if l.is_negated() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a successful [`solve`](Self::solve).
+    /// Unassigned (don't-care) variables read as `false`.
+    pub fn value(&self, v: Var) -> bool {
+        self.assign[v.index()] == Assign::True
+    }
+
+    /// Adds a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable (empty clause or root-level conflict).
+    ///
+    /// Clauses may only be added before [`solve`](Self::solve) is called
+    /// (the solver is single-shot).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause after solve start");
+        if !self.ok {
+            return false;
+        }
+        // Sort, dedupe, drop false literals, detect tautology / satisfied.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == l.negated() {
+                return true; // tautology: l and !l both present
+            }
+            match self.value_lit(l) {
+                Assign::True => return true, // satisfied at root level
+                Assign::False => {}          // drop
+                Assign::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher {
+            clause: idx,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            clause: idx,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.num_learnt += 1;
+            self.stats.learnt_clauses += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        idx
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), Assign::Undef);
+        let v = l.var().index();
+        self.assign[v] = Assign::from_bool(!l.is_negated());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut kept = 0;
+            let mut conflict = None;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Quick skip via blocker.
+                if self.value_lit(w.blocker) == Assign::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                if self.clauses[ci].deleted {
+                    continue; // drop watcher of deleted clause
+                }
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value_lit(first) == Assign::True {
+                    ws[kept] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.value_lit(self.clauses[ci].lits[k]) != Assign::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[new_watch.code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting; keep this watcher.
+                ws[kept] = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.value_lit(first) == Assign::False {
+                    // Conflict: keep the remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.unchecked_enqueue(first, w.clause);
+                }
+            }
+            ws.truncate(kept);
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v] >= 0 {
+            self.heap_sift_up(self.heap_pos[v] as usize);
+        }
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the asserting literal
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            debug_assert_ne!(confl, NO_REASON);
+            self.bump_clause(confl as usize);
+            let start = usize::from(p.is_some());
+            let len = self.clauses[confl as usize].lits.len();
+            for j in start..len {
+                let q = self.clauses[confl as usize].lits[j];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            while !self.seen[self.trail[index - 1].var().index()] {
+                index -= 1;
+            }
+            index -= 1;
+            let pl = self.trail[index];
+            let v = pl.var().index();
+            confl = self.reason[v];
+            self.seen[v] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+        }
+        learnt[0] = p.expect("asserting literal").negated();
+
+        // Cheap clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+        // seen[] for removed/kept literals cleared above; the asserting
+        // literal's variable was already cleared inside the loop.
+
+        // Compute the backtrack level (second-highest level in the clause).
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()]
+                    > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    /// A literal is redundant if its reason clause is entirely made of
+    /// seen literals (or root-level literals).
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let v = l.var().index();
+        let r = self.reason[v];
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize]
+            .lits
+            .iter()
+            .all(|&q| {
+                let qv = q.var().index();
+                qv == v || self.seen[qv] || self.level[qv] == 0
+            })
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.phase[v] = !l.is_negated();
+            self.assign[v] = Assign::Undef;
+            self.reason[v] = NO_REASON;
+            if self.heap_pos[v] < 0 {
+                self.heap_insert(v as u32);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize] == Assign::Undef {
+                let lit = Lit::new(Var(v), !self.phase[v as usize]);
+                return Some(lit);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        self.reduce_count += 1;
+        let mut learnt_idx: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt_idx
+            .iter()
+            .map(|&ci| {
+                let lit0 = self.clauses[ci].lits[0];
+                self.reason[lit0.var().index()] == ci as u32
+                    && self.value_lit(lit0) == Assign::True
+            })
+            .collect();
+        let target = learnt_idx.len() / 2;
+        let mut removed = 0;
+        for (k, &ci) in learnt_idx.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            if locked[k] {
+                continue;
+            }
+            self.clauses[ci].deleted = true;
+            self.num_learnt -= 1;
+            removed += 1;
+        }
+        // Deleted clauses are skipped lazily during propagation.
+    }
+
+    /// Solves the formula. Returns `true` if satisfiable; the model is then
+    /// available through [`value`](Self::value).
+    pub fn solve(&mut self) -> bool {
+        if !self.ok {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        let mut restarts = 0u64;
+        loop {
+            let conflict_budget = luby(restarts) * 100;
+            match self.search(conflict_budget) {
+                SearchResult::Sat => return true,
+                SearchResult::Unsat => {
+                    self.ok = false;
+                    return false;
+                }
+                SearchResult::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, conflict_budget: u64) -> SearchResult {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts += 1;
+                if self.decision_level() == 0 {
+                    return SearchResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], NO_REASON);
+                } else {
+                    let asserting = learnt[0];
+                    let ci = self.attach_clause(learnt, true);
+                    self.bump_clause(ci as usize);
+                    self.unchecked_enqueue(asserting, ci);
+                }
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+            } else {
+                if conflicts >= conflict_budget {
+                    return SearchResult::Restart;
+                }
+                if self.num_learnt > 2000 + 500 * self.reduce_count as usize {
+                    self.reduce_db();
+                }
+                match self.pick_branch() {
+                    None => return SearchResult::Sat,
+                    Some(next) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(next, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- indexed max-heap ordered by var activity -----
+
+    fn heap_insert(&mut self, v: u32) {
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top as usize] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i] as usize]
+                <= self.activity[self.heap[parent] as usize]
+            {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l] as usize]
+                    > self.activity[self.heap[largest] as usize]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r] as usize]
+                    > self.activity[self.heap[largest] as usize]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap_swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a] as usize] = a as i32;
+        self.heap_pos[self.heap[b] as usize] = b as i32;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchResult {
+    Sat,
+    Unsat,
+    Restart,
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = i;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut SatSolver, vars: &mut Vec<Var>, i: usize, neg: bool) -> Lit {
+        while vars.len() <= i {
+            vars.push(s.new_var());
+        }
+        Lit::new(vars[i], neg)
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = SatSolver::new();
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::new(v, false)]));
+        assert!(s.solve());
+        assert!(s.value(v));
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::new(v, false)]));
+        assert!(!s.add_clause(&[Lit::new(v, true)]) || !s.solve());
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = SatSolver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::new(v, false), Lit::new(v, true)]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // x0 & (x0 -> x1) & (x1 -> x2) ... forces all true.
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..20).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::new(vars[0], false)]);
+        for w in vars.windows(2) {
+            s.add_clause(&[Lit::new(w[0], true), Lit::new(w[1], false)]);
+        }
+        assert!(s.solve());
+        for &v in &vars {
+            assert!(s.value(v));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance that requires
+        // real search, not just propagation.
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        // p[i][j] = pigeon i in hole j ; var index = i*2 + j
+        for i in 0..3 {
+            let a = lit(&mut s, &mut vars, i * 2, false);
+            let b = lit(&mut s, &mut vars, i * 2 + 1, false);
+            s.add_clause(&[a, b]); // every pigeon somewhere
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    let a = lit(&mut s, &mut vars, i1 * 2 + j, true);
+                    let b = lit(&mut s, &mut vars, i2 * 2 + j, true);
+                    s.add_clause(&[a, b]); // no two share a hole
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let (pigeons, holes) = (5usize, 4usize);
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        for i in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes)
+                .map(|j| lit(&mut s, &mut vars, i * holes + j, false))
+                .collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    let a = lit(&mut s, &mut vars, i1 * holes + j, true);
+                    let b = lit(&mut s, &mut vars, i2 * holes + j, true);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        assert!(!s.solve());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn random_3sat_models_satisfy_all_clauses() {
+        // Deterministic pseudo-random satisfiable-ish instances: generate a
+        // planted solution, emit clauses consistent with it, check that the
+        // found model satisfies every clause.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _round in 0..10 {
+            let n = 30usize;
+            let mut s = SatSolver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let planted: Vec<bool> = (0..n).map(|_| next() & 1 == 1).collect();
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..120 {
+                let mut clause = Vec::new();
+                // Ensure at least one literal agrees with the planted model.
+                let forced = (next() as usize) % n;
+                clause.push(Lit::new(vars[forced], !planted[forced]));
+                for _ in 0..2 {
+                    let v = (next() as usize) % n;
+                    clause.push(Lit::new(vars[v], next() & 1 == 1));
+                }
+                clauses.push(clause);
+            }
+            for c in &clauses {
+                assert!(s.add_clause(c));
+            }
+            assert!(s.solve(), "planted instance must be satisfiable");
+            for c in &clauses {
+                assert!(
+                    c.iter()
+                        .any(|&l| s.value(l.var()) != l.is_negated()),
+                    "model violates clause {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_requires_learning() {
+        // Encode x0 ^ x1 ^ ... ^ x7 = 1 via CNF of pairwise xors with
+        // auxiliary variables, then also assert x-parity = 0 on a subset to
+        // create conflicts.
+        let mut s = SatSolver::new();
+        let n = 8;
+        let x: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        // t_i = x_0 ^ ... ^ x_i
+        let mut t_prev = x[0];
+        for i in 1..n {
+            let t = s.new_var();
+            // t = t_prev ^ x_i  (4 clauses)
+            let (a, b, c) = (
+                Lit::new(t_prev, false),
+                Lit::new(x[i], false),
+                Lit::new(t, false),
+            );
+            s.add_clause(&[a.negated(), b.negated(), c.negated()]);
+            s.add_clause(&[a, b, c.negated()]);
+            s.add_clause(&[a.negated(), b, c]);
+            s.add_clause(&[a, b.negated(), c]);
+            t_prev = t;
+        }
+        // Parity must be 1.
+        s.add_clause(&[Lit::new(t_prev, false)]);
+        assert!(s.solve());
+        let parity = x.iter().fold(false, |acc, &v| acc ^ s.value(v));
+        assert!(parity, "xor chain parity must be 1");
+    }
+}

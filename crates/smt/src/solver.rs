@@ -1,0 +1,355 @@
+//! The top-level SMT façade: bit-blast a conjunction of width-1 constraint
+//! terms, run the SAT core, read back a model.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::blast::Blaster;
+use crate::cnf::{load_aig, CnfResult};
+use crate::model::Model;
+use crate::sat::SatSolver;
+use crate::term::{TermId, TermPool, Width};
+
+/// Result of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// The constraints are satisfiable; a concrete model is attached.
+    Sat(Model),
+    /// The constraints are unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Extracts the model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Accumulated solver statistics across all queries of one [`Solver`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total queries issued (including cache hits and trivially-decided).
+    pub queries: u64,
+    /// Queries answered satisfiable.
+    pub sat: u64,
+    /// Queries answered unsatisfiable.
+    pub unsat: u64,
+    /// Queries answered from the query cache.
+    pub cache_hits: u64,
+    /// Queries decided without reaching the SAT core (constant folding).
+    pub trivial: u64,
+    /// Wall-clock time spent inside `check` (bit-blasting + SAT).
+    pub solve_time: Duration,
+}
+
+/// A stateless-per-query SMT solver with a whole-query memo cache.
+///
+/// The cache is keyed on the sorted set of constraint [`TermId`]s, which is
+/// sound because term pools are append-only and hash-consed: the same
+/// constraint set always names the same ids within one pool. Callers must
+/// therefore use one `Solver` per [`TermPool`]; this is what the symbolic
+/// engine does (one pool + one solver per exploration).
+#[derive(Debug, Default)]
+pub struct Solver {
+    stats: SolverStats,
+    cache: HashMap<Vec<TermId>, SatResult>,
+    cache_enabled: bool,
+}
+
+impl Solver {
+    /// Creates a solver with the query cache enabled.
+    pub fn new() -> Solver {
+        Solver {
+            stats: SolverStats::default(),
+            cache: HashMap::new(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Creates a solver without the query cache (ablation / benchmarks).
+    pub fn without_cache() -> Solver {
+        Solver {
+            cache_enabled: false,
+            ..Solver::new()
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Decides whether the conjunction of `constraints` (each a width-1
+    /// term from `pool`) is satisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint term is not of width 1.
+    pub fn check(&mut self, pool: &TermPool, constraints: &[TermId]) -> SatResult {
+        let start = Instant::now();
+        self.stats.queries += 1;
+
+        // Constant-level filtering.
+        let mut key: Vec<TermId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            assert_eq!(
+                pool.width(c),
+                Width::W1,
+                "constraint {} is not boolean",
+                pool.display(c)
+            );
+            if pool.is_false(c) {
+                self.stats.trivial += 1;
+                self.stats.unsat += 1;
+                self.stats.solve_time += start.elapsed();
+                return SatResult::Unsat;
+            }
+            if !pool.is_true(c) {
+                key.push(c);
+            }
+        }
+        key.sort_unstable();
+        key.dedup();
+
+        if key.is_empty() {
+            self.stats.trivial += 1;
+            self.stats.sat += 1;
+            self.stats.solve_time += start.elapsed();
+            return SatResult::Sat(Model::new());
+        }
+
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                match hit {
+                    SatResult::Sat(_) => self.stats.sat += 1,
+                    SatResult::Unsat => self.stats.unsat += 1,
+                }
+                self.stats.solve_time += start.elapsed();
+                return hit.clone();
+            }
+        }
+
+        let result = self.check_uncached(pool, &key);
+        match &result {
+            SatResult::Sat(_) => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+        }
+        if self.cache_enabled {
+            self.cache.insert(key, result.clone());
+        }
+        self.stats.solve_time += start.elapsed();
+        result
+    }
+
+    fn check_uncached(&mut self, pool: &TermPool, constraints: &[TermId]) -> SatResult {
+        let mut blaster = Blaster::new();
+        let mut roots = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            let bits = blaster.blast(pool, c);
+            debug_assert_eq!(bits.len(), 1);
+            roots.push(bits[0]);
+        }
+
+        let mut sat = SatSolver::new();
+        let node_var = match load_aig(blaster.aig(), &roots, &mut sat) {
+            CnfResult::TriviallyUnsat => return SatResult::Unsat,
+            CnfResult::Loaded(map) => map,
+        };
+
+        if !sat.solve() {
+            return SatResult::Unsat;
+        }
+
+        // Read the model back through the variable → AIG-input mapping.
+        let mut model = Model::new();
+        for (name, bits) in blaster.var_bits() {
+            let mut value = 0u64;
+            for (i, lit) in bits.iter().enumerate() {
+                let node_true = node_var
+                    .get(&lit.node())
+                    .map(|&v| sat.value(v))
+                    .unwrap_or(false); // outside the cone: don't-care
+                if node_true ^ lit.complemented() {
+                    value |= 1 << i;
+                }
+            }
+            model.insert(name.clone(), value);
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            // Sanity: the model must satisfy every constraint concretely.
+            let env = model.to_env();
+            for &c in constraints {
+                debug_assert_eq!(
+                    crate::eval::evaluate(pool, c, &env),
+                    1,
+                    "model {model} does not satisfy {}",
+                    pool.display(c)
+                );
+            }
+        }
+
+        SatResult::Sat(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_is_sat() {
+        let pool = TermPool::new();
+        let mut s = Solver::new();
+        assert!(s.check(&pool, &[]).is_sat());
+        assert_eq!(s.stats().trivial, 1);
+    }
+
+    #[test]
+    fn constant_true_and_false() {
+        let mut pool = TermPool::new();
+        let t = pool.tru();
+        let f = pool.fls();
+        let mut s = Solver::new();
+        assert!(s.check(&pool, &[t]).is_sat());
+        assert_eq!(s.check(&pool, &[t, f]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn linear_equation_has_model() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W16);
+        let three = pool.constant(3, Width::W16);
+        let product = pool.mul(x, three);
+        let target = pool.constant(21, Width::W16);
+        let c = pool.eq(product, target);
+        let mut s = Solver::new();
+        match s.check(&pool, &[c]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.value_or_zero("x").wrapping_mul(3) & 0xFFFF, 21);
+            }
+            SatResult::Unsat => panic!("3x = 21 is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let five = pool.constant(5, Width::W8);
+        let six = pool.constant(6, Width::W8);
+        let c1 = pool.eq(x, five);
+        let c2 = pool.eq(x, six);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&pool, &[c1, c2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn range_constraints_are_respected() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W32);
+        let lo = pool.constant(100, Width::W32);
+        let hi = pool.constant(110, Width::W32);
+        let c1 = pool.ule(lo, x);
+        let c2 = pool.ult(x, hi);
+        let mut s = Solver::new();
+        match s.check(&pool, &[c1, c2]) {
+            SatResult::Sat(m) => {
+                let v = m.value_or_zero("x");
+                assert!((100..110).contains(&v), "x = {v}");
+            }
+            SatResult::Unsat => panic!("satisfiable range"),
+        }
+    }
+
+    #[test]
+    fn unsat_range() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let five = pool.constant(5, Width::W8);
+        let c1 = pool.ult(x, five); // x < 5
+        let ten = pool.constant(10, Width::W8);
+        let c2 = pool.ugt(x, ten); // x > 10
+        let mut s = Solver::new();
+        assert_eq!(s.check(&pool, &[c1, c2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let one = pool.constant(1, Width::W8);
+        let c = pool.eq(x, one);
+        let mut s = Solver::new();
+        let r1 = s.check(&pool, &[c]);
+        let r2 = s.check(&pool, &[c]);
+        assert_eq!(r1, r2);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn distinct_symbolic_pair_ordering() {
+        // The shape at the heart of the paper's T2: two distinct interrupt
+        // ids, both in range, and an ordering query between them.
+        let mut pool = TermPool::new();
+        let i = pool.var("i", Width::W32);
+        let j = pool.var("j", Width::W32);
+        let n = pool.constant(51, Width::W32);
+        let zero = pool.constant(0, Width::W32);
+        let in_range_i1 = pool.ult(i, n);
+        let in_range_i2 = pool.ugt(i, zero);
+        let in_range_j1 = pool.ult(j, n);
+        let in_range_j2 = pool.ugt(j, zero);
+        let distinct = pool.ne(i, j);
+        let i_lt_j = pool.ult(i, j);
+        let mut s = Solver::new();
+        let r = s.check(
+            &pool,
+            &[in_range_i1, in_range_i2, in_range_j1, in_range_j2, distinct, i_lt_j],
+        );
+        match r {
+            SatResult::Sat(m) => {
+                let (iv, jv) = (m.value_or_zero("i"), m.value_or_zero("j"));
+                assert!(iv > 0 && iv < 51 && jv > 0 && jv < 51 && iv < jv);
+            }
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+        // And the negation of the ordering is also satisfiable.
+        let j_lt_i = pool.ult(j, i);
+        let r2 = s.check(
+            &pool,
+            &[in_range_i1, in_range_i2, in_range_j1, in_range_j2, distinct, j_lt_i],
+        );
+        assert!(r2.is_sat());
+    }
+
+    #[test]
+    fn division_constraint() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let q = pool.udiv(x, y);
+        let seven = pool.constant(7, Width::W8);
+        let c1 = pool.eq(q, seven);
+        let two = pool.constant(2, Width::W8);
+        let c2 = pool.eq(y, two);
+        let mut s = Solver::new();
+        match s.check(&pool, &[c1, c2]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.value_or_zero("x") / 2, 7);
+            }
+            SatResult::Unsat => panic!("x/2 = 7 is satisfiable"),
+        }
+    }
+}

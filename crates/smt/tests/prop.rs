@@ -1,0 +1,355 @@
+//! Property-based tests for the SMT stack.
+//!
+//! Strategy: generate random term trees, then check three invariants.
+//!
+//! 1. *Folding soundness* — the pool's construction-time simplifications
+//!    never change semantics: `evaluate(build(ops), env)` equals a shadow
+//!    interpretation of the same ops directly on `u64`.
+//! 2. *Planted satisfiability* — for a random term `t` and random
+//!    environment `env`, the constraint `t == eval(t, env)` is satisfiable
+//!    and the returned model really satisfies it (checked through the
+//!    independent evaluator).
+//! 3. *Planted unsatisfiability* — `x == c1 && x == c2` with `c1 != c2`
+//!    is reported unsatisfiable.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use symsc_smt::eval::evaluate;
+use symsc_smt::{SatResult, Solver, TermId, TermPool, Width};
+
+const W: Width = Width::W8;
+
+/// A tiny op language mirrored both into the pool and a shadow interpreter.
+#[derive(Clone, Debug)]
+enum Node {
+    Var(u8),
+    Const(u8),
+    Not(Box<Node>),
+    Neg(Box<Node>),
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Xor(Box<Node>, Box<Node>),
+    Add(Box<Node>, Box<Node>),
+    Sub(Box<Node>, Box<Node>),
+    Mul(Box<Node>, Box<Node>),
+    Udiv(Box<Node>, Box<Node>),
+    Urem(Box<Node>, Box<Node>),
+    Shl(Box<Node>, Box<Node>),
+    Lshr(Box<Node>, Box<Node>),
+    IteUlt(Box<Node>, Box<Node>, Box<Node>, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Node::Var),
+        any::<u8>().prop_map(Node::Const),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Node::Not(Box::new(a))),
+            inner.clone().prop_map(|a| Node::Neg(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Udiv(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Urem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Node::Lshr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(c1, c2, t, e)| Node::IteUlt(
+                    Box::new(c1),
+                    Box::new(c2),
+                    Box::new(t),
+                    Box::new(e)
+                )),
+        ]
+    })
+}
+
+fn build(pool: &mut TermPool, node: &Node) -> TermId {
+    match node {
+        Node::Var(i) => pool.var(&format!("v{i}"), W),
+        Node::Const(c) => pool.constant(u64::from(*c), W),
+        Node::Not(a) => {
+            let a = build(pool, a);
+            pool.not(a)
+        }
+        Node::Neg(a) => {
+            let a = build(pool, a);
+            pool.neg(a)
+        }
+        Node::And(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.and(a, b)
+        }
+        Node::Or(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.or(a, b)
+        }
+        Node::Xor(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.xor(a, b)
+        }
+        Node::Add(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.add(a, b)
+        }
+        Node::Sub(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.sub(a, b)
+        }
+        Node::Mul(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.mul(a, b)
+        }
+        Node::Udiv(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.udiv(a, b)
+        }
+        Node::Urem(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.urem(a, b)
+        }
+        Node::Shl(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.shl(a, b)
+        }
+        Node::Lshr(a, b) => {
+            let (a, b) = (build(pool, a), build(pool, b));
+            pool.lshr(a, b)
+        }
+        Node::IteUlt(c1, c2, t, e) => {
+            let (c1, c2) = (build(pool, c1), build(pool, c2));
+            let cond = pool.ult(c1, c2);
+            let (t, e) = (build(pool, t), build(pool, e));
+            pool.ite(cond, t, e)
+        }
+    }
+}
+
+/// Ground-truth interpreter over `u8` semantics, written independently of
+/// the pool's folding rules.
+fn shadow(node: &Node, env: &[u8; 3]) -> u8 {
+    match node {
+        Node::Var(i) => env[*i as usize],
+        Node::Const(c) => *c,
+        Node::Not(a) => !shadow(a, env),
+        Node::Neg(a) => shadow(a, env).wrapping_neg(),
+        Node::And(a, b) => shadow(a, env) & shadow(b, env),
+        Node::Or(a, b) => shadow(a, env) | shadow(b, env),
+        Node::Xor(a, b) => shadow(a, env) ^ shadow(b, env),
+        Node::Add(a, b) => shadow(a, env).wrapping_add(shadow(b, env)),
+        Node::Sub(a, b) => shadow(a, env).wrapping_sub(shadow(b, env)),
+        Node::Mul(a, b) => shadow(a, env).wrapping_mul(shadow(b, env)),
+        Node::Udiv(a, b) => {
+            let d = shadow(b, env);
+            if d == 0 {
+                0xFF
+            } else {
+                shadow(a, env) / d
+            }
+        }
+        Node::Urem(a, b) => {
+            let d = shadow(b, env);
+            if d == 0 {
+                shadow(a, env)
+            } else {
+                shadow(a, env) % d
+            }
+        }
+        Node::Shl(a, b) => {
+            let s = shadow(b, env);
+            if s >= 8 {
+                0
+            } else {
+                shadow(a, env) << s
+            }
+        }
+        Node::Lshr(a, b) => {
+            let s = shadow(b, env);
+            if s >= 8 {
+                0
+            } else {
+                shadow(a, env) >> s
+            }
+        }
+        Node::IteUlt(c1, c2, t, e) => {
+            if shadow(c1, env) < shadow(c2, env) {
+                shadow(t, env)
+            } else {
+                shadow(e, env)
+            }
+        }
+    }
+}
+
+fn env_map(env: &[u8; 3]) -> HashMap<String, u64> {
+    (0..3)
+        .map(|i| (format!("v{i}"), u64::from(env[i])))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn folding_preserves_semantics(node in node_strategy(), env in any::<[u8; 3]>()) {
+        let mut pool = TermPool::new();
+        let t = build(&mut pool, &node);
+        let via_pool = evaluate(&pool, t, &env_map(&env));
+        let via_shadow = u64::from(shadow(&node, &env));
+        prop_assert_eq!(via_pool, via_shadow, "term: {}", pool.display(t));
+    }
+
+    #[test]
+    fn planted_constraint_is_sat(node in node_strategy(), env in any::<[u8; 3]>()) {
+        let mut pool = TermPool::new();
+        let t = build(&mut pool, &node);
+        let planted = evaluate(&pool, t, &env_map(&env));
+        let c = pool.constant(planted, W);
+        let constraint = pool.eq(t, c);
+        let mut solver = Solver::new();
+        match solver.check(&pool, &[constraint]) {
+            SatResult::Sat(model) => {
+                let value = evaluate(&pool, constraint, &model.to_env());
+                prop_assert_eq!(value, 1, "model {} violates constraint", model);
+            }
+            SatResult::Unsat => {
+                prop_assert!(false, "planted constraint reported unsat");
+            }
+        }
+    }
+
+    #[test]
+    fn contradictory_equalities_are_unsat(c1 in any::<u8>(), c2 in any::<u8>()) {
+        prop_assume!(c1 != c2);
+        let mut pool = TermPool::new();
+        let x = pool.var("x", W);
+        let k1 = pool.constant(u64::from(c1), W);
+        let k2 = pool.constant(u64::from(c2), W);
+        let e1 = pool.eq(x, k1);
+        let e2 = pool.eq(x, k2);
+        let mut solver = Solver::new();
+        prop_assert_eq!(solver.check(&pool, &[e1, e2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_round_trips_through_eval(a in any::<u8>(), b in any::<u8>()) {
+        // x + a == b always has the unique solution x = b - a.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", W);
+        let ka = pool.constant(u64::from(a), W);
+        let kb = pool.constant(u64::from(b), W);
+        let sum = pool.add(x, ka);
+        let c = pool.eq(sum, kb);
+        let mut solver = Solver::new();
+        match solver.check(&pool, &[c]) {
+            SatResult::Sat(m) => {
+                prop_assert_eq!(m.value_or_zero("x") as u8, b.wrapping_sub(a));
+            }
+            SatResult::Unsat => prop_assert!(false, "always satisfiable"),
+        }
+    }
+}
+
+// ----- width-parametric properties (the shapes above, at 16/32/64 bits) -----
+
+macro_rules! width_props {
+    ($modname:ident, $width:expr, $mask:expr) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+
+                /// Unique-solution equation: x + a == b over the width.
+                #[test]
+                fn addition_inverts(a in any::<u64>(), b in any::<u64>()) {
+                    let (a, b) = (a & $mask, b & $mask);
+                    let mut pool = TermPool::new();
+                    let x = pool.var("x", $width);
+                    let ka = pool.constant(a, $width);
+                    let kb = pool.constant(b, $width);
+                    let sum = pool.add(x, ka);
+                    let c = pool.eq(sum, kb);
+                    match Solver::new().check(&pool, &[c]) {
+                        SatResult::Sat(m) => {
+                            let got = m.value_or_zero("x");
+                            prop_assert_eq!(got, b.wrapping_sub(a) & $mask);
+                        }
+                        SatResult::Unsat => prop_assert!(false, "always satisfiable"),
+                    }
+                }
+
+                /// Signed comparison agrees with two's-complement host math.
+                #[test]
+                fn signed_less_than_matches_host(a in any::<u64>(), b in any::<u64>()) {
+                    let (a, b) = (a & $mask, b & $mask);
+                    let mut pool = TermPool::new();
+                    let ka = pool.constant(a, $width);
+                    let kb = pool.constant(b, $width);
+                    let lt = pool.slt(ka, kb);
+                    let sa = $width.sign_extend_to_64(a) as i64;
+                    let sb = $width.sign_extend_to_64(b) as i64;
+                    prop_assert_eq!(pool.is_true(lt), sa < sb);
+                }
+
+                /// Shift round trip: (x << k) >> k recovers the low bits.
+                #[test]
+                fn shift_round_trip(x in any::<u64>(), k in 0u32..8) {
+                    let bits = $width.bits();
+                    prop_assume!(k < bits);
+                    let x = x & $mask;
+                    let mut pool = TermPool::new();
+                    let kx = pool.constant(x, $width);
+                    let kk = pool.constant(u64::from(k), $width);
+                    let left = pool.shl(kx, kk);
+                    let back = pool.lshr(left, kk);
+                    let expected = ((x << k) & $mask) >> k;
+                    prop_assert_eq!(pool.const_value(back), Some(expected));
+                }
+
+                /// The solver can invert a multiplication by an odd constant
+                /// (odd constants are units modulo 2^n, so a solution exists).
+                #[test]
+                fn odd_multiplier_inverts(m in any::<u64>(), target in any::<u64>()) {
+                    let m = (m & $mask) | 1; // force odd
+                    let target = target & $mask;
+                    let mut pool = TermPool::new();
+                    let x = pool.var("x", $width);
+                    let km = pool.constant(m, $width);
+                    let kt = pool.constant(target, $width);
+                    let prod = pool.mul(x, km);
+                    let c = pool.eq(prod, kt);
+                    match Solver::new().check(&pool, &[c]) {
+                        SatResult::Sat(model) => {
+                            let got = model.value_or_zero("x");
+                            prop_assert_eq!(got.wrapping_mul(m) & $mask, target);
+                        }
+                        SatResult::Unsat => {
+                            prop_assert!(false, "odd multiplier must be invertible");
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+width_props!(w16, Width::W16, 0xFFFFu64);
+width_props!(w32, Width::W32, 0xFFFF_FFFFu64);
+width_props!(w64, Width::W64, u64::MAX);

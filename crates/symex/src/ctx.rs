@@ -1,0 +1,583 @@
+//! The symbolic execution context: path constraints, branch decisions,
+//! assumptions, assertions and error recording.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use symsc_smt::{Model, SatResult, Solver, TermId, TermPool, Width};
+
+use crate::error::{Counterexample, ErrorKind, SymError};
+use crate::value::{SymBool, SymWord};
+
+/// Internal marker unwound through the testbench to terminate a path.
+/// Callers never see it: the explorer catches and interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PathTerm;
+
+/// Engine state shared between the explorer and every [`SymCtx`] /
+/// [`SymWord`] handle of one exploration.
+///
+/// Pool and solver live for the *whole* exploration (all paths); the
+/// remaining fields are reset per path by
+/// [`begin_path`](EngineState::begin_path).
+pub(crate) struct EngineState {
+    pub(crate) pool: TermPool,
+    pub(crate) solver: Solver,
+    /// Exploration-level accumulators.
+    pub(crate) errors: Vec<SymError>,
+    pub(crate) decisions: u64,
+    pub(crate) path_index: u64,
+    pub(crate) solver_time: Duration,
+    pub(crate) started: Instant,
+    /// Per-path state.
+    pub(crate) constraints: Vec<TermId>,
+    forced: Vec<bool>,
+    cursor: usize,
+    taken: Vec<bool>,
+    pub(crate) pending: Vec<Vec<bool>>,
+    pub(crate) inputs: Vec<String>,
+    path_decisions: u64,
+    max_path_decisions: u64,
+    pub(crate) budget_exhausted: bool,
+    /// Concrete replay mode: symbolic inputs resolve to these values.
+    pub(crate) replay: Option<std::collections::HashMap<String, u64>>,
+    /// Functional-coverage bins: label -> number of paths that hit it.
+    pub(crate) coverage: std::collections::BTreeMap<String, u64>,
+    /// Bins hit on the current path (merged into `coverage` per path).
+    path_coverage: std::collections::BTreeSet<String>,
+    /// A cached satisfying assignment for the current path constraints
+    /// (KLEE's "eager evaluation" trick): branch feasibility can often be
+    /// answered by evaluating the condition under this model instead of
+    /// calling the solver.
+    cur_env: Option<std::collections::HashMap<String, u64>>,
+}
+
+impl EngineState {
+    pub(crate) fn new(max_path_decisions: u64, cache: bool) -> EngineState {
+        EngineState {
+            pool: TermPool::new(),
+            solver: if cache {
+                Solver::new()
+            } else {
+                Solver::without_cache()
+            },
+            errors: Vec::new(),
+            decisions: 0,
+            path_index: 0,
+            solver_time: Duration::ZERO,
+            started: Instant::now(),
+            constraints: Vec::new(),
+            forced: Vec::new(),
+            cursor: 0,
+            taken: Vec::new(),
+            pending: Vec::new(),
+            inputs: Vec::new(),
+            path_decisions: 0,
+            max_path_decisions,
+            budget_exhausted: false,
+            replay: None,
+            coverage: std::collections::BTreeMap::new(),
+            path_coverage: std::collections::BTreeSet::new(),
+            cur_env: None,
+        }
+    }
+
+    pub(crate) fn begin_path(&mut self, forced: Vec<bool>) {
+        self.constraints.clear();
+        self.forced = forced;
+        self.cursor = 0;
+        self.taken.clear();
+        self.inputs.clear();
+        self.path_decisions = 0;
+        self.path_coverage.clear();
+        // The empty assignment satisfies the (empty) constraint set.
+        self.cur_env = Some(std::collections::HashMap::new());
+    }
+
+    /// Marks a coverage bin as hit on the current path.
+    pub(crate) fn cover(&mut self, label: &str) {
+        self.path_coverage.insert(label.to_string());
+    }
+
+    /// Folds the current path's bins into the exploration-level counts.
+    pub(crate) fn end_path_coverage(&mut self) {
+        for label in std::mem::take(&mut self.path_coverage) {
+            *self.coverage.entry(label).or_insert(0) += 1;
+        }
+    }
+
+    /// Evaluates a width-1 term under the cached model, if one is held.
+    fn env_value(&self, cond: TermId) -> Option<bool> {
+        self.cur_env
+            .as_ref()
+            .map(|env| symsc_smt::eval::evaluate(&self.pool, cond, env) == 1)
+    }
+
+    fn adopt_model(&mut self, model: &Model) {
+        self.cur_env = Some(model.to_env());
+    }
+
+    fn model_from_env(&self) -> Model {
+        let mut m = Model::new();
+        if let Some(env) = &self.cur_env {
+            for (k, v) in env {
+                m.insert(k.clone(), *v);
+            }
+        }
+        m
+    }
+
+    fn check(&mut self, extra: Option<TermId>) -> SatResult {
+        let start = Instant::now();
+        let mut cs = self.constraints.clone();
+        if let Some(e) = extra {
+            cs.push(e);
+        }
+        let result = self.solver.check(&self.pool, &cs);
+        self.solver_time += start.elapsed();
+        result
+    }
+
+    fn record_error(&mut self, kind: ErrorKind, message: String, model: &Model) {
+        let counterexample = match &self.replay {
+            Some(values) => Counterexample::from_values(values, &self.inputs),
+            None => Counterexample::from_model(model, &self.inputs),
+        };
+        self.errors.push(SymError {
+            kind,
+            message,
+            counterexample,
+            path: self.path_index,
+            found_at: self.started.elapsed(),
+        });
+    }
+
+    /// Records an error against the current path's own feasibility model
+    /// (used when the erring condition is already part of the path).
+    pub(crate) fn record_error_here(&mut self, kind: ErrorKind, message: String) {
+        if self.cur_env.is_some() {
+            let witness = self.model_from_env();
+            self.record_error(kind, message, &witness);
+            return;
+        }
+        match self.check(None) {
+            SatResult::Sat(model) => {
+                let model = model.clone();
+                self.record_error(kind, message, &model);
+            }
+            SatResult::Unsat => {
+                // The path constraints are kept feasible by construction;
+                // reaching here would indicate an engine bug.
+                debug_assert!(false, "erring path has infeasible constraints");
+            }
+        }
+    }
+
+    fn kill_path(&self) -> ! {
+        std::panic::panic_any(PathTerm)
+    }
+
+    fn count_decision(&mut self) {
+        self.decisions += 1;
+        self.path_decisions += 1;
+        if self.path_decisions > self.max_path_decisions {
+            // A runaway loop over symbolic state; truncate this path and
+            // mark the exploration incomplete.
+            self.budget_exhausted = true;
+            self.kill_path();
+        }
+    }
+
+    /// Resolves a symbolic condition to a concrete branch direction,
+    /// forking (enqueueing the opposite prefix) when both are feasible.
+    pub(crate) fn decide(&mut self, cond: TermId) -> bool {
+        if let Some(c) = self.pool.const_value(cond) {
+            return c == 1;
+        }
+        self.count_decision();
+
+        if self.cursor < self.forced.len() {
+            let dir = self.forced[self.cursor];
+            self.cursor += 1;
+            let c = if dir { cond } else { self.pool.not(cond) };
+            // Keep the cached model only if it satisfies the new constraint.
+            if self.env_value(c) != Some(true) {
+                self.cur_env = None;
+            }
+            self.constraints.push(c);
+            self.taken.push(dir);
+            return dir;
+        }
+
+        let not_cond = self.pool.not(cond);
+        match self.env_value(cond) {
+            Some(true) => {
+                // True branch witnessed by the cached model: only the
+                // forking check needs the solver.
+                if self.check(Some(not_cond)).is_sat() {
+                    let mut other = self.taken.clone();
+                    other.push(false);
+                    self.pending.push(other);
+                }
+                self.constraints.push(cond);
+                self.taken.push(true);
+                true
+            }
+            Some(false) => {
+                // False branch witnessed; prefer true if it is feasible.
+                match self.check(Some(cond)) {
+                    SatResult::Sat(model) => {
+                        let mut other = self.taken.clone();
+                        other.push(false);
+                        self.pending.push(other);
+                        self.adopt_model(&model);
+                        self.constraints.push(cond);
+                        self.taken.push(true);
+                        true
+                    }
+                    SatResult::Unsat => {
+                        self.constraints.push(not_cond);
+                        self.taken.push(false);
+                        false
+                    }
+                }
+            }
+            None => match self.check(Some(cond)) {
+                SatResult::Sat(model) => {
+                    if self.check(Some(not_cond)).is_sat() {
+                        let mut other = self.taken.clone();
+                        other.push(false);
+                        self.pending.push(other);
+                    }
+                    self.adopt_model(&model);
+                    self.constraints.push(cond);
+                    self.taken.push(true);
+                    true
+                }
+                SatResult::Unsat => {
+                    // The path itself is feasible, so the negation must be.
+                    self.constraints.push(not_cond);
+                    self.taken.push(false);
+                    false
+                }
+            },
+        }
+    }
+
+    /// Adds an assumption; kills the path if it becomes infeasible.
+    pub(crate) fn assume(&mut self, cond: TermId) {
+        if self.pool.is_true(cond) {
+            return;
+        }
+        if self.pool.is_false(cond) {
+            self.kill_path();
+        }
+        self.count_decision();
+        if self.env_value(cond) != Some(true) {
+            match self.check(Some(cond)) {
+                SatResult::Sat(model) => self.adopt_model(&model),
+                SatResult::Unsat => self.kill_path(),
+            }
+        }
+        self.constraints.push(cond);
+    }
+
+    /// Checks an assertion. If the negation is feasible, records an error
+    /// with a counterexample; the path then continues under the asserted
+    /// condition (KLEE terminates only the erring fork).
+    pub(crate) fn check_assert(&mut self, cond: TermId, message: &str) {
+        self.check_guard(cond, ErrorKind::AssertionFailed, message);
+    }
+
+    /// Guards a division: records a [`ErrorKind::DivisionByZero`] if the
+    /// divisor can be zero, then continues under `divisor != 0`.
+    pub(crate) fn check_div_guard(&mut self, nonzero: TermId) {
+        self.check_guard(nonzero, ErrorKind::DivisionByZero, "divisor can be zero");
+    }
+
+    fn check_guard(&mut self, cond: TermId, kind: ErrorKind, message: &str) {
+        if self.pool.is_true(cond) {
+            return;
+        }
+        self.count_decision();
+        let not_cond = self.pool.not(cond);
+        // The cached model may already witness the violation.
+        let violated = if self.env_value(not_cond) == Some(true) {
+            let witness = self.model_from_env();
+            self.record_error(kind, message.to_string(), &witness);
+            true
+        } else if let SatResult::Sat(model) = self.check(Some(not_cond)) {
+            self.record_error(kind, message.to_string(), &model);
+            true
+        } else {
+            false
+        };
+        if violated {
+            // Continue only if the condition itself can still hold.
+            if self.pool.is_false(cond) {
+                self.kill_path();
+            }
+            if self.env_value(cond) != Some(true) {
+                match self.check(Some(cond)) {
+                    SatResult::Sat(model) => self.adopt_model(&model),
+                    SatResult::Unsat => self.kill_path(),
+                }
+            }
+        } else if self.env_value(cond) != Some(true) {
+            // No violation exists, so `cond` is implied by the path; the
+            // cached model (a path model) must satisfy it.
+            debug_assert!(self.cur_env.is_none(), "path model violates implied cond");
+            if let SatResult::Sat(model) = self.check(Some(cond)) {
+                self.adopt_model(&model);
+            }
+        }
+        self.constraints.push(cond);
+    }
+
+    /// KLEE-style concretization: pick a satisfying value for `id`, pin the
+    /// path to it, and return it.
+    pub(crate) fn concretize(&mut self, id: TermId, width: Width) -> u64 {
+        if self.cur_env.is_none() {
+            match self.check(None) {
+                SatResult::Sat(model) => self.adopt_model(&model),
+                SatResult::Unsat => {
+                    debug_assert!(false, "concretize on infeasible path");
+                    self.kill_path()
+                }
+            }
+        }
+        let env = self.cur_env.as_ref().expect("model cached above");
+        let value = symsc_smt::eval::evaluate(&self.pool, id, env);
+        let k = self.pool.constant(value, width);
+        let pin = self.pool.eq(id, k);
+        self.constraints.push(pin);
+        value
+    }
+
+    /// Records a non-assertion error (out-of-bounds, division by zero, …)
+    /// on the current path and terminates the path, mirroring how KLEE
+    /// terminates a path at a memory error.
+    pub(crate) fn fail_path(&mut self, kind: ErrorKind, message: String) -> ! {
+        self.record_error_here(kind, message);
+        self.kill_path()
+    }
+}
+
+/// Handle to the running symbolic execution, passed to testbenches.
+///
+/// Cloning is cheap (reference-counted); [`SymWord`]s hold their own clone
+/// so model code can operate on symbolic values without carrying the
+/// context around explicitly.
+#[derive(Clone)]
+pub struct SymCtx {
+    pub(crate) inner: Rc<RefCell<EngineState>>,
+}
+
+impl std::fmt::Debug for SymCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.borrow();
+        f.debug_struct("SymCtx")
+            .field("path", &st.path_index)
+            .field("constraints", &st.constraints.len())
+            .field("errors", &st.errors.len())
+            .finish()
+    }
+}
+
+impl SymCtx {
+    pub(crate) fn new(inner: Rc<RefCell<EngineState>>) -> SymCtx {
+        SymCtx { inner }
+    }
+
+    /// Declares a fresh symbolic input of the given width — the analogue
+    /// of `klee_int("name")`.
+    ///
+    /// Re-declaring the same name on a later path returns the same
+    /// variable, which is what re-execution requires.
+    pub fn symbolic(&self, name: &str, width: Width) -> SymWord {
+        let id = {
+            let mut st = self.inner.borrow_mut();
+            if !st.inputs.iter().any(|n| n == name) {
+                st.inputs.push(name.to_string());
+            }
+            match &st.replay {
+                // Concrete replay: the "symbolic" input is the recorded
+                // counterexample value.
+                Some(values) => {
+                    let value = values.get(name).copied().unwrap_or(0);
+                    st.pool.constant(value, width)
+                }
+                None => st.pool.var(name, width),
+            }
+        };
+        SymWord::from_raw(self.clone(), id, width)
+    }
+
+    /// A concrete word of the given width.
+    pub fn word(&self, value: u64, width: Width) -> SymWord {
+        let id = self.inner.borrow_mut().pool.constant(value, width);
+        SymWord::from_raw(self.clone(), id, width)
+    }
+
+    /// A concrete 32-bit word (the natural TLM register width).
+    pub fn word32(&self, value: u32) -> SymWord {
+        self.word(u64::from(value), Width::W32)
+    }
+
+    /// A concrete boolean.
+    pub fn lit(&self, value: bool) -> SymBool {
+        let id = {
+            let mut st = self.inner.borrow_mut();
+            if value {
+                st.pool.tru()
+            } else {
+                st.pool.fls()
+            }
+        };
+        SymBool::from_raw(self.clone(), id)
+    }
+
+    /// Constrains the path with `cond` — the analogue of `klee_assume`.
+    /// If the assumption is infeasible the current path terminates
+    /// silently.
+    pub fn assume(&self, cond: &SymBool) {
+        let id = cond.id();
+        self.inner.borrow_mut().assume(id);
+    }
+
+    /// Asserts `cond`; any feasible violation is recorded as an
+    /// [`ErrorKind::AssertionFailed`] with a counterexample. Execution
+    /// continues on the non-violating fork, like KLEE terminating only the
+    /// erring path.
+    pub fn check(&self, cond: &SymBool, message: &str) {
+        let id = cond.id();
+        self.inner.borrow_mut().check_assert(id, message);
+    }
+
+    /// Asserts an already-concrete condition (e.g. a counter in the mock
+    /// HART). A violation is recorded as an [`ErrorKind::AssertionFailed`]
+    /// with the current path's counterexample and terminates the path.
+    pub fn check_concrete(&self, cond: bool, message: &str) {
+        let b = self.lit(cond);
+        self.check(&b, message);
+    }
+
+    /// Resolves a symbolic condition to a concrete `bool`, forking the
+    /// exploration if both directions are feasible. Model code uses this
+    /// for every control-flow decision over symbolic data.
+    pub fn decide(&self, cond: &SymBool) -> bool {
+        let id = cond.id();
+        self.inner.borrow_mut().decide(id)
+    }
+
+    /// Records a non-assertion error (memory fault, trap, protocol
+    /// violation) and terminates the current path.
+    pub fn fail(&self, kind: ErrorKind, message: impl Into<String>) -> ! {
+        self.inner.borrow_mut().fail_path(kind, message.into())
+    }
+
+    /// Marks a functional-coverage bin as hit on the current path. The
+    /// report counts, per bin, how many explored paths reached it —
+    /// verification-closure data for testbench review (which scenarios
+    /// the symbolic exploration actually drove).
+    pub fn cover(&self, label: &str) {
+        self.inner.borrow_mut().cover(label);
+    }
+
+    /// Number of errors recorded so far in this exploration.
+    pub fn error_count(&self) -> usize {
+        self.inner.borrow().errors.len()
+    }
+
+    /// The current path's index (0-based).
+    pub fn path_index(&self) -> u64 {
+        self.inner.borrow().path_index
+    }
+
+    pub(crate) fn with_pool<R>(&self, f: impl FnOnce(&mut TermPool) -> R) -> R {
+        f(&mut self.inner.borrow_mut().pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+
+    #[test]
+    fn concrete_conditions_do_not_fork() {
+        let report = Explorer::new().explore(|ctx| {
+            let t = ctx.lit(true);
+            assert!(ctx.decide(&t));
+            let f = ctx.lit(false);
+            assert!(!ctx.decide(&f));
+        });
+        assert_eq!(report.stats.paths, 1);
+        assert_eq!(report.stats.decisions, 0);
+    }
+
+    #[test]
+    fn symbolic_condition_forks_two_paths() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let zero = ctx.word(0, Width::W8);
+            let c = x.eq(&zero);
+            let _ = ctx.decide(&c);
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn assume_prunes_infeasible_branches() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let five = ctx.word(5, Width::W8);
+            ctx.assume(&x.eq(&five));
+            // x == 5 is now forced; this branch cannot fork.
+            let c = x.eq(&five);
+            assert!(ctx.decide(&c));
+        });
+        assert_eq!(report.stats.paths, 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn failing_assert_produces_counterexample() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let ten = ctx.word(10, Width::W8);
+            ctx.check(&x.ult(&ten), "x must be below 10");
+        });
+        assert_eq!(report.errors.len(), 1);
+        let e = &report.errors[0];
+        assert_eq!(e.kind, ErrorKind::AssertionFailed);
+        assert!(e.counterexample.value("x") >= 10);
+    }
+
+    #[test]
+    fn passing_assert_is_silent() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let big = ctx.word(255, Width::W8);
+            ctx.check(&x.ule(&big), "trivially true");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn fail_terminates_path_but_not_exploration() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let zero = ctx.word(0, Width::W8);
+            if ctx.decide(&x.eq(&zero)) {
+                ctx.fail(ErrorKind::OutOfBounds, "zero is out of bounds");
+            }
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::OutOfBounds);
+        assert_eq!(report.errors[0].counterexample.value("x"), 0);
+    }
+}

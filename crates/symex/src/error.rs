@@ -1,0 +1,263 @@
+//! Error reports and counterexamples.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use symsc_smt::Model;
+
+use crate::stats::ExplorationStats;
+
+/// The class of a detected error, mirroring the error classes KLEE reports
+/// in the paper (failed assertion, invalid memory access, software trap,
+/// unhandled exception).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// A testbench or model assertion evaluated to false on some path.
+    AssertionFailed,
+    /// An access outside the bounds of a modeled memory or register.
+    OutOfBounds,
+    /// A division or remainder with a (possibly) zero divisor.
+    DivisionByZero,
+    /// The model panicked — the analogue of an abort or unhandled C++
+    /// exception terminating the simulation.
+    ModelPanic,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ErrorKind::AssertionFailed => "assertion failed",
+            ErrorKind::OutOfBounds => "out-of-bounds access",
+            ErrorKind::DivisionByZero => "division by zero",
+            ErrorKind::ModelPanic => "model panic",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A concrete assignment for every symbolic input on an erring path.
+///
+/// Replaying the testbench with these values (see
+/// `Verifier::replay` in `symsysc-core`) reproduces the error
+/// deterministically — the paper's point ⑥, attaching a debugger to a
+/// concrete executable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counterexample {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counterexample {
+    /// Builds a counterexample from a solver model and the inputs declared
+    /// on the erring path (inputs missing from the model are don't-care and
+    /// read as zero).
+    pub(crate) fn from_model(model: &Model, inputs: &[String]) -> Counterexample {
+        let values = inputs
+            .iter()
+            .map(|name| (name.clone(), model.value_or_zero(name)))
+            .collect();
+        Counterexample { values }
+    }
+
+    /// Builds a counterexample from explicit replay values.
+    pub(crate) fn from_values(
+        values: &std::collections::HashMap<String, u64>,
+        inputs: &[String],
+    ) -> Counterexample {
+        let values = inputs
+            .iter()
+            .map(|name| (name.clone(), values.get(name).copied().unwrap_or(0)))
+            .collect();
+        Counterexample { values }
+    }
+
+    /// Builds a counterexample from explicit `(input, value)` pairs —
+    /// used by random-testing baselines to drive concrete replays.
+    pub fn from_pairs<I, S>(pairs: I) -> Counterexample
+    where
+        I: IntoIterator<Item = (S, u64)>,
+        S: Into<String>,
+    {
+        Counterexample {
+            values: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// The recorded inputs as a `name -> value` map (for replay).
+    pub fn to_map(&self) -> std::collections::HashMap<String, u64> {
+        self.values
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// The concrete value of input `name` (zero if the input was not
+    /// declared on the erring path).
+    pub fn value(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(input, value)` pairs in input-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of recorded inputs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no inputs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One detected error with its reproduction data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymError {
+    /// The error class.
+    pub kind: ErrorKind,
+    /// A human-readable description (the assertion message, panic payload,
+    /// or access description).
+    pub message: String,
+    /// Concrete input values reaching the error.
+    pub counterexample: Counterexample,
+    /// Index of the exploration path on which the error was found.
+    pub path: u64,
+    /// Wall-clock time from exploration start to this detection — the
+    /// quantity the paper's Table 2 reports.
+    pub found_at: std::time::Duration,
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} (path {}, inputs {})",
+            self.kind, self.message, self.path, self.counterexample
+        )
+    }
+}
+
+/// The result of a full (or truncated) state-space exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Every error occurrence, in discovery order. The same underlying bug
+    /// typically errors on many paths; see
+    /// [`distinct_errors`](Report::distinct_errors).
+    pub errors: Vec<SymError>,
+    /// Functional-coverage bins: label → number of paths that hit it
+    /// (see [`SymCtx::cover`](crate::SymCtx::cover)).
+    pub coverage: BTreeMap<String, u64>,
+    /// Aggregate statistics (paths, instructions, solver time).
+    pub stats: ExplorationStats,
+    /// `true` if the state space was fully explored; `false` if a path,
+    /// time or decision budget truncated the search.
+    pub completed: bool,
+}
+
+impl Report {
+    /// Whether the run found no errors (a *Pass* in the paper's Table 1).
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Distinct errors, deduplicated by `(kind, message)` — the paper's
+    /// "number of detected failures".
+    pub fn distinct_errors(&self) -> Vec<&SymError> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for e in &self.errors {
+            if seen.insert((e.kind, e.message.clone())) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// The first error, if any (useful for time-to-first-error reporting).
+    pub fn first_error(&self) -> Option<&SymError> {
+        self.errors.first()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let distinct = self.distinct_errors();
+        if distinct.is_empty() {
+            writeln!(f, "PASS ({} paths)", self.stats.paths)?;
+        } else {
+            writeln!(
+                f,
+                "FAIL ({} distinct error(s), {} occurrence(s), {} paths)",
+                distinct.len(),
+                self.errors.len(),
+                self.stats.paths
+            )?;
+            for e in distinct {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        write!(f, "{}", self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_error(kind: ErrorKind, message: &str) -> SymError {
+        SymError {
+            kind,
+            message: message.to_string(),
+            counterexample: Counterexample::default(),
+            path: 0,
+            found_at: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn distinct_errors_dedupe_by_kind_and_message() {
+        let report = Report {
+            errors: vec![
+                dummy_error(ErrorKind::AssertionFailed, "a"),
+                dummy_error(ErrorKind::AssertionFailed, "a"),
+                dummy_error(ErrorKind::AssertionFailed, "b"),
+                dummy_error(ErrorKind::ModelPanic, "a"),
+            ],
+            coverage: BTreeMap::new(),
+            stats: ExplorationStats::default(),
+            completed: true,
+        };
+        assert_eq!(report.distinct_errors().len(), 3);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn counterexample_reads_missing_inputs_as_zero() {
+        let cex = Counterexample::default();
+        assert_eq!(cex.value("nope"), 0);
+        assert!(cex.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = dummy_error(ErrorKind::OutOfBounds, "read past register");
+        let text = e.to_string();
+        assert!(text.contains("out-of-bounds"));
+        assert!(text.contains("read past register"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The path explorer: forked re-execution over recorded decision prefixes.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use crate::ctx::{EngineState, PathTerm, SymCtx};
+use crate::error::{ErrorKind, Report};
+use crate::stats::ExplorationStats;
+
+thread_local! {
+    static IN_EXPLORATION: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK_INSTALL: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that silences panics raised
+/// while a thread is inside an exploration — path termination is control
+/// flow for the engine, not a crash — and forwards everything else to the
+/// previously installed hook.
+fn install_quiet_hook() {
+    HOOK_INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_EXPLORATION.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// How the explorer orders pending paths — the analogue of KLEE's
+/// searchers. The paper attributes its fast time-to-first-bug to "KLEE's
+/// symbolic exploration heuristics, which attempt to solve the most
+/// promising paths first"; the strategy is exposed here so its effect can
+/// be measured (see the `exploration` bench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Depth-first: follow one execution to the end before backtracking
+    /// (stack order). Deterministic; the default.
+    DepthFirst,
+    /// Breadth-first: explore all paths of depth *n* before any of depth
+    /// *n + 1* (queue order). Finds shallow bugs first.
+    BreadthFirst,
+    /// Random-path selection with a deterministic seed (KLEE's
+    /// `random-path` searcher): picks a pending prefix uniformly.
+    RandomPath(u64),
+}
+
+/// Drives the symbolic exploration of a testbench closure.
+///
+/// The closure is executed once per path. All paths share one term pool
+/// and one solver (with its query cache), so replays are cheap.
+///
+/// # Example
+///
+/// ```
+/// use symsc_symex::{Explorer, Width};
+///
+/// let report = Explorer::new().max_paths(100).explore(|ctx| {
+///     let x = ctx.symbolic("x", Width::W8);
+///     let limit = ctx.word(4, Width::W8);
+///     ctx.assume(&x.ult(&limit));
+///     // One fork per feasible value comparison below:
+///     let two = ctx.word(2, Width::W8);
+///     if ctx.decide(&x.ult(&two)) {
+///         ctx.check(&x.ult(&two), "consistent view");
+///     }
+/// });
+/// assert!(report.completed);
+/// assert_eq!(report.stats.paths, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    max_paths: u64,
+    max_path_decisions: u64,
+    timeout: Option<Duration>,
+    query_cache: bool,
+    strategy: SearchStrategy,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// An explorer with default budgets (1 million paths, 100k decisions
+    /// per path, no timeout, query cache on).
+    pub fn new() -> Explorer {
+        Explorer {
+            max_paths: 1_000_000,
+            max_path_decisions: 100_000,
+            timeout: None,
+            query_cache: true,
+            strategy: SearchStrategy::DepthFirst,
+        }
+    }
+
+    /// Caps the number of explored paths.
+    pub fn max_paths(mut self, paths: u64) -> Explorer {
+        self.max_paths = paths;
+        self
+    }
+
+    /// Caps decisions per path (guards against loops over symbolic state).
+    pub fn max_path_decisions(mut self, decisions: u64) -> Explorer {
+        self.max_path_decisions = decisions;
+        self
+    }
+
+    /// Stops exploring (marking the report incomplete) after `timeout`.
+    pub fn timeout(mut self, timeout: Duration) -> Explorer {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Disables the whole-query solver cache (ablation benchmarks).
+    pub fn query_cache(mut self, enabled: bool) -> Explorer {
+        self.query_cache = enabled;
+        self
+    }
+
+    /// Selects the path-selection strategy (default: depth-first).
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Explorer {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Explores all feasible paths of `testbench`.
+    ///
+    /// The closure runs once per path; it must be deterministic apart from
+    /// the engine's branch decisions (re-execution soundness). Panics from
+    /// model code are caught and reported as [`ErrorKind::ModelPanic`]
+    /// errors with a counterexample; they terminate only their own path.
+    pub fn explore<F: FnMut(&SymCtx)>(&self, mut testbench: F) -> Report {
+        install_quiet_hook();
+        let state = Rc::new(RefCell::new(EngineState::new(
+            self.max_path_decisions,
+            self.query_cache,
+        )));
+        let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
+        let start = Instant::now();
+        let mut completed = true;
+        let mut paths = 0u64;
+        // xorshift state for SearchStrategy::RandomPath.
+        let mut rng_state = match self.strategy {
+            SearchStrategy::RandomPath(seed) => seed | 1,
+            _ => 0,
+        };
+
+        while let Some(prefix) = self.pick_next(&mut worklist, &mut rng_state) {
+            if paths >= self.max_paths {
+                completed = false;
+                break;
+            }
+            if let Some(t) = self.timeout {
+                if start.elapsed() >= t {
+                    completed = false;
+                    break;
+                }
+            }
+
+            state.borrow_mut().begin_path(prefix);
+            let ctx = SymCtx::new(state.clone());
+            IN_EXPLORATION.with(|f| f.set(true));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
+            IN_EXPLORATION.with(|f| f.set(false));
+            paths += 1;
+
+            if let Err(payload) = outcome {
+                if payload.downcast_ref::<PathTerm>().is_none() {
+                    // A genuine model/testbench panic: the C++ analogue is
+                    // an abort or unhandled exception. Report it with a
+                    // counterexample for the current path.
+                    let message = panic_message(payload.as_ref());
+                    state
+                        .borrow_mut()
+                        .record_error_here(ErrorKind::ModelPanic, message);
+                }
+            }
+
+            let mut st = state.borrow_mut();
+            st.path_index += 1;
+            st.end_path_coverage();
+            // Push pending prefixes (discovered this run); pick_next
+            // applies the search strategy on removal.
+            let pending = std::mem::take(&mut st.pending);
+            worklist.extend(pending);
+        }
+
+        let st = state.borrow();
+        if st.budget_exhausted {
+            completed = false;
+        }
+        let time = start.elapsed();
+        Report {
+            errors: st.errors.clone(),
+            coverage: st.coverage.clone(),
+            stats: ExplorationStats {
+                paths,
+                instructions: st.pool.ops_created() + st.decisions,
+                decisions: st.decisions,
+                time,
+                solver_time: st.solver_time,
+                solver: st.solver.stats(),
+            },
+            completed,
+        }
+    }
+}
+
+impl Explorer {
+    /// Replays a testbench *concretely* on a counterexample: every
+    /// `symbolic` input resolves to its recorded value, so exactly one
+    /// path executes and no solver is involved. This is the paper's
+    /// "compile the bytecode into a machine-native executable and attach a
+    /// debugger" step — the error reproduces deterministically.
+    ///
+    /// The returned report covers that single path (the reproduced errors
+    /// carry the replayed input values as their counterexample).
+    pub fn replay<F: FnMut(&SymCtx)>(
+        &self,
+        counterexample: &crate::error::Counterexample,
+        mut testbench: F,
+    ) -> Report {
+        install_quiet_hook();
+        let state = Rc::new(RefCell::new(EngineState::new(
+            self.max_path_decisions,
+            self.query_cache,
+        )));
+        state.borrow_mut().replay = Some(counterexample.to_map());
+        let start = Instant::now();
+
+        state.borrow_mut().begin_path(Vec::new());
+        let ctx = SymCtx::new(state.clone());
+        IN_EXPLORATION.with(|f| f.set(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
+        IN_EXPLORATION.with(|f| f.set(false));
+        if let Err(payload) = outcome {
+            if payload.downcast_ref::<PathTerm>().is_none() {
+                let message = panic_message(payload.as_ref());
+                state
+                    .borrow_mut()
+                    .record_error_here(ErrorKind::ModelPanic, message);
+            }
+        }
+
+        let mut st = state.borrow_mut();
+        st.end_path_coverage();
+        let st = &*st;
+        let time = start.elapsed();
+        Report {
+            errors: st.errors.clone(),
+            coverage: st.coverage.clone(),
+            stats: ExplorationStats {
+                paths: 1,
+                instructions: st.pool.ops_created() + st.decisions,
+                decisions: st.decisions,
+                time,
+                solver_time: st.solver_time,
+                solver: st.solver.stats(),
+            },
+            completed: true,
+        }
+    }
+}
+
+impl Explorer {
+    /// Removes and returns the next prefix to explore, per the strategy.
+    fn pick_next(
+        &self,
+        worklist: &mut Vec<Vec<bool>>,
+        rng_state: &mut u64,
+    ) -> Option<Vec<bool>> {
+        if worklist.is_empty() {
+            return None;
+        }
+        match self.strategy {
+            SearchStrategy::DepthFirst => worklist.pop(),
+            SearchStrategy::BreadthFirst => Some(worklist.remove(0)),
+            SearchStrategy::RandomPath(_) => {
+                // xorshift64*
+                let mut x = *rng_state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *rng_state = x;
+                let idx = (x as usize) % worklist.len();
+                Some(worklist.swap_remove(idx))
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Width;
+
+    #[test]
+    fn exhaustive_enumeration_of_small_domain() {
+        // Forks once per comparison: the engine should enumerate exactly
+        // the feasible orderings.
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let four = ctx.word(4, Width::W8);
+            ctx.assume(&x.ult(&four)); // x in 0..4
+            let mut found = 4u64;
+            for v in 0..4u64 {
+                let k = ctx.word(v, Width::W8);
+                if ctx.decide(&x.eq(&k)) {
+                    found = v;
+                    break;
+                }
+            }
+            assert!(found < 4, "x must match one of its four values");
+        });
+        assert!(report.completed);
+        assert!(report.passed());
+        assert_eq!(report.stats.paths, 4);
+    }
+
+    #[test]
+    fn model_panic_is_reported_with_counterexample() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let k = ctx.word(0x2A, Width::W8);
+            if ctx.decide(&x.eq(&k)) {
+                panic!("boom at 42");
+            }
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert_eq!(report.errors.len(), 1);
+        let e = &report.errors[0];
+        assert_eq!(e.kind, ErrorKind::ModelPanic);
+        assert!(e.message.contains("boom"));
+        assert_eq!(e.counterexample.value("x"), 0x2A);
+    }
+
+    #[test]
+    fn path_budget_marks_report_incomplete() {
+        let report = Explorer::new().max_paths(2).explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            for v in 0..8u64 {
+                let k = ctx.word(v, Width::W8);
+                if ctx.decide(&x.eq(&k)) {
+                    return;
+                }
+            }
+        });
+        assert!(!report.completed);
+        assert_eq!(report.stats.paths, 2);
+    }
+
+    #[test]
+    fn decision_budget_prevents_symbolic_loops() {
+        let report = Explorer::new().max_path_decisions(16).explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W32);
+            // `x != 0` forever: a loop whose bound is symbolic.
+            let mut i = 0u64;
+            loop {
+                let k = ctx.word32(i as u32);
+                if ctx.decide(&x.eq(&k)) {
+                    break;
+                }
+                i += 1;
+            }
+        });
+        assert!(!report.completed);
+        let _ = report;
+    }
+
+    #[test]
+    fn timeout_truncates_search() {
+        let report = Explorer::new()
+            .timeout(Duration::from_millis(0))
+            .explore(|ctx| {
+                let x = ctx.symbolic("x", Width::W8);
+                let zero = ctx.word(0, Width::W8);
+                let _ = ctx.decide(&x.eq(&zero));
+            });
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn nested_forks_cover_the_cross_product() {
+        let report = Explorer::new().explore(|ctx| {
+            let a = ctx.symbolic("a", Width::W1);
+            let b = ctx.symbolic("b", Width::W1);
+            let one = ctx.word(1, Width::W1);
+            let _ = ctx.decide(&a.eq(&one));
+            let _ = ctx.decide(&b.eq(&one));
+        });
+        assert_eq!(report.stats.paths, 4);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn errors_found_on_multiple_paths_are_all_recorded() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let two = ctx.word(2, Width::W8);
+            let rem = x.urem(&two);
+            let zero = ctx.word(0, Width::W8);
+            if ctx.decide(&rem.eq(&zero)) {
+                ctx.check(&ctx.lit(false), "even values always fail");
+            } else {
+                ctx.check(&ctx.lit(false), "odd values always fail");
+            }
+        });
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.distinct_errors().len(), 2);
+        // Counterexamples must actually be even / odd respectively.
+        for e in &report.errors {
+            let x = e.counterexample.value("x");
+            if e.message.contains("even") {
+                assert_eq!(x % 2, 0);
+            } else {
+                assert_eq!(x % 2, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_determinism_same_report_twice() {
+        let run = || {
+            Explorer::new().explore(|ctx| {
+                let x = ctx.symbolic("x", Width::W8);
+                let ten = ctx.word(10, Width::W8);
+                ctx.assume(&x.ult(&ten));
+                let five = ctx.word(5, Width::W8);
+                if ctx.decide(&x.ult(&five)) {
+                    ctx.check(&x.ult(&five), "low half");
+                } else {
+                    ctx.check(&x.uge(&five), "high half");
+                }
+            })
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.stats.paths, r2.stats.paths);
+        assert_eq!(r1.errors.len(), r2.errors.len());
+        assert!(r1.passed() && r2.passed());
+    }
+}
+
+#[cfg(test)]
+mod replay_tests {
+    use super::*;
+    use crate::Width;
+
+    fn buggy_bench(ctx: &SymCtx) {
+        let x = ctx.symbolic("x", Width::W8);
+        let ten = ctx.word(10, Width::W8);
+        ctx.check(&x.ult(&ten), "x below 10");
+    }
+
+    #[test]
+    fn replay_reproduces_the_error_concretely() {
+        let explorer = Explorer::new();
+        let report = explorer.explore(buggy_bench);
+        assert_eq!(report.errors.len(), 1);
+        let cex = report.errors[0].counterexample.clone();
+        assert!(cex.value("x") >= 10);
+
+        let replayed = explorer.replay(&cex, buggy_bench);
+        assert_eq!(replayed.errors.len(), 1, "error reproduces");
+        assert_eq!(replayed.stats.paths, 1, "single concrete path");
+        assert_eq!(
+            replayed.errors[0].counterexample.value("x"),
+            cex.value("x"),
+            "replay reports the same inputs"
+        );
+        assert_eq!(replayed.stats.solver.queries, replayed.stats.solver.trivial,
+            "no real solver work during replay");
+    }
+
+    #[test]
+    fn replay_of_good_inputs_is_silent() {
+        let explorer = Explorer::new();
+        let mut good = crate::error::Counterexample::default();
+        let _ = &mut good; // value("x") defaults to 0, which passes
+        let replayed = explorer.replay(&good, buggy_bench);
+        assert!(replayed.passed());
+    }
+
+    #[test]
+    fn replay_reproduces_model_panics() {
+        let bench = |ctx: &SymCtx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let k = ctx.word(7, Width::W8);
+            if ctx.decide(&x.eq(&k)) {
+                panic!("boom on 7");
+            }
+        };
+        let explorer = Explorer::new();
+        let report = explorer.explore(bench);
+        let cex = report.errors[0].counterexample.clone();
+        assert_eq!(cex.value("x"), 7);
+        let replayed = explorer.replay(&cex, bench);
+        assert_eq!(replayed.errors.len(), 1);
+        assert!(replayed.errors[0].message.contains("boom"));
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::Width;
+
+    /// A forking ladder: 4 nested decisions -> 16 paths; the path with
+    /// x == 0b0111 (bits 0..2 set, bit 3 clear) errors. The first path of
+    /// *any* strategy is the root (all decisions default to true), so the
+    /// needle is placed one flip away from it: depth-first finds it on
+    /// the very next path, breadth-first only after the other one-flip
+    /// prefixes of earlier decisions.
+    fn ladder(ctx: &SymCtx) {
+        let x = ctx.symbolic("x", Width::W8);
+        ctx.assume(&x.ult(&ctx.word(16, Width::W8)));
+        let mut bits = [false; 4];
+        for bit in 0..4u32 {
+            let b = x.bit(bit).to_word();
+            let one = ctx.word(1, Width::W1);
+            bits[bit as usize] = ctx.decide(&b.eq(&one));
+        }
+        let needle = bits == [true, true, true, false]; // x == 0b0111
+        ctx.check_concrete(!needle, "0b0111 is the needle");
+    }
+
+    #[test]
+    fn all_strategies_find_the_same_errors() {
+        for strategy in [
+            SearchStrategy::DepthFirst,
+            SearchStrategy::BreadthFirst,
+            SearchStrategy::RandomPath(7),
+            SearchStrategy::RandomPath(1234),
+        ] {
+            let report = Explorer::new().strategy(strategy).explore(ladder);
+            assert_eq!(report.stats.paths, 16, "{strategy:?}");
+            assert_eq!(report.errors.len(), 1, "{strategy:?}");
+            assert_eq!(report.errors[0].counterexample.value("x"), 0b0111);
+            assert!(report.completed, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_order_paths_differently() {
+        let dfs = Explorer::new()
+            .strategy(SearchStrategy::DepthFirst)
+            .explore(ladder);
+        let bfs = Explorer::new()
+            .strategy(SearchStrategy::BreadthFirst)
+            .explore(ladder);
+        // DFS pops the most recent fork (the bit-3 flip of the root path)
+        // first; BFS drains the older forks (bits 0..2) before it.
+        assert_eq!(dfs.errors[0].path, 1, "DFS: needle on the next path");
+        assert_eq!(bfs.errors[0].path, 4, "BFS: needle after the level");
+    }
+
+    #[test]
+    fn random_path_is_deterministic_per_seed() {
+        let a = Explorer::new()
+            .strategy(SearchStrategy::RandomPath(99))
+            .explore(ladder);
+        let b = Explorer::new()
+            .strategy(SearchStrategy::RandomPath(99))
+            .explore(ladder);
+        assert_eq!(a.errors[0].path, b.errors[0].path);
+    }
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+    use crate::Width;
+
+    #[test]
+    fn coverage_counts_paths_per_bin() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.assume(&x.ult(&ctx.word(4, Width::W8)));
+            ctx.cover("entered");
+            if ctx.decide(&x.ult(&ctx.word(2, Width::W8))) {
+                ctx.cover("low");
+                ctx.cover("low"); // repeated hits on one path count once
+            } else {
+                ctx.cover("high");
+            }
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert_eq!(report.coverage.get("entered"), Some(&2));
+        assert_eq!(report.coverage.get("low"), Some(&1));
+        assert_eq!(report.coverage.get("high"), Some(&1));
+        assert_eq!(report.coverage.get("never"), None, "unhit bins are absent");
+    }
+
+    #[test]
+    fn coverage_survives_path_termination() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.cover("before-assume");
+            ctx.assume(&x.eq(&ctx.word(200, Width::W8)));
+            ctx.cover("after-assume");
+            ctx.check_concrete(false, "always fails");
+            ctx.cover("unreachable");
+        });
+        assert_eq!(report.coverage.get("before-assume"), Some(&1));
+        assert_eq!(report.coverage.get("after-assume"), Some(&1));
+        assert_eq!(report.coverage.get("unreachable"), None);
+    }
+
+    #[test]
+    fn replay_reports_coverage_too() {
+        let bench = |ctx: &SymCtx| {
+            let x = ctx.symbolic("x", Width::W8);
+            if ctx.decide(&x.eq(&ctx.word(5, Width::W8))) {
+                ctx.cover("five");
+            }
+        };
+        let explorer = Explorer::new();
+        let cex = crate::error::Counterexample::from_pairs([("x", 5u64)]);
+        let replayed = explorer.replay(&cex, bench);
+        assert_eq!(replayed.coverage.get("five"), Some(&1));
+    }
+}

@@ -1,0 +1,65 @@
+//! # symsc-symex — a symbolic execution engine for peripheral models
+//!
+//! This crate plays the role of KLEE in the reproduced paper: it executes a
+//! *testbench* (an ordinary Rust closure) over symbolic bitvector values,
+//! explores every feasible control path, checks assertions, and produces a
+//! concrete counterexample for every error it finds.
+//!
+//! ## Execution model: forked re-execution
+//!
+//! KLEE forks interpreter states at symbolic branches. A native-code engine
+//! cannot snapshot a running Rust program, so we use the re-execution
+//! analogue: the [`Explorer`] runs the testbench from the
+//! start once per path, forcing a recorded prefix of branch decisions and
+//! letting the remainder default to the first feasible direction. Every
+//! novel two-feasible branch enqueues the opposite prefix. Because the term
+//! pool is hash-consed and shared across runs, replayed prefixes rebuild
+//! identical terms and the whole-query solver cache absorbs the repeated
+//! feasibility checks.
+//!
+//! ## Error classes (matching the paper's Section 4.1)
+//!
+//! * failed assertions ([`ErrorKind::AssertionFailed`]),
+//! * invalid memory accesses ([`ErrorKind::OutOfBounds`]),
+//! * division by zero ([`ErrorKind::DivisionByZero`]),
+//! * unhandled model panics ([`ErrorKind::ModelPanic`]) — the analogue of
+//!   an abort / unhandled exception in the C++ model.
+//!
+//! Every error carries a [`Counterexample`]: a concrete assignment for all
+//! symbolic inputs that drives the testbench onto the erring path.
+//!
+//! ## Example
+//!
+//! ```
+//! use symsc_symex::{Explorer, Width};
+//!
+//! // "Verify" a tiny saturating increment: buggy for x == 255.
+//! let report = Explorer::new().explore(|ctx| {
+//!     let x = ctx.symbolic("x", Width::W8);
+//!     let one = ctx.word(1, Width::W8);
+//!     let incremented = x.add(&one);          // wraps!
+//!     let cond = incremented.uge(&x);
+//!     ctx.check(&cond, "increment must not decrease");
+//! });
+//! assert_eq!(report.errors.len(), 1);
+//! let cex = &report.errors[0].counterexample;
+//! assert_eq!(cex.value("x"), 255);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod ctx;
+pub mod error;
+pub mod explore;
+pub mod stats;
+pub mod value;
+
+pub use array::SymArray;
+pub use ctx::SymCtx;
+pub use error::{Counterexample, ErrorKind, Report, SymError};
+pub use explore::{Explorer, SearchStrategy};
+pub use stats::ExplorationStats;
+pub use symsc_smt::Width;
+pub use value::{SymBool, SymWord};

@@ -1,0 +1,96 @@
+//! Exploration statistics, matching the columns of the paper's Table 1.
+
+use std::fmt;
+use std::time::Duration;
+
+use symsc_smt::SolverStats;
+
+/// Aggregate counters for one exploration.
+///
+/// The paper reports, per test: result, executed LLVM instructions, wall
+/// time, explored paths, and the share of time spent in the SMT solver.
+/// Our engine has no LLVM bytecode; `instructions` counts *engine
+/// operations* instead (term constructions plus branch decisions), which is
+/// the closest native analogue of interpreted instruction count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExplorationStats {
+    /// Completed execution paths.
+    pub paths: u64,
+    /// Engine operations executed (term constructions + branch decisions).
+    pub instructions: u64,
+    /// Branch decisions taken (included in `instructions`).
+    pub decisions: u64,
+    /// Total wall-clock exploration time.
+    pub time: Duration,
+    /// Wall-clock time spent inside the SMT solver.
+    pub solver_time: Duration,
+    /// Raw statistics from the SMT layer.
+    pub solver: SolverStats,
+}
+
+impl ExplorationStats {
+    /// Fraction of total time spent in the solver, in percent — the
+    /// paper's "Solver" column. Zero when no time was recorded.
+    pub fn solver_share(&self) -> f64 {
+        if self.time.is_zero() {
+            return 0.0;
+        }
+        100.0 * self.solver_time.as_secs_f64() / self.time.as_secs_f64()
+    }
+
+    /// Executed engine operations per second of wall time.
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.time.is_zero() {
+            return 0.0;
+        }
+        self.instructions as f64 / self.time.as_secs_f64()
+    }
+}
+
+impl fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "paths: {} | instr: {} | time: {:.3}s | solver: {:.2}% ({} queries, {} cached)",
+            self.paths,
+            self.instructions,
+            self.time.as_secs_f64(),
+            self.solver_share(),
+            self.solver.queries,
+            self.solver.cache_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_share_handles_zero_time() {
+        let s = ExplorationStats::default();
+        assert_eq!(s.solver_share(), 0.0);
+        assert_eq!(s.instructions_per_second(), 0.0);
+    }
+
+    #[test]
+    fn solver_share_is_a_percentage() {
+        let s = ExplorationStats {
+            time: Duration::from_secs(10),
+            solver_time: Duration::from_secs(4),
+            ..ExplorationStats::default()
+        };
+        assert!((s.solver_share() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_paths_and_solver() {
+        let s = ExplorationStats {
+            paths: 7,
+            ..ExplorationStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("paths: 7"));
+        assert!(text.contains("solver"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # symsc-tlm — TLM-2.0-style transactions over symbolic payloads
+//!
+//! The transaction-level-modeling layer of the workspace: a generic
+//! payload, a blocking-transport interface, and a memory-mapped register
+//! router in the style of the RISC-V VP's `tlm_map` — the machinery every
+//! TLM peripheral in the reproduced paper is built on.
+//!
+//! The twist relative to plain TLM: addresses, lengths and data bytes are
+//! [`SymWord`]s, so a testbench can issue *symbolic* transactions (the
+//! paper's T4/T5: "a TLM read-transaction at a symbolic address using a
+//! symbolic length parameter") and the register router resolves the decode
+//! through the symbolic engine, forking per reachable register mapping
+//! exactly like KLEE does on the C++ original.
+//!
+//! The router's defensive checks come in two flavors selected by
+//! [`CheckMode`]:
+//!
+//! * [`CheckMode::Assert`] — the *faithful* reproduction of the original
+//!   PLIC code, which used C `assert` for alignment, decode and access
+//!   violations. Under symbolic execution these become model panics /
+//!   out-of-bounds errors — the paper's findings F2–F5.
+//! * [`CheckMode::TlmError`] — the *fixed* behavior the paper recommends:
+//!   return a TLM error response and let the initiator handle it.
+//!
+//! [`SymWord`]: symsc_symex::SymWord
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod payload;
+pub mod regmap;
+pub mod router;
+pub mod transport;
+
+pub use payload::{Command, GenericPayload, ResponseStatus};
+pub use regmap::{Access, CheckMode, Region, RegisterBank, RegisterModel};
+pub use router::Router;
+pub use transport::BlockingTransport;

@@ -1,0 +1,189 @@
+//! The generic payload: TLM-2.0's `tlm_generic_payload`, symbolic edition.
+
+use symsc_pk::SimTime;
+use symsc_symex::{SymCtx, SymWord, Width};
+
+/// The transaction command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// A read transaction: the target fills the data buffer.
+    Read,
+    /// A write transaction: the target consumes the data buffer.
+    Write,
+}
+
+/// The transaction response, mirroring `tlm_response_status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResponseStatus {
+    /// The transaction has not been processed yet.
+    Incomplete,
+    /// `TLM_OK_RESPONSE`.
+    Ok,
+    /// `TLM_ADDRESS_ERROR_RESPONSE` — no target or register at the address.
+    AddressError,
+    /// `TLM_COMMAND_ERROR_RESPONSE` — e.g. a write to a read-only register.
+    CommandError,
+    /// `TLM_BURST_ERROR_RESPONSE` — the length does not fit the target.
+    BurstError,
+    /// `TLM_GENERIC_ERROR_RESPONSE`.
+    GenericError,
+}
+
+impl ResponseStatus {
+    /// Whether the transaction succeeded.
+    pub fn is_ok(self) -> bool {
+        self == ResponseStatus::Ok
+    }
+}
+
+/// A memory-mapped transaction with symbolic address, length and data.
+///
+/// The data buffer is a vector of 32-bit words (TLM register traffic in
+/// the modeled peripherals is word-granular); `length` is the requested
+/// transfer size *in bytes*, which may be symbolic and smaller or larger
+/// than the buffer — the register router checks it against the decode.
+///
+/// # Example
+///
+/// ```
+/// use symsc_symex::{Explorer, Width};
+/// use symsc_tlm::{Command, GenericPayload};
+///
+/// Explorer::new().explore(|ctx| {
+///     let addr = ctx.word32(0x0C00_0004);
+///     let mut txn = GenericPayload::read(ctx, addr, 4);
+///     assert_eq!(txn.command, Command::Read);
+///     assert_eq!(txn.data_words(), 1);
+///     txn.set_word(0, ctx.word32(7));
+///     assert_eq!(txn.word(0).as_const(), Some(7));
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct GenericPayload {
+    /// Read or write.
+    pub command: Command,
+    /// Byte address (32-bit, possibly symbolic).
+    pub address: SymWord,
+    /// Transfer length in bytes (32-bit, possibly symbolic).
+    pub length: SymWord,
+    /// The data buffer, one 32-bit word per entry.
+    pub data: Vec<SymWord>,
+    /// Response set by the target.
+    pub response: ResponseStatus,
+    /// Accumulated transaction delay (the TLM timing annotation that feeds
+    /// the global quantum).
+    pub delay: SimTime,
+}
+
+impl GenericPayload {
+    /// A read transaction of `length_bytes` (concrete) at `address`.
+    /// The buffer is sized to hold the rounded-up number of words.
+    pub fn read(ctx: &SymCtx, address: SymWord, length_bytes: u32) -> GenericPayload {
+        let length = ctx.word(u64::from(length_bytes), Width::W32);
+        GenericPayload::with_symbolic_length(ctx, Command::Read, address, length, length_bytes)
+    }
+
+    /// A write transaction of `length_bytes` (concrete) at `address`.
+    pub fn write(ctx: &SymCtx, address: SymWord, length_bytes: u32) -> GenericPayload {
+        let length = ctx.word(u64::from(length_bytes), Width::W32);
+        GenericPayload::with_symbolic_length(ctx, Command::Write, address, length, length_bytes)
+    }
+
+    /// A transaction whose length is itself symbolic. `buffer_bytes` bounds
+    /// the backing buffer (the testbench must `assume` that the symbolic
+    /// length fits, mirroring the paper's "up to 1000 bytes").
+    pub fn with_symbolic_length(
+        ctx: &SymCtx,
+        command: Command,
+        address: SymWord,
+        length: SymWord,
+        buffer_bytes: u32,
+    ) -> GenericPayload {
+        let words = buffer_bytes.div_ceil(4).max(1) as usize;
+        let data = (0..words).map(|_| ctx.word32(0)).collect();
+        GenericPayload {
+            command,
+            address,
+            length,
+            data,
+            response: ResponseStatus::Incomplete,
+            delay: SimTime::ZERO,
+        }
+    }
+
+    /// Number of words in the data buffer.
+    pub fn data_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The `index`-th data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the buffer.
+    pub fn word(&self, index: usize) -> &SymWord {
+        &self.data[index]
+    }
+
+    /// Sets the `index`-th data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the buffer.
+    pub fn set_word(&mut self, index: usize, value: SymWord) {
+        self.data[index] = value;
+    }
+
+    /// Marks the payload incomplete again so it can be reused.
+    pub fn reset_response(&mut self) {
+        self.response = ResponseStatus::Incomplete;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_symex::Explorer;
+
+    #[test]
+    fn read_constructor_sizes_buffer() {
+        Explorer::new().explore(|ctx| {
+            let addr = ctx.word32(0x100);
+            let p = GenericPayload::read(ctx, addr, 12);
+            assert_eq!(p.data_words(), 3);
+            assert_eq!(p.length.as_const(), Some(12));
+            assert_eq!(p.response, ResponseStatus::Incomplete);
+            assert_eq!(p.delay, SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn odd_lengths_round_buffer_up() {
+        Explorer::new().explore(|ctx| {
+            let addr = ctx.word32(0);
+            let p = GenericPayload::write(ctx, addr.clone(), 5);
+            assert_eq!(p.data_words(), 2);
+            let p0 = GenericPayload::write(ctx, addr, 0);
+            assert_eq!(p0.data_words(), 1, "zero length keeps a 1-word buffer");
+        });
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert!(ResponseStatus::Ok.is_ok());
+        assert!(!ResponseStatus::AddressError.is_ok());
+        assert!(!ResponseStatus::Incomplete.is_ok());
+    }
+
+    #[test]
+    fn word_accessors_round_trip() {
+        Explorer::new().explore(|ctx| {
+            let addr = ctx.word32(0);
+            let mut p = GenericPayload::read(ctx, addr, 8);
+            p.set_word(1, ctx.word32(0xDEAD));
+            assert_eq!(p.word(1).as_const(), Some(0xDEAD));
+            p.reset_response();
+            assert_eq!(p.response, ResponseStatus::Incomplete);
+        });
+    }
+}

@@ -1,0 +1,554 @@
+//! Memory-mapped register routing — the RISC-V VP `tlm_map` equivalent.
+//!
+//! A [`RegisterBank`] owns the *decode* of a peripheral's register file:
+//! alignment checks, region matching, access-right checks and boundary
+//! checks, with symbolic addresses and lengths resolved through the
+//! engine (forking per reachable mapping, like KLEE on the original C++).
+//! The *values* live in the peripheral, which implements
+//! [`RegisterModel`] to service word reads/writes and their side effects
+//! (e.g. the PLIC's claim/complete register).
+
+use symsc_pk::{Kernel, SimTime};
+use symsc_symex::{ErrorKind, SymCtx, SymWord};
+
+use crate::payload::{Command, GenericPayload, ResponseStatus};
+
+/// Software access rights of a register region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Reads allowed, writes are an access violation.
+    ReadOnly,
+    /// Writes allowed, reads are an access violation.
+    WriteOnly,
+    /// Both directions allowed.
+    ReadWrite,
+}
+
+/// How decode violations are handled.
+///
+/// The original PLIC used C `assert` (and an unchecked `memcpy`), which is
+/// exactly what the paper's findings F2–F5 are about; the recommended fix
+/// is to return TLM error responses instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckMode {
+    /// Faithful-to-the-bug behavior: assertion failures abort the model
+    /// (reported as model panics) and boundary overruns are raw
+    /// out-of-bounds accesses (reported as memory errors).
+    Assert,
+    /// Fixed behavior: violations produce TLM error responses.
+    TlmError,
+}
+
+/// One contiguous word-granular register region.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Diagnostic name (e.g. `"interrupt_priorities"`).
+    pub name: String,
+    /// Base byte address.
+    pub base: u64,
+    /// Size in 32-bit words.
+    pub words: usize,
+    /// Access rights.
+    pub access: Access,
+}
+
+impl Region {
+    fn end(&self) -> u64 {
+        self.base + (self.words as u64) * 4
+    }
+}
+
+/// Word-level register backend implemented by the peripheral.
+pub trait RegisterModel {
+    /// Reads the word at `word_index` within `region` (side effects
+    /// allowed — e.g. claiming an interrupt).
+    fn read_word(
+        &mut self,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        region: usize,
+        word_index: &SymWord,
+    ) -> SymWord;
+
+    /// Writes the word at `word_index` within `region`.
+    fn write_word(
+        &mut self,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        region: usize,
+        word_index: &SymWord,
+        value: &SymWord,
+    );
+}
+
+/// The register decode/router for one peripheral.
+///
+/// # Example
+///
+/// ```
+/// use symsc_tlm::{Access, CheckMode, RegisterBank};
+///
+/// let bank = RegisterBank::new(CheckMode::TlmError)
+///     .region("ctrl", 0x0, 1, Access::ReadWrite)
+///     .region("status", 0x4, 1, Access::ReadOnly);
+/// assert_eq!(bank.regions().len(), 2);
+/// assert_eq!(bank.region_index("status"), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegisterBank {
+    regions: Vec<Region>,
+    check_mode: CheckMode,
+    access_delay: SimTime,
+}
+
+impl RegisterBank {
+    /// An empty bank with the given violation handling.
+    pub fn new(check_mode: CheckMode) -> RegisterBank {
+        RegisterBank {
+            regions: Vec::new(),
+            check_mode,
+            access_delay: SimTime::from_ns(2),
+        }
+    }
+
+    /// Adds a region (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one — peripheral maps are
+    /// static and overlap is a programming error.
+    pub fn region(mut self, name: &str, base: u64, words: usize, access: Access) -> RegisterBank {
+        let new = Region {
+            name: name.to_string(),
+            base,
+            words,
+            access,
+        };
+        for r in &self.regions {
+            let disjoint = new.end() <= r.base || r.end() <= new.base;
+            assert!(disjoint, "region {:?} overlaps {:?}", new.name, r.name);
+        }
+        self.regions.push(new);
+        self
+    }
+
+    /// Sets the per-transaction delay annotation.
+    pub fn access_delay(mut self, delay: SimTime) -> RegisterBank {
+        self.access_delay = delay;
+        self
+    }
+
+    /// The configured regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The decode policy.
+    pub fn check_mode(&self) -> CheckMode {
+        self.check_mode
+    }
+
+    /// Looks a region up by name.
+    pub fn region_index(&self, name: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.name == name)
+    }
+
+    /// Routes one transaction through the decode, servicing word accesses
+    /// through `model`. Sets the payload response and delay.
+    ///
+    /// Decode behavior (matching the RISC-V VP PLIC and the paper's
+    /// findings):
+    ///
+    /// * misaligned address or length → assertion (F2) or
+    ///   [`ResponseStatus::AddressError`];
+    /// * no region containing the start address → assertion (F3) or
+    ///   [`ResponseStatus::AddressError`];
+    /// * write to a read-only region → assertion (F4) or
+    ///   [`ResponseStatus::CommandError`];
+    /// * region matched by start address but the transfer runs past its
+    ///   end → out-of-bounds access (F5) or [`ResponseStatus::BurstError`].
+    pub fn transport(
+        &self,
+        model: &mut dyn RegisterModel,
+        ctx: &SymCtx,
+        kernel: &mut Kernel,
+        payload: &mut GenericPayload,
+    ) {
+        payload.delay += self.access_delay;
+        let addr = payload.address.clone();
+        let len = payload.length.clone();
+
+        // Alignment: the register file is word-granular.
+        let three = ctx.word32(3);
+        let zero = ctx.word32(0);
+        let aligned = addr
+            .and(&three)
+            .eq(&zero)
+            .and(&len.and(&three).eq(&zero));
+        if ctx.decide(&aligned.not()) {
+            match self.check_mode {
+                CheckMode::Assert => {
+                    panic!("assertion failed: TLM register access must be 4-byte aligned")
+                }
+                CheckMode::TlmError => {
+                    payload.response = ResponseStatus::AddressError;
+                    return;
+                }
+            }
+        }
+
+        // Region decode: fork per reachable mapping, matching on the start
+        // address only (the original behavior that enables F5).
+        let mut matched = None;
+        for (i, region) in self.regions.iter().enumerate() {
+            let base = ctx.word32(region.base as u32);
+            let end = ctx.word32(region.end() as u32);
+            let hit = addr.uge(&base).and(&addr.ult(&end));
+            if ctx.decide(&hit) {
+                matched = Some(i);
+                break;
+            }
+        }
+        let region_idx = match matched {
+            Some(i) => i,
+            None => match self.check_mode {
+                CheckMode::Assert => {
+                    panic!("assertion failed: no register mapping for TLM address")
+                }
+                CheckMode::TlmError => {
+                    payload.response = ResponseStatus::AddressError;
+                    return;
+                }
+            },
+        };
+        let region = &self.regions[region_idx];
+
+        // Access rights.
+        let violates = matches!(
+            (payload.command, region.access),
+            (Command::Write, Access::ReadOnly) | (Command::Read, Access::WriteOnly)
+        );
+        if violates {
+            match self.check_mode {
+                // One shared assert in the decode code = one bug (F4),
+                // whichever register trips it.
+                CheckMode::Assert => panic!(
+                    "assertion failed: register does not allow this access mode"
+                ),
+                CheckMode::TlmError => {
+                    payload.response = ResponseStatus::CommandError;
+                    return;
+                }
+            }
+        }
+
+        // Word loop over the (possibly symbolic) length.
+        let base = ctx.word32(region.base as u32);
+        let two = ctx.word32(2);
+        let offset = addr.sub(&base).lshr(&two); // (addr - base) / 4
+        let words_limit = ctx.word32(region.words as u32);
+        let mut w = 0usize;
+        loop {
+            let pos = ctx.word32((w as u32) * 4);
+            if !ctx.decide(&pos.ult(&len)) {
+                break;
+            }
+            if w >= payload.data_words() {
+                // The initiator's buffer is smaller than the requested
+                // length: an initiator-side bug, reported as a burst error
+                // in both modes (no memory is modeled past the buffer).
+                payload.response = ResponseStatus::BurstError;
+                return;
+            }
+            let idx = offset.add(&ctx.word32(w as u32));
+            if ctx.decide(&idx.uge(&words_limit)) {
+                match self.check_mode {
+                    // Like F4: one shared unchecked copy = one bug (F5).
+                    CheckMode::Assert => ctx.fail(
+                        ErrorKind::OutOfBounds,
+                        "TLM transaction runs past the register boundary".to_string(),
+                    ),
+                    CheckMode::TlmError => {
+                        payload.response = ResponseStatus::BurstError;
+                        return;
+                    }
+                }
+            }
+            match payload.command {
+                Command::Read => {
+                    let value = model.read_word(ctx, kernel, region_idx, &idx);
+                    payload.set_word(w, value);
+                }
+                Command::Write => {
+                    let value = payload.word(w).clone();
+                    model.write_word(ctx, kernel, region_idx, &idx, &value);
+                }
+            }
+            w += 1;
+        }
+        payload.response = ResponseStatus::Ok;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_symex::{Explorer, SymArray, Width};
+
+    /// A two-region scratch model: region 0 is RAM-like, region 1 is a
+    /// read-only identity register.
+    struct Scratch {
+        ram: SymArray,
+    }
+
+    impl Scratch {
+        fn new(ctx: &SymCtx) -> Scratch {
+            Scratch {
+                ram: SymArray::filled(ctx, 4, 0, Width::W32),
+            }
+        }
+    }
+
+    impl RegisterModel for Scratch {
+        fn read_word(
+            &mut self,
+            ctx: &SymCtx,
+            _kernel: &mut Kernel,
+            region: usize,
+            word_index: &SymWord,
+        ) -> SymWord {
+            match region {
+                0 => self.ram.select(word_index),
+                1 => ctx.word32(0xF00D),
+                _ => unreachable!("unknown region"),
+            }
+        }
+
+        fn write_word(
+            &mut self,
+            _ctx: &SymCtx,
+            _kernel: &mut Kernel,
+            region: usize,
+            word_index: &SymWord,
+            value: &SymWord,
+        ) {
+            assert_eq!(region, 0, "read-only region must never be written");
+            self.ram.store(word_index, value);
+        }
+    }
+
+    fn bank(mode: CheckMode) -> RegisterBank {
+        RegisterBank::new(mode)
+            .region("ram", 0x0, 4, Access::ReadWrite)
+            .region("id", 0x100, 1, Access::ReadOnly)
+    }
+
+    #[test]
+    fn concrete_read_write_round_trip() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+
+            let mut wtxn = GenericPayload::write(ctx, ctx.word32(0x8), 4);
+            wtxn.set_word(0, ctx.word32(77));
+            b.transport(&mut model, ctx, &mut kernel, &mut wtxn);
+            assert!(wtxn.response.is_ok());
+            assert!(wtxn.delay > SimTime::ZERO);
+
+            let mut rtxn = GenericPayload::read(ctx, ctx.word32(0x8), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut rtxn);
+            assert!(rtxn.response.is_ok());
+            ctx.check(&rtxn.word(0).eq(&ctx.word32(77)), "round trip");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn multi_word_read() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            for i in 0..4u32 {
+                let mut w = GenericPayload::write(ctx, ctx.word32(i * 4), 4);
+                w.set_word(0, ctx.word32(i + 1));
+                b.transport(&mut model, ctx, &mut kernel, &mut w);
+            }
+            let mut r = GenericPayload::read(ctx, ctx.word32(0), 16);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+            assert!(r.response.is_ok());
+            for i in 0..4usize {
+                ctx.check(
+                    &r.word(i).eq(&ctx.word32(i as u32 + 1)),
+                    "word i readback",
+                );
+            }
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn misaligned_access_tlm_error_mode() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0x2), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+            assert_eq!(r.response, ResponseStatus::AddressError);
+        });
+    }
+
+    #[test]
+    fn misaligned_access_assert_mode_panics_the_model() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::Assert);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0x2), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+        });
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::ModelPanic);
+        assert!(report.errors[0].message.contains("aligned"));
+    }
+
+    #[test]
+    fn unmapped_address_is_address_error_or_assert() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0x2000), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+            assert_eq!(r.response, ResponseStatus::AddressError);
+        });
+
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::Assert);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0x2000), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+        });
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].message.contains("no register mapping"));
+    }
+
+    #[test]
+    fn write_to_read_only_region() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            let mut w = GenericPayload::write(ctx, ctx.word32(0x100), 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut w);
+            assert_eq!(w.response, ResponseStatus::CommandError);
+        });
+    }
+
+    #[test]
+    fn overrun_is_burst_error_in_fixed_mode() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            // Start at the last RAM word but ask for 8 bytes.
+            let mut r = GenericPayload::read(ctx, ctx.word32(0xC), 8);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+            assert_eq!(r.response, ResponseStatus::BurstError);
+        });
+    }
+
+    #[test]
+    fn overrun_is_out_of_bounds_in_faithful_mode() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::Assert);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0xC), 8);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+        });
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn symbolic_address_forks_over_reachable_registers() {
+        // A fully symbolic aligned in-range read must visit both regions
+        // and the error paths — the decode shape KLEE explores in T4.
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            let addr = ctx.symbolic("addr", Width::W32);
+            let mut r = GenericPayload::read(ctx, addr, 4);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+        });
+        assert!(report.passed(), "fixed mode produces no errors");
+        // Paths: misaligned, ram-hit, id-hit, unmapped (at least).
+        assert!(
+            report.stats.paths >= 4,
+            "expected >= 4 decode paths, got {}",
+            report.stats.paths
+        );
+    }
+
+    #[test]
+    fn symbolic_address_in_assert_mode_finds_all_decode_bugs() {
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::Assert);
+            let mut model = Scratch::new(ctx);
+            let addr = ctx.symbolic("addr", Width::W32);
+            let len = ctx.symbolic("len", Width::W32);
+            ctx.assume(&len.ule(&ctx.word32(8)));
+            let mut r = GenericPayload::with_symbolic_length(
+                ctx,
+                Command::Read,
+                addr,
+                len,
+                8,
+            );
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+        });
+        let messages: Vec<&str> = report
+            .distinct_errors()
+            .iter()
+            .map(|e| e.message.as_str())
+            .collect();
+        assert!(
+            messages.iter().any(|m| m.contains("aligned")),
+            "F2-like alignment bug found: {messages:?}"
+        );
+        assert!(
+            messages.iter().any(|m| m.contains("no register mapping")),
+            "F3-like decode bug found: {messages:?}"
+        );
+        assert!(
+            messages.iter().any(|m| m.contains("boundary")),
+            "F5-like overrun found: {messages:?}"
+        );
+    }
+
+    #[test]
+    fn zero_length_transaction_succeeds() {
+        Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let b = bank(CheckMode::TlmError);
+            let mut model = Scratch::new(ctx);
+            let mut r = GenericPayload::read(ctx, ctx.word32(0), 0);
+            b.transport(&mut model, ctx, &mut kernel, &mut r);
+            assert!(r.response.is_ok());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_panic_at_build_time() {
+        let _ = RegisterBank::new(CheckMode::TlmError)
+            .region("a", 0x0, 4, Access::ReadWrite)
+            .region("b", 0x8, 4, Access::ReadWrite);
+    }
+}

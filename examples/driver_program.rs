@@ -1,0 +1,99 @@
+//! Software-driven verification: a bare-metal RV32I interrupt-service
+//! driver, executed on the workspace's instruction-set simulator, is
+//! verified against the PLIC for **every** interrupt source at once.
+//!
+//! This is the full virtual-prototype stack of the paper's setting —
+//! processor model (ISS) → bus → TLM peripheral → PK kernel — under one
+//! symbolic exploration: the driver enables the PLIC over memory-mapped
+//! stores, sleeps in `wfi`, claims whatever fired, completes it, halts.
+//!
+//! Run with: `cargo run --release --example driver_program`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsysc::plic::{InterruptTarget, Plic, PlicConfig, PlicVariant};
+use symsysc::prelude::*;
+use symsysc::tlm::Router;
+use symsc_iss::{asm, Cpu, StepOutcome};
+
+const PLIC_BASE: u32 = 0x0C00_0000;
+const ENABLE0: u32 = PLIC_BASE + 0x2000;
+const CLAIM: u32 = PLIC_BASE + 0x20_0004;
+
+struct CpuIrqLine {
+    flag: Rc<RefCell<bool>>,
+}
+
+impl InterruptTarget for CpuIrqLine {
+    fn trigger_external_interrupt(&mut self) {
+        *self.flag.borrow_mut() = true;
+    }
+}
+
+fn driver_program() -> Vec<u32> {
+    let mut p = Vec::new();
+    p.extend(asm::li(10, ENABLE0)); //  x10 = &enable[0]
+    p.extend(asm::li(11, 0xFFFF_FFFF)); // x11 = all sources
+    p.push(asm::sw(11, 10, 0)); //        enable[0] = x11
+    p.extend(asm::li(10, ENABLE0 + 4)); // and the second enable word
+    p.push(asm::sw(11, 10, 0));
+    p.push(asm::wfi()); //                sleep until an interrupt
+    p.extend(asm::li(12, CLAIM)); //      x12 = &claim_response
+    p.push(asm::lw(13, 12, 0)); //        x13 = claim
+    p.push(asm::sw(13, 12, 0)); //        complete
+    p.push(asm::ebreak());
+    p
+}
+
+fn main() {
+    let program = driver_program();
+    println!(
+        "driver: {} instructions of hand-assembled RV32I\n",
+        program.len()
+    );
+
+    let report = Explorer::new().explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let plic = Rc::new(RefCell::new(Plic::new(
+            ctx,
+            &mut kernel,
+            PlicConfig::fe310().variant(PlicVariant::Fixed),
+        )));
+        let mut cpu = Cpu::new(ctx, driver_program());
+        plic.borrow().connect_hart(Rc::new(RefCell::new(CpuIrqLine {
+            flag: cpu.interrupt_line(),
+        })));
+        kernel.step();
+
+        for irq in 1..=51 {
+            plic.borrow().set_priority(ctx, irq, 1);
+        }
+        let mut bus = Router::new();
+        bus.map("plic", PLIC_BASE as u64, 0x40_0000, plic.clone());
+
+        // Any of the 51 sources fires while the driver boots.
+        let i = ctx.symbolic("i_interrupt", Width::W32);
+        ctx.assume(&i.uge(&ctx.word32(1)));
+        ctx.assume(&i.ule(&ctx.word32(51)));
+        plic.borrow().trigger_interrupt(ctx, &mut kernel, &i);
+
+        let outcome = cpu.run(ctx, &mut kernel, &mut bus, 100);
+        assert_eq!(outcome, StepOutcome::Halted);
+
+        ctx.check(&cpu.reg(ctx, 13).eq(&i), "driver claims the fired source");
+        ctx.check(
+            &plic.borrow().pending_bit_symbolic(&i).not(),
+            "the claim cleared the pending bit",
+        );
+        assert!(!plic.borrow().hart_eip(), "completion reached the PLIC");
+        ctx.cover("serviced");
+    });
+
+    println!("{report}");
+    assert!(report.passed(), "driver correct for every source");
+    println!(
+        "\ndriver verified against all 51 interrupt sources in {} path(s).",
+        report.stats.paths
+    );
+}

@@ -1,0 +1,94 @@
+//! Bug hunt on the faithful (original, buggy) FE310 PLIC.
+//!
+//! Runs the paper's five symbolic tests (T1–T5) against the faithful PLIC
+//! and prints a Table-1-style summary, every distinct bug with its
+//! counterexample, and a concrete replay of the first bug.
+//!
+//! Run with: `cargo run --release --example plic_bug_hunt`
+//! Pass `--map` to also print the register map (the paper's Fig. 1).
+
+use symsysc::core_flow::{Table, Verifier};
+use symsysc::plic::PlicConfig;
+use symsysc::testbench::{run_test, test_bench, SuiteParams, TestId};
+
+fn print_register_map(config: PlicConfig) {
+    use symsysc::plic::config as m;
+    println!("FE310 PLIC register map (Fig. 1):");
+    let mut t = Table::new(&["offset", "register", "access"]);
+    t.row(&[
+        format!("{:#010x}", m::PRIORITY_BASE),
+        format!("priority[1..={}]", config.sources),
+        "RW".to_string(),
+    ]);
+    t.row(&[
+        format!("{:#010x}", m::PENDING_BASE),
+        format!("pending bitmap ({} words)", config.bitmap_words()),
+        "RO".to_string(),
+    ]);
+    t.row(&[
+        format!("{:#010x}", m::ENABLE_BASE),
+        format!("enable bitmap ({} words)", config.bitmap_words()),
+        "RW".to_string(),
+    ]);
+    t.row(&[
+        format!("{:#010x}", m::THRESHOLD_BASE),
+        "priority threshold (hart 0)".to_string(),
+        "RW".to_string(),
+    ]);
+    t.row(&[
+        format!("{:#010x}", m::CLAIM_BASE),
+        "claim/response (hart 0)".to_string(),
+        "RW".to_string(),
+    ]);
+    println!("{t}");
+}
+
+fn main() {
+    let config = PlicConfig::fe310(); // the faithful, buggy original
+    let params = SuiteParams::default();
+
+    if std::env::args().any(|a| a == "--map") {
+        print_register_map(config);
+    }
+
+    println!(
+        "Hunting bugs in the original FE310 PLIC ({} sources, {} priority levels)\n",
+        config.sources, config.max_priority
+    );
+
+    let mut table = Table::new(&["Test", "Result", "#Exec. Ops", "Time [s]", "Paths", "Solver"]);
+    let mut first_bug = None;
+
+    for test in TestId::ALL {
+        let verifier = Verifier::new(test.name());
+        let outcome = run_test(test, config, &params, &verifier);
+        table.row(&outcome.table_row());
+
+        for error in outcome.report.distinct_errors() {
+            println!("{}: {error}", test.name());
+            if first_bug.is_none() {
+                first_bug = Some((test, error.clone()));
+            }
+        }
+    }
+
+    println!("\n{table}");
+
+    if let Some((test, error)) = first_bug {
+        println!(
+            "replaying the first bug concretely ({} with inputs {}):",
+            test.name(),
+            error.counterexample
+        );
+        let verifier = Verifier::new(test.name());
+        let replayed = verifier.replay(
+            &error.counterexample,
+            test_bench(test, config, params),
+        );
+        println!("{replayed}");
+        assert!(
+            !replayed.passed(),
+            "the counterexample must reproduce the bug"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Quickstart: verify a tiny home-made peripheral in ~80 lines.
+//!
+//! A "watchdog" register block: software writes a countdown value; reading
+//! the status register tells whether the countdown expired. The model has
+//! a deliberate bug (an off-by-one in the expiry comparison) that symbolic
+//! execution finds immediately, along with a concrete counterexample.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use symsysc::prelude::*;
+
+/// The device under verification: two registers at 0x0 (countdown, RW)
+/// and 0x4 (status, RO).
+struct Watchdog {
+    bank: RegisterBank,
+    countdown: SymWord,
+    ticks: SymWord,
+}
+
+impl Watchdog {
+    fn new(ctx: &SymCtx) -> Watchdog {
+        Watchdog {
+            bank: RegisterBank::new(CheckMode::TlmError)
+                .region("countdown", 0x0, 1, Access::ReadWrite)
+                .region("status", 0x4, 1, Access::ReadOnly),
+            countdown: ctx.word32(0),
+            ticks: ctx.word32(0),
+        }
+    }
+
+    fn tick(&mut self, amount: &SymWord) {
+        self.ticks = self.ticks.add(amount);
+    }
+
+    /// BUG: expiry should be `ticks >= countdown`, but this model uses a
+    /// strict comparison — the watchdog reports "alive" one tick too long.
+    fn expired(&self, _ctx: &SymCtx) -> SymBool {
+        self.ticks.ugt(&self.countdown)
+    }
+}
+
+struct WatchdogRegs<'a> {
+    dev: &'a mut Watchdog,
+}
+
+impl RegisterModel for WatchdogRegs<'_> {
+    fn read_word(
+        &mut self,
+        ctx: &SymCtx,
+        _kernel: &mut Kernel,
+        region: usize,
+        _word_index: &SymWord,
+    ) -> SymWord {
+        match region {
+            0 => self.dev.countdown.clone(),
+            1 => {
+                let one = ctx.word32(1);
+                let zero = ctx.word32(0);
+                let expired = self.dev.expired(ctx);
+                one.select(&expired, &zero)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn write_word(
+        &mut self,
+        _ctx: &SymCtx,
+        _kernel: &mut Kernel,
+        region: usize,
+        _word_index: &SymWord,
+        value: &SymWord,
+    ) {
+        assert_eq!(region, 0, "status is read-only");
+        self.dev.countdown = value.clone();
+    }
+}
+
+fn main() {
+    let report = Explorer::new().explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let mut dev = Watchdog::new(ctx);
+
+        // Symbolic stimulus: any countdown value up to 100 ticks.
+        let limit = ctx.symbolic("countdown", Width::W32);
+        ctx.assume(&limit.ule(&ctx.word32(100)));
+        ctx.assume(&limit.ugt(&ctx.word32(0)));
+
+        // Program the countdown over TLM.
+        let mut txn = GenericPayload::write(ctx, ctx.word32(0x0), 4);
+        txn.set_word(0, limit.clone());
+        let bank = dev.bank.clone();
+        bank.transport(&mut WatchdogRegs { dev: &mut dev }, ctx, &mut kernel, &mut txn);
+        assert!(txn.response.is_ok());
+
+        // Let exactly `countdown` ticks elapse...
+        dev.tick(&limit);
+
+        // ...and check the specification: the watchdog must have expired.
+        let mut status = GenericPayload::read(ctx, ctx.word32(0x4), 4);
+        bank.transport(&mut WatchdogRegs { dev: &mut dev }, ctx, &mut kernel, &mut status);
+        ctx.check(
+            &status.word(0).eq(&ctx.word32(1)),
+            "watchdog expires after exactly `countdown` ticks",
+        );
+    });
+
+    println!("{report}");
+    if let Some(error) = report.first_error() {
+        println!();
+        println!("first counterexample: {}", error.counterexample);
+        println!("(any countdown value reproduces it: the comparison is strict)");
+    }
+    assert!(
+        !report.passed(),
+        "the deliberate off-by-one must be detected"
+    );
+}

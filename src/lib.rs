@@ -1,0 +1,37 @@
+//! # symsysc — symbolic verification of SystemC-style TLM peripherals
+//!
+//! Umbrella crate of the SymSysC-Rust workspace, a from-scratch Rust
+//! reproduction of *"Verifying SystemC TLM Peripherals using Modern C++
+//! Symbolic Execution Tools"* (DAC 2022). It re-exports the workspace
+//! crates under stable names; see each member's documentation for depth:
+//!
+//! * [`smt`] — bitvector SMT solver (terms → AIG → CNF → CDCL SAT),
+//! * [`symex`] — the symbolic execution engine (the KLEE analogue),
+//! * [`pk`] — the lightweight peripheral kernel (the SystemC replacement),
+//! * [`tlm`] — TLM-2.0-style payloads and the register router,
+//! * [`plic`] — the RISC-V FE310 PLIC device under verification,
+//! * [`core_flow`] — the verification flow (`Verifier`, replay, tables),
+//! * [`testbench`] — the paper's symbolic tests T1–T5 and the baseline.
+//!
+//! ```
+//! use symsysc::prelude::*;
+//!
+//! let report = Explorer::new().explore(|ctx| {
+//!     let x = ctx.symbolic("x", Width::W8);
+//!     ctx.check(&x.ule(&ctx.word(255, Width::W8)), "trivially true");
+//! });
+//! assert!(report.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use symsc_pk as pk;
+pub use symsc_plic as plic;
+pub use symsc_smt as smt;
+pub use symsc_symex as symex;
+pub use symsc_testbench as testbench;
+pub use symsc_tlm as tlm;
+pub use symsysc_core as core_flow;
+
+pub use symsysc_core::prelude;

@@ -1,0 +1,116 @@
+//! Integration: the paper's Table 2 detection pattern.
+//!
+//! Each cell of Table 2 is "test X detects / does not detect bug Y".
+//! Fast combinations run at full FE310 scale; T2-based combinations use
+//! the shape-preserving scaled configuration (T2's solver work at full
+//! scale is minutes-long; the detection logic is identical).
+
+use symsc_plic::{InjectedFault, PlicConfig, PlicVariant};
+use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::Verifier;
+
+fn fixed_full() -> PlicConfig {
+    PlicConfig::fe310().variant(PlicVariant::Fixed)
+}
+
+fn fixed_scaled() -> PlicConfig {
+    PlicConfig::fe310_scaled().variant(PlicVariant::Fixed)
+}
+
+fn detects(test: TestId, config: PlicConfig) -> bool {
+    !run_test(test, config, &SuiteParams::default(), &Verifier::new(test.name())).passed()
+}
+
+#[test]
+fn t1_row_full_scale() {
+    // Paper row T1: F1 (via faithful), IF1, IF2, IF4, IF5 detected.
+    assert!(detects(TestId::T1, PlicConfig::fe310()), "T1 finds F1");
+    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If1OffByOneGateway)));
+    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If2DropNotifyId13)));
+    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If4LateNotifyHighIds)));
+    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If5EarlyClearReturn)));
+    // And the dashes:
+    assert!(!detects(TestId::T1, fixed_full().fault(InjectedFault::If3SkipRetrigger)));
+    assert!(!detects(TestId::T1, fixed_full().fault(InjectedFault::If6ThresholdOffByOne)));
+}
+
+#[test]
+fn t2_row_scaled() {
+    // Paper row T2: IF2, IF3, IF5 detected; IF1, IF4, IF6 dashes.
+    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If2DropNotifyId13)));
+    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If3SkipRetrigger)));
+    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If5EarlyClearReturn)));
+    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If1OffByOneGateway)));
+    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If4LateNotifyHighIds)));
+    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If6ThresholdOffByOne)));
+}
+
+#[test]
+fn t3_row_full_scale() {
+    // Paper row T3: only IF6.
+    assert!(detects(TestId::T3, fixed_full().fault(InjectedFault::If6ThresholdOffByOne)));
+    for fault in [
+        InjectedFault::If1OffByOneGateway,
+        InjectedFault::If2DropNotifyId13,
+        InjectedFault::If3SkipRetrigger,
+        InjectedFault::If4LateNotifyHighIds,
+        InjectedFault::If5EarlyClearReturn,
+    ] {
+        assert!(
+            !detects(TestId::T3, fixed_full().fault(fault)),
+            "T3 must not detect {}",
+            fault.label()
+        );
+    }
+}
+
+#[test]
+fn t4_t5_rows_full_scale() {
+    // The interface tests see the decode bugs (on the faithful PLIC) but
+    // none of the interrupt-logic faults.
+    assert!(detects(TestId::T4, PlicConfig::fe310()));
+    assert!(detects(TestId::T5, PlicConfig::fe310()));
+    for fault in InjectedFault::ALL {
+        assert!(
+            !detects(TestId::T4, fixed_full().fault(fault)),
+            "T4 must not detect {}",
+            fault.label()
+        );
+        assert!(
+            !detects(TestId::T5, fixed_full().fault(fault)),
+            "T5 must not detect {}",
+            fault.label()
+        );
+    }
+}
+
+#[test]
+fn if_counterexamples_pinpoint_the_fault() {
+    // IF1: the overflow id.
+    let o = run_test(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If1OffByOneGateway),
+        &SuiteParams::default(),
+        &Verifier::new("T1"),
+    );
+    assert_eq!(o.report.errors[0].counterexample.value("i_interrupt"), 52);
+
+    // IF4: a high id with the stretched latency.
+    let o = run_test(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If4LateNotifyHighIds),
+        &SuiteParams::default(),
+        &Verifier::new("T1"),
+    );
+    let id = o.report.errors[0].counterexample.value("i_interrupt");
+    assert!(id > 32 && id <= 51, "IF4 fires for high ids, got {id}");
+
+    // IF5: the sticky id 7.
+    let o = run_test(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If5EarlyClearReturn),
+        &SuiteParams::default(),
+        &Verifier::new("T1"),
+    );
+    assert_eq!(o.report.errors[0].counterexample.value("i_interrupt"), 7);
+}

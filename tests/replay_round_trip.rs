@@ -1,0 +1,66 @@
+//! Integration: every counterexample found symbolically must reproduce
+//! its error when replayed concretely (the paper's point ⑥ — compiling to
+//! a native executable and debugging the concrete run).
+
+use symsc_plic::{InjectedFault, PlicConfig, PlicVariant};
+use symsc_testbench::{run_test, test_bench, SuiteParams, TestId};
+use symsysc_core::Verifier;
+
+fn replay_all_distinct(test: TestId, config: PlicConfig) {
+    let params = SuiteParams::default();
+    let v = Verifier::new(test.name());
+    let outcome = run_test(test, config, &params, &v);
+    let distinct = outcome.report.distinct_errors();
+    assert!(!distinct.is_empty(), "{test} must find something to replay");
+    for error in distinct {
+        let replayed = v.replay(&error.counterexample, test_bench(test, config, params));
+        assert!(
+            !replayed.passed(),
+            "{test}: counterexample {} for '{}' must reproduce",
+            error.counterexample,
+            error.message
+        );
+        assert_eq!(replayed.report.stats.paths, 1, "replay is one concrete path");
+    }
+}
+
+#[test]
+fn t1_counterexamples_replay_full_scale() {
+    replay_all_distinct(TestId::T1, PlicConfig::fe310());
+}
+
+#[test]
+fn t4_counterexamples_replay_full_scale() {
+    replay_all_distinct(TestId::T4, PlicConfig::fe310());
+}
+
+#[test]
+fn t5_counterexamples_replay_full_scale() {
+    replay_all_distinct(TestId::T5, PlicConfig::fe310());
+}
+
+#[test]
+fn injected_fault_counterexamples_replay() {
+    let fixed = PlicConfig::fe310().variant(PlicVariant::Fixed);
+    for fault in [
+        InjectedFault::If1OffByOneGateway,
+        InjectedFault::If2DropNotifyId13,
+        InjectedFault::If4LateNotifyHighIds,
+        InjectedFault::If5EarlyClearReturn,
+    ] {
+        replay_all_distinct(TestId::T1, fixed.fault(fault));
+    }
+    replay_all_distinct(TestId::T3, fixed.fault(InjectedFault::If6ThresholdOffByOne));
+}
+
+#[test]
+fn replay_with_benign_inputs_passes() {
+    // A valid, well-behaved input through the faithful T1 testbench must
+    // not trip anything (the bugs need the corner cases).
+    let params = SuiteParams::default();
+    let config = PlicConfig::fe310();
+    let v = Verifier::new("T1");
+    let benign = symsc_symex::Counterexample::from_pairs([("i_interrupt", 5u64)]);
+    let replayed = v.replay(&benign, test_bench(TestId::T1, config, params));
+    assert!(replayed.passed(), "{}", replayed);
+}

@@ -26,8 +26,8 @@ fn bench_t1_scaling(c: &mut Criterion) {
             |b, &sources| {
                 let params = SuiteParams::default();
                 b.iter(|| {
-                    let report = Explorer::new()
-                        .explore(test_bench(TestId::T1, scaled(sources), params));
+                    let report =
+                        Explorer::new().explore(test_bench(TestId::T1, scaled(sources), params));
                     assert!(!report.passed());
                 })
             },
@@ -40,8 +40,7 @@ fn bench_t3_masking(c: &mut Criterion) {
     c.bench_function("exploration/t3_masking_16_sources", |b| {
         let params = SuiteParams::default();
         b.iter(|| {
-            let report =
-                Explorer::new().explore(test_bench(TestId::T3, scaled(16), params));
+            let report = Explorer::new().explore(test_bench(TestId::T3, scaled(16), params));
             assert!(report.passed());
         })
     });
@@ -56,17 +55,15 @@ fn bench_query_cache_ablation(c: &mut Criterion) {
         let name = if cached { "cached" } else { "uncached" };
         group.bench_function(name, |b| {
             b.iter(|| {
-                let report = Explorer::new()
-                    .query_cache(cached)
-                    .explore(|ctx| {
-                        // A forking ladder: 6 nested two-way decisions.
-                        let x = ctx.symbolic("x", Width::W8);
-                        for bit in 0..6u32 {
-                            let b = x.bit(bit).to_word();
-                            let one = ctx.word(1, Width::W1);
-                            let _ = ctx.decide(&b.eq(&one));
-                        }
-                    });
+                let report = Explorer::new().query_cache(cached).explore(|ctx| {
+                    // A forking ladder: 6 nested two-way decisions.
+                    let x = ctx.symbolic("x", Width::W8);
+                    for bit in 0..6u32 {
+                        let b = x.bit(bit).to_word();
+                        let one = ctx.word(1, Width::W1);
+                        let _ = ctx.decide(&b.eq(&one));
+                    }
+                });
                 assert_eq!(report.stats.paths, 64);
             })
         });

@@ -69,11 +69,9 @@ fn bench_schedulers(c: &mut Criterion) {
             &timers,
             |b, &t| b.iter(|| heap_scheduler_workload(t)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("naive_scan", timers),
-            &timers,
-            |b, &t| b.iter(|| naive_scheduler_workload(t)),
-        );
+        group.bench_with_input(BenchmarkId::new("naive_scan", timers), &timers, |b, &t| {
+            b.iter(|| naive_scheduler_workload(t))
+        });
     }
     group.finish();
 }

@@ -75,5 +75,10 @@ fn bench_exactness(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_integer_time, bench_float_time, bench_exactness);
+criterion_group!(
+    benches,
+    bench_integer_time,
+    bench_float_time,
+    bench_exactness
+);
 criterion_main!(benches);

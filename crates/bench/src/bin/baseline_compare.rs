@@ -23,7 +23,12 @@ fn main() {
     // specific register-relative address out of 2^32 — random testing is
     // hopeless, the solver is immediate).
     let cases: Vec<(&str, TestId, PlicConfig, Option<&str>)> = vec![
-        ("F1 (invalid-id abort)", TestId::T1, faithful, Some("out of range")),
+        (
+            "F1 (invalid-id abort)",
+            TestId::T1,
+            faithful,
+            Some("out of range"),
+        ),
         (
             "IF2 (dropped notify, id 13)",
             TestId::T1,
@@ -68,7 +73,7 @@ fn main() {
             .report
             .errors
             .iter()
-            .find(|e| target.map_or(true, |t| e.message.contains(t)))
+            .find(|e| target.is_none_or(|t| e.message.contains(t)))
             .map(|e| cell_time(e.found_at))
             .unwrap_or_else(|| "not found".to_string());
 
@@ -91,5 +96,8 @@ fn main() {
     }
 
     println!("{table}");
-    println!("(random testing over {} seeds, budget {MAX_TRIALS} trials each)", SEEDS.len());
+    println!(
+        "(random testing over {} seeds, budget {MAX_TRIALS} trials each)",
+        SEEDS.len()
+    );
 }

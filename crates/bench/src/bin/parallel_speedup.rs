@@ -1,0 +1,170 @@
+//! Measures the parallel explorer's speedup on a T1-pattern workload.
+//!
+//! The workload follows the paper's T1 (basic interaction): a symbolic
+//! interrupt id is triggered, enumerated with one `decide` per source (one
+//! execution path per id, like the claim ladder), and claimed through the
+//! real TLM claim register with symbolic checks. That gives `sources`
+//! independent paths — the unit of work the worker pool distributes.
+//!
+//! The same exploration runs with 1 worker and with N workers (default 4).
+//! The binary verifies that both produce identical path counts, verdicts,
+//! error reports and counterexamples and that the shared query cache shows
+//! a nonzero hit rate, then reports the wall-clock speedup. On a
+//! single-hardware-thread host the speedup is reported but not expected to
+//! exceed 1x (there is nothing to run the workers on); with >= 4 hardware
+//! threads the expected speedup at 4 workers is >= 2x.
+//!
+//! Usage: `parallel_speedup [sources] [workers]` (defaults: 32, 4).
+
+use std::time::Instant;
+
+use symsc_pk::Kernel;
+use symsc_plic::{Plic, PlicConfig, PlicVariant};
+use symsc_symex::{Explorer, Report, SymCtx, Width};
+use symsc_tlm::{BlockingTransport, GenericPayload};
+
+const CLAIM_ADDR: u32 = 0x20_0004;
+
+/// The T1-pattern testbench: symbolic trigger, per-source enumeration,
+/// TLM claim, symbolic checks. `Fn + Send + Sync`, so it runs on the
+/// multi-worker explorer.
+fn t1_pattern(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
+    move |ctx: &SymCtx| {
+        let mut kernel = Kernel::new();
+        let mut plic = Plic::new(ctx, &mut kernel, cfg);
+        kernel.step();
+        plic.enable_all_sources(ctx);
+        for irq in 1..=cfg.sources {
+            plic.set_priority(ctx, irq, 1);
+        }
+
+        let i = ctx.symbolic("i_interrupt", Width::W32);
+        let one = ctx.word32(1);
+        let n = ctx.word32(cfg.sources);
+        ctx.assume(&i.uge(&one));
+        ctx.assume(&i.ule(&n));
+        // The same guard query on every path: the shared cache absorbs it.
+        ctx.check(&i.ule(&n), "id in range");
+
+        plic.trigger_interrupt(ctx, &mut kernel, &i);
+        kernel.step();
+
+        ctx.check(&plic.pending_bit_symbolic(&i), "pending after trigger");
+
+        // Claim ladder: one execution path per source id.
+        for k in 1..=cfg.sources {
+            if ctx.decide(&i.eq(&ctx.word32(k))) {
+                let mut claim = GenericPayload::read(ctx, ctx.word32(CLAIM_ADDR), 4);
+                plic.b_transport(ctx, &mut kernel, &mut claim);
+                ctx.check_concrete(claim.response.is_ok(), "claim read succeeds");
+                ctx.check(&claim.word(0).eq(&i), "claimed id matches trigger");
+                break;
+            }
+        }
+    }
+}
+
+fn explore(cfg: PlicConfig, workers: usize) -> (Report, f64) {
+    let start = Instant::now();
+    let report = Explorer::new().workers(workers).explore(t1_pattern(cfg));
+    (report, start.elapsed().as_secs_f64())
+}
+
+/// The scheduling-independent projection of a report's errors.
+fn error_view(report: &Report) -> Vec<(String, u64, String)> {
+    report
+        .errors
+        .iter()
+        .map(|e| (e.message.clone(), e.path, format!("{}", e.counterexample)))
+        .collect()
+}
+
+fn main() {
+    let sources: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let mut cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
+    cfg.sources = sources;
+    cfg.max_priority = 7;
+
+    let (seq, seq_time) = explore(cfg, 1);
+    let (par, par_time) = explore(cfg, workers);
+
+    let mut ok = true;
+    if par.stats.paths != seq.stats.paths {
+        println!(
+            "MISMATCH: paths {} (sequential) vs {} ({workers} workers)",
+            seq.stats.paths, par.stats.paths
+        );
+        ok = false;
+    }
+    if par.passed() != seq.passed() {
+        println!(
+            "MISMATCH: verdict passed={} (sequential) vs passed={} ({workers} workers)",
+            seq.passed(),
+            par.passed()
+        );
+        ok = false;
+    }
+    if error_view(&par) != error_view(&seq) {
+        println!("MISMATCH: error reports differ between worker counts");
+        ok = false;
+    }
+    if par.coverage != seq.coverage {
+        println!("MISMATCH: coverage differs between worker counts");
+        ok = false;
+    }
+
+    let speedup = seq_time / par_time.max(1e-9);
+    let solver = &par.stats.solver;
+    let looked_up = solver.cache_hits + solver.cache_misses;
+    let hit_rate = if looked_up == 0 {
+        0.0
+    } else {
+        100.0 * solver.cache_hits as f64 / looked_up as f64
+    };
+    let hw_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!(
+        "T1-pattern sources={sources}: {} ({} paths)",
+        if seq.passed() { "Pass" } else { "Fail" },
+        seq.stats.paths
+    );
+    println!(
+        "  sequential (1 worker): {seq_time:.2}s, {} decisions, {} solver queries",
+        seq.stats.decisions, seq.stats.solver.queries
+    );
+    println!(
+        "  parallel ({workers} workers): {par_time:.2}s, {} decisions, {} solver queries",
+        par.stats.decisions, par.stats.solver.queries
+    );
+    println!(
+        "  speedup: {speedup:.2}x | shared cache: {} hits / {} misses ({hit_rate:.1}% hit rate)",
+        solver.cache_hits, solver.cache_misses
+    );
+
+    // A single-path exploration never repeats a query, so only demand
+    // cache hits when there was cross-path work to share.
+    if solver.cache_hits == 0 && seq.stats.paths > 1 {
+        println!("MISMATCH: expected a nonzero shared-cache hit rate");
+        ok = false;
+    }
+    if hw_threads < 2 {
+        println!(
+            "  note: {hw_threads} hardware thread(s) available — no parallel \
+             speedup is possible on this host; run on >= 4 cores to see >= 2x"
+        );
+    } else if speedup < 1.0 {
+        println!("  note: no speedup measured despite {hw_threads} hardware threads");
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

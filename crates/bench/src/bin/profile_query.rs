@@ -26,7 +26,11 @@ fn main() {
         let bad = p.not(sel);
         let t = Instant::now();
         let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
-        println!("A n={n}: {:?} in {:.3}s", matches!(r, SatResult::Unsat), t.elapsed().as_secs_f64());
+        println!(
+            "A n={n}: {:?} in {:.3}s",
+            matches!(r, SatResult::Unsat),
+            t.elapsed().as_secs_f64()
+        );
     }
     // Shape B: with priority max-chain (ugt comparisons) like next_pending
     for n in [8u32, 16, 24, 32] {
@@ -67,6 +71,10 @@ fn main() {
         let bad = p.not(empty);
         let t = Instant::now();
         let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
-        println!("B n={n}: {:?} in {:.3}s", matches!(r, SatResult::Unsat), t.elapsed().as_secs_f64());
+        println!(
+            "B n={n}: {:?} in {:.3}s",
+            matches!(r, SatResult::Unsat),
+            t.elapsed().as_secs_f64()
+        );
     }
 }

@@ -19,7 +19,12 @@ fn main() {
     cfg.sources = sources;
     cfg.max_priority = 7;
     let start = Instant::now();
-    let o = run_test(test, cfg, &SuiteParams::default(), &Verifier::new(test.name()));
+    let o = run_test(
+        test,
+        cfg,
+        &SuiteParams::default(),
+        &Verifier::new(test.name()),
+    );
     let s = &o.report.stats;
     println!(
         "{test} sources={sources}: {} paths={} decisions={} instr={} time={:.2}s solver_time={:.2}s",
@@ -28,7 +33,11 @@ fn main() {
     );
     println!(
         "  queries={} sat={} unsat={} cached={} trivial={} solve_time={:.2}s",
-        s.solver.queries, s.solver.sat, s.solver.unsat, s.solver.cache_hits,
-        s.solver.trivial, s.solver.solve_time.as_secs_f64()
+        s.solver.queries,
+        s.solver.sat,
+        s.solver.unsat,
+        s.solver.cache_hits,
+        s.solver.trivial,
+        s.solver.solve_time.as_secs_f64()
     );
 }

@@ -6,7 +6,10 @@ use symsc_smt::sat::SatSolver;
 use symsc_smt::{TermPool, Width};
 
 fn main() {
-    let n: u32 = std::env::args().nth(1).and_then(|x| x.parse().ok()).unwrap_or(24);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|x| x.parse().ok())
+        .unwrap_or(24);
     let w = Width::W32;
     let mut p = TermPool::new();
     let i = p.var("i", w);
@@ -32,19 +35,37 @@ fn main() {
     for c in [lo, hi, bad] {
         roots.push(blaster.blast(&p, c)[0]);
     }
-    eprintln!("[{:.3}s] blasted: AIG nodes {}", t0.elapsed().as_secs_f64(), blaster.aig().len());
+    eprintln!(
+        "[{:.3}s] blasted: AIG nodes {}",
+        t0.elapsed().as_secs_f64(),
+        blaster.aig().len()
+    );
     let mut sat = SatSolver::new();
-    eprintln!("[{:.3}s] term pool size {}", t0.elapsed().as_secs_f64(), p.len());
+    eprintln!(
+        "[{:.3}s] term pool size {}",
+        t0.elapsed().as_secs_f64(),
+        p.len()
+    );
     let t = Instant::now();
     match load_aig(blaster.aig(), &roots, &mut sat) {
         CnfResult::TriviallyUnsat => println!("trivially unsat"),
         CnfResult::Loaded(_) => {
-            eprintln!("[{:.3}s] cnf loaded: vars {}", t0.elapsed().as_secs_f64(), sat.num_vars());
+            eprintln!(
+                "[{:.3}s] cnf loaded: vars {}",
+                t0.elapsed().as_secs_f64(),
+                sat.num_vars()
+            );
             let r = sat.solve();
             let s = sat.stats();
             println!(
                 "result={} in {:.3}s: decisions={} conflicts={} props={} restarts={} learnt={}",
-                r, t.elapsed().as_secs_f64(), s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_clauses
+                r,
+                t.elapsed().as_secs_f64(),
+                s.decisions,
+                s.conflicts,
+                s.propagations,
+                s.restarts,
+                s.learnt_clauses
             );
         }
     }

@@ -40,9 +40,7 @@ fn main() {
         let outcome = run_test(test, config, &params, &Verifier::new(test.name()));
         table.row(&outcome.table_row());
         for error in outcome.report.distinct_errors() {
-            let label = f_label(error)
-                .map(|l| format!("{l}: "))
-                .unwrap_or_default();
+            let label = f_label(error).map(|l| format!("{l}: ")).unwrap_or_default();
             findings.push(format!(
                 "  {} -> {label}{} (inputs {})",
                 test.name(),

@@ -74,19 +74,27 @@ mod tests {
     #[test]
     fn labels_map_the_engineered_bugs() {
         assert_eq!(
-            f_label(&err("assertion failed: interrupt id out of range in trigger_interrupt")),
+            f_label(&err(
+                "assertion failed: interrupt id out of range in trigger_interrupt"
+            )),
             Some("F1")
         );
         assert_eq!(
-            f_label(&err("assertion failed: TLM register access must be 4-byte aligned")),
+            f_label(&err(
+                "assertion failed: TLM register access must be 4-byte aligned"
+            )),
             Some("F2")
         );
         assert_eq!(
-            f_label(&err("assertion failed: no register mapping for TLM address")),
+            f_label(&err(
+                "assertion failed: no register mapping for TLM address"
+            )),
             Some("F3")
         );
         assert_eq!(
-            f_label(&err("assertion failed: register does not allow this access mode")),
+            f_label(&err(
+                "assertion failed: register does not allow this access mode"
+            )),
             Some("F4")
         );
         assert_eq!(

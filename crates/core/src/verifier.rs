@@ -103,13 +103,20 @@ impl Verifier {
         self
     }
 
+    /// Sets the number of exploration worker threads (`0` = one per
+    /// available hardware thread, `1` = sequential).
+    pub fn workers(mut self, workers: usize) -> Verifier {
+        self.explorer = self.explorer.workers(workers);
+        self
+    }
+
     /// Access to the configured explorer (for advanced callers).
     pub fn explorer(&self) -> &Explorer {
         &self.explorer
     }
 
     /// Runs the testbench to full state-space exploration (or budget).
-    pub fn run<F: FnMut(&SymCtx)>(&self, testbench: F) -> TestOutcome {
+    pub fn run<F: Fn(&SymCtx) + Sync>(&self, testbench: F) -> TestOutcome {
         TestOutcome {
             name: self.name.clone(),
             report: self.explorer.explore(testbench),

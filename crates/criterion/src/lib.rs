@@ -1,0 +1,192 @@
+//! Offline drop-in shim for the subset of the `criterion` API our benches
+//! use.
+//!
+//! The workspace must build with no network access, so it cannot depend on
+//! the real `criterion` from crates.io (even an unused optional registry
+//! dependency breaks offline lockfile resolution). This in-tree package
+//! shadows it by name and implements just enough of the API —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — that the bench
+//! sources in `crates/bench/benches/` compile and run unmodified.
+//!
+//! It is a measurement shim, not a statistics engine: each benchmark runs
+//! a warm-up pass plus `sample_size` timed iterations and prints the mean
+//! wall-clock time per iteration. Swap the real crate back in when network
+//! access is available; no bench source needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function, mirroring
+/// `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark under this group's prefix.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark, passing `input` to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (The real criterion emits summary plots here; the
+    /// shim has nothing left to do.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterization of a benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget (after one
+    /// untimed warm-up call) and prints the mean time per iteration.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        let per_iter = total.as_nanos() / u128::from(self.iters.max(1));
+        println!("    {} iters, {} ns/iter", self.iters, per_iter);
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    println!("bench: {name}");
+    let mut bencher = Bencher { iters: sample_size };
+    f(&mut bencher);
+}
+
+/// Bundles benchmark functions into a group runner, like the real
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main()` running the listed groups, like the real
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("shim/group");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("named", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    #[test]
+    fn api_surface_runs() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(51).0, "51");
+    }
+}

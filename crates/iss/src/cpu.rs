@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use symsc_pk::Kernel;
-use symsc_symex::{SymCtx, SymWord, Width};
+use symsc_symex::{SymCtx, SymWord};
 use symsc_tlm::{BlockingTransport, GenericPayload};
 
 /// Why [`Cpu::step`] (or [`Cpu::run`]) stopped.
@@ -313,7 +313,7 @@ impl Cpu {
 mod tests {
     use super::*;
     use crate::asm;
-    use symsc_symex::Explorer;
+    use symsc_symex::{Explorer, Width};
     use symsc_tlm::ResponseStatus;
 
     /// A 16-word scratch RAM for load/store tests.
@@ -333,7 +333,7 @@ mod tests {
         fn b_transport(&mut self, ctx: &SymCtx, _k: &mut Kernel, p: &mut GenericPayload) {
             let addr = p.address.concretize() as usize;
             let idx = addr / 4;
-            if addr % 4 != 0 || idx >= self.words.len() {
+            if !addr.is_multiple_of(4) || idx >= self.words.len() {
                 p.response = ResponseStatus::AddressError;
                 return;
             }
@@ -351,8 +351,8 @@ mod tests {
 
     fn run_program(
         program: Vec<u32>,
-        setup: impl Fn(&SymCtx, &mut Cpu),
-        check: impl Fn(&SymCtx, &Cpu, StepOutcome),
+        setup: impl Fn(&SymCtx, &mut Cpu) + Sync,
+        check: impl Fn(&SymCtx, &Cpu, StepOutcome) + Sync,
     ) -> symsc_symex::Report {
         Explorer::new().explore(move |ctx| {
             let mut kernel = Kernel::new();
@@ -427,11 +427,11 @@ mod tests {
     fn symbolic_branch_forks_and_both_sides_verify() {
         // if (x1 < 10) x2 = 1 else x2 = 2
         let program = vec![
-            asm::sltiu(3, 1, 10),  // x3 = (x1 <u 10)
-            asm::beq(3, 0, 12),    // if !x3 jump to else
-            asm::addi(2, 0, 1),    // then: x2 = 1
-            asm::jal(0, 8),        // skip else
-            asm::addi(2, 0, 2),    // else: x2 = 2
+            asm::sltiu(3, 1, 10), // x3 = (x1 <u 10)
+            asm::beq(3, 0, 12),   // if !x3 jump to else
+            asm::addi(2, 0, 1),   // then: x2 = 1
+            asm::jal(0, 8),       // skip else
+            asm::addi(2, 0, 2),   // else: x2 = 2
             asm::ebreak(),
         ];
         let report = run_program(
@@ -444,9 +444,7 @@ mod tests {
                 assert_eq!(outcome, StepOutcome::Halted);
                 let x = ctx.symbolic("x", Width::W32);
                 let ten = ctx.word32(10);
-                let expected = ctx
-                    .word32(1)
-                    .select(&x.ult(&ten), &ctx.word32(2));
+                let expected = ctx.word32(1).select(&x.ult(&ten), &ctx.word32(2));
                 ctx.check(&cpu.reg(ctx, 2).eq(&expected), "both branch arms correct");
             },
         );
@@ -459,9 +457,9 @@ mod tests {
         // x1 = 5; while (x1 != 0) x1 -= 1; x2 = 99
         let program = vec![
             asm::addi(1, 0, 5),
-            asm::beq(1, 0, 12),   // loop: if x1 == 0 exit
+            asm::beq(1, 0, 12), // loop: if x1 == 0 exit
             asm::addi(1, 1, -1),
-            asm::jal(0, -8),      // back to loop head
+            asm::jal(0, -8), // back to loop head
             asm::addi(2, 0, 99),
             asm::ebreak(),
         ];
@@ -507,11 +505,11 @@ mod tests {
     #[test]
     fn jalr_returns_through_a_register() {
         let program = vec![
-            asm::jal(1, 12),      // call +12, x1 = return address (4)
-            asm::addi(2, 2, 1),   // executed after return
+            asm::jal(1, 12),    // call +12, x1 = return address (4)
+            asm::addi(2, 2, 1), // executed after return
             asm::ebreak(),
-            asm::addi(2, 0, 10),  // callee: x2 = 10
-            asm::jalr(0, 1, 0),   // return
+            asm::addi(2, 0, 10), // callee: x2 = 10
+            asm::jalr(0, 1, 0),  // return
         ];
         let report = run_program(
             program,

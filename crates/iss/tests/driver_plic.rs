@@ -9,7 +9,7 @@ use std::rc::Rc;
 use symsc_iss::{asm, Cpu, StepOutcome};
 use symsc_pk::Kernel;
 use symsc_plic::{InterruptTarget, Plic, PlicConfig, PlicVariant};
-use symsc_symex::{Explorer, SymCtx, Width};
+use symsc_symex::{Explorer, Width};
 use symsc_tlm::Router;
 
 const PLIC_BASE: u32 = 0x0C00_0000;

@@ -217,12 +217,7 @@ impl Kernel {
             .trace
             .as_ref()
             .expect("tracing not enabled; call enable_tracing() first");
-        let event_names: Vec<&str> = self
-            .core
-            .events
-            .iter()
-            .map(|e| e.name.as_str())
-            .collect();
+        let event_names: Vec<&str> = self.core.events.iter().map(|e| e.name.as_str()).collect();
         let process_names: Vec<&str> = self.names.iter().map(String::as_str).collect();
         crate::trace::write_vcd(out, log, &event_names, &process_names)
     }

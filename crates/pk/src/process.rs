@@ -95,4 +95,3 @@ impl<F: FnMut(&mut ProcessCtx<'_>) -> Suspend> Process for F {
         self(ctx)
     }
 }
-

@@ -162,12 +162,9 @@ impl SchedCore {
             if meta.status == ProcStatus::Waiting {
                 meta.status = ProcStatus::Runnable;
                 meta.wait_generation += 1; // invalidate a pending timeout
-                // Deregister from the *other* events of an or-list wait.
-                let others: Vec<Event> = meta
-                    .waiting_on
-                    .drain(..)
-                    .filter(|&e| e != event)
-                    .collect();
+                                           // Deregister from the *other* events of an or-list wait.
+                let others: Vec<Event> =
+                    meta.waiting_on.drain(..).filter(|&e| e != event).collect();
                 for e in others {
                     self.events[e.index()].waiters.retain(|&w| w != pid);
                 }
@@ -267,7 +264,9 @@ impl SchedCore {
     }
 
     fn has_live_wakes(&self) -> bool {
-        self.wakelist.iter().any(|Reverse((_, _, kind))| self.wake_is_live(*kind))
+        self.wakelist
+            .iter()
+            .any(|Reverse((_, _, kind))| self.wake_is_live(*kind))
     }
 
     fn wake_is_live(&self, kind: WakeKind) -> bool {

@@ -125,13 +125,13 @@ impl fmt::Display for SimTime {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0s")
-        } else if ps % 1_000_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000_000) {
             write!(f, "{}s", ps / 1_000_000_000_000)
-        } else if ps % 1_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000) {
             write!(f, "{}ms", ps / 1_000_000_000)
-        } else if ps % 1_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000) {
             write!(f, "{}us", ps / 1_000_000)
-        } else if ps % 1_000 == 0 {
+        } else if ps.is_multiple_of(1_000) {
             write!(f, "{}ns", ps / 1_000)
         } else {
             write!(f, "{ps}ps")

@@ -54,13 +54,21 @@ pub(crate) fn write_vcd<W: Write>(
     writeln!(out, "$scope module events $end")?;
     for (i, name) in event_names.iter().enumerate() {
         let sanitized = sanitize(name);
-        writeln!(out, "$var event 1 {} {sanitized} $end", vcd_id('e', i as u32))?;
+        writeln!(
+            out,
+            "$var event 1 {} {sanitized} $end",
+            vcd_id('e', i as u32)
+        )?;
     }
     writeln!(out, "$upscope $end")?;
     writeln!(out, "$scope module processes $end")?;
     for (i, name) in process_names.iter().enumerate() {
         let sanitized = sanitize(name);
-        writeln!(out, "$var event 1 {} {sanitized} $end", vcd_id('p', i as u32))?;
+        writeln!(
+            out,
+            "$var event 1 {} {sanitized} $end",
+            vcd_id('p', i as u32)
+        )?;
     }
     writeln!(out, "$upscope $end")?;
     writeln!(out, "$upscope $end")?;
@@ -111,10 +119,7 @@ mod tests {
         assert!(text.contains("$enddefinitions $end"));
 
         // Timestamps in order, one per distinct instant.
-        let stamps: Vec<&str> = text
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .collect();
+        let stamps: Vec<&str> = text.lines().filter(|l| l.starts_with('#')).collect();
         assert_eq!(stamps, ["#0", "#5000", "#9000"]);
 
         // Changes appear under the right timestamp.

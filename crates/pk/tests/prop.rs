@@ -4,30 +4,48 @@
 //! kernel must agree for arbitrary workloads: exact wake times, global
 //! time order, FIFO fairness within an instant, and the
 //! earlier-notification-wins override rule.
+//!
+//! Each property is a deterministic seeded loop over `symsc_rng` (the
+//! workspace builds offline, so `proptest` is unavailable); every case is
+//! reproducible from its seed and index.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use symsc_pk::{Kernel, NotifyKind, ProcessCtx, SimTime, Suspend};
+use symsc_rng::Rng;
 
 #[derive(Clone, Debug)]
 struct TimerSpec {
     delay_ns: u64,
 }
 
-fn timers() -> impl Strategy<Value = Vec<TimerSpec>> {
-    proptest::collection::vec((1u64..200).prop_map(|delay_ns| TimerSpec { delay_ns }), 1..20)
+/// 1..20 timers with delays in 1..200 ns, mirroring the old proptest
+/// `timers()` strategy.
+fn gen_timers(rng: &mut Rng) -> Vec<TimerSpec> {
+    let n = rng.gen_range_inclusive(1, 19);
+    (0..n)
+        .map(|_| TimerSpec {
+            delay_ns: rng.gen_range_inclusive(1, 199),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_delays(rng: &mut Rng, max_len: u64, max_delay: u64) -> Vec<u64> {
+    let n = rng.gen_range_inclusive(1, max_len);
+    (0..n)
+        .map(|_| rng.gen_range_inclusive(1, max_delay))
+        .collect()
+}
 
-    /// Every one-shot timer fires exactly at its programmed time, and the
-    /// observed global firing order is the stable sort by time (FIFO for
-    /// equal times, by spawn order).
-    #[test]
-    fn one_shot_timers_fire_in_time_order(specs in timers()) {
+/// Every one-shot timer fires exactly at its programmed time, and the
+/// observed global firing order is the stable sort by time (FIFO for
+/// equal times, by spawn order).
+#[test]
+fn one_shot_timers_fire_in_time_order() {
+    let mut rng = Rng::seed_from_u64(0x5EED_1001);
+    for case in 0..128 {
+        let specs = gen_timers(&mut rng);
         let mut kernel = Kernel::new();
         let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
         for (id, spec) in specs.iter().enumerate() {
@@ -46,9 +64,16 @@ proptest! {
         while kernel.step() {}
 
         let log = log.borrow();
-        prop_assert_eq!(log.len(), specs.len(), "every timer fires once");
+        assert_eq!(
+            log.len(),
+            specs.len(),
+            "case {case}: every timer fires once"
+        );
         for &(id, at) in log.iter() {
-            prop_assert_eq!(at, specs[id].delay_ns, "timer {} fires on time", id);
+            assert_eq!(
+                at, specs[id].delay_ns,
+                "case {case}: timer {id} fires on time"
+            );
         }
         // Expected order: stable sort by (time, spawn id).
         let mut expected: Vec<(usize, u64)> = specs
@@ -58,19 +83,22 @@ proptest! {
             .collect();
         expected.sort_by_key(|&(id, t)| (t, id));
         let got: Vec<(usize, u64)> = log.iter().map(|&(id, t)| (id, t)).collect();
-        let expected: Vec<(usize, u64)> = expected.into_iter().collect();
-        prop_assert_eq!(got, expected, "stable time order");
-        prop_assert_eq!(
+        assert_eq!(got, expected, "case {case}: stable time order");
+        assert_eq!(
             kernel.time().as_ns(),
             specs.iter().map(|s| s.delay_ns).max().unwrap(),
-            "simulation ends at the last wake"
+            "case {case}: simulation ends at the last wake"
         );
     }
+}
 
-    /// With several timed notifications racing on one event, the waiter
-    /// wakes exactly once, at the earliest delay (the override rule).
-    #[test]
-    fn earliest_timed_notification_wins(delays in proptest::collection::vec(1u64..500, 1..12)) {
+/// With several timed notifications racing on one event, the waiter
+/// wakes exactly once, at the earliest delay (the override rule).
+#[test]
+fn earliest_timed_notification_wins() {
+    let mut rng = Rng::seed_from_u64(0x5EED_1002);
+    for case in 0..128 {
+        let delays = gen_delays(&mut rng, 11, 499);
         let mut kernel = Kernel::new();
         let e = kernel.create_event("raced");
         let wakes: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -90,14 +118,23 @@ proptest! {
         while kernel.step() {}
 
         let earliest = *delays.iter().min().unwrap();
-        prop_assert_eq!(&*wakes.borrow(), &vec![earliest], "one wake, earliest");
+        assert_eq!(
+            &*wakes.borrow(),
+            &vec![earliest],
+            "case {case}: one wake, earliest"
+        );
     }
+}
 
-    /// `run_until` never overshoots: after running to a random deadline,
-    /// the kernel's time is exactly the deadline and no wake scheduled
-    /// after it has fired.
-    #[test]
-    fn run_until_is_exact(specs in timers(), deadline in 1u64..250) {
+/// `run_until` never overshoots: after running to a random deadline,
+/// the kernel's time is exactly the deadline and no wake scheduled
+/// after it has fired.
+#[test]
+fn run_until_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x5EED_1003);
+    for case in 0..128 {
+        let specs = gen_timers(&mut rng);
+        let deadline = rng.gen_range_inclusive(1, 249);
         let mut kernel = Kernel::new();
         let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         for (id, spec) in specs.iter().enumerate() {
@@ -115,7 +152,11 @@ proptest! {
         }
         kernel.run_until(SimTime::from_ns(deadline));
 
-        prop_assert_eq!(kernel.time().as_ns(), deadline, "pauses exactly at t");
+        assert_eq!(
+            kernel.time().as_ns(),
+            deadline,
+            "case {case}: pauses exactly at t"
+        );
         let expected: Vec<u64> = {
             let mut v: Vec<u64> = specs
                 .iter()
@@ -127,13 +168,20 @@ proptest! {
         };
         let mut got = fired.borrow().clone();
         got.sort_unstable();
-        prop_assert_eq!(got, expected, "exactly the wakes up to the deadline");
+        assert_eq!(
+            got, expected,
+            "case {case}: exactly the wakes up to the deadline"
+        );
     }
+}
 
-    /// Cancelling after an arbitrary prefix of notifications silences the
-    /// event: no wake ever happens.
-    #[test]
-    fn cancel_silences_pending_notifications(delays in proptest::collection::vec(1u64..100, 1..6)) {
+/// Cancelling after an arbitrary prefix of notifications silences the
+/// event: no wake ever happens.
+#[test]
+fn cancel_silences_pending_notifications() {
+    let mut rng = Rng::seed_from_u64(0x5EED_1004);
+    for case in 0..128 {
+        let delays = gen_delays(&mut rng, 5, 99);
         let mut kernel = Kernel::new();
         let e = kernel.create_event("cancelled");
         let wakes = Rc::new(RefCell::new(0u32));
@@ -152,6 +200,10 @@ proptest! {
         }
         kernel.cancel(e);
         while kernel.step() {}
-        prop_assert_eq!(*wakes.borrow(), 0, "cancelled event never fires");
+        assert_eq!(
+            *wakes.borrow(),
+            0,
+            "case {case}: cancelled event never fires"
+        );
     }
 }

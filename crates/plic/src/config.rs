@@ -180,7 +180,7 @@ impl PlicConfig {
     /// Number of 32-bit words in the pending/enable bitmaps
     /// (ids `0..=sources` → `ceil((sources + 1) / 32)`).
     pub fn bitmap_words(&self) -> usize {
-        ((self.sources as usize + 1) + 31) / 32
+        (self.sources as usize + 1).div_ceil(32)
     }
 
     /// The id boundary above which IF4 stretches the delivery latency:

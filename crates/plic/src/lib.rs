@@ -45,7 +45,7 @@ pub mod state;
 pub mod uart;
 
 pub use clint::Clint;
-pub use uart::Uart;
 pub use config::{InjectedFault, PlicConfig, PlicVariant};
 pub use plic::{InterruptTarget, Plic};
 pub use reference::ReferencePlic;
+pub use uart::Uart;

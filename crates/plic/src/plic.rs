@@ -11,8 +11,8 @@ use symsc_tlm::{
 };
 
 use crate::config::{
-    PlicConfig, PlicVariant, CLAIM_BASE, CONTEXT_STRIDE, ENABLE_BASE, ENABLE_STRIDE,
-    PENDING_BASE, PRIORITY_BASE, THRESHOLD_BASE,
+    PlicConfig, PlicVariant, CLAIM_BASE, CONTEXT_STRIDE, ENABLE_BASE, ENABLE_STRIDE, PENDING_BASE,
+    PRIORITY_BASE, THRESHOLD_BASE,
 };
 use crate::process::RunThread;
 use crate::state::PlicState;

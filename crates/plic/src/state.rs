@@ -168,11 +168,7 @@ impl PlicState {
     /// Returns id 0 when nothing is eligible. `consider_threshold`
     /// additionally requires the priority to exceed the HART's threshold
     /// (the delivery check; claiming ignores the threshold).
-    pub(crate) fn next_pending_interrupt(
-        &self,
-        hart: usize,
-        consider_threshold: bool,
-    ) -> SymWord {
+    pub(crate) fn next_pending_interrupt(&self, hart: usize, consider_threshold: bool) -> SymWord {
         let ctx = &self.ctx;
         let zero = ctx.word32(0);
         let mut best_id = zero.clone();
@@ -401,7 +397,13 @@ mod tests {
             let (mut st, _k) = mk_state(ctx, PlicConfig::fe310());
             let cfg = st.config;
             let mut map = st.enabled[0].clone();
-            PlicState::bitmap_register_write(&mut map, &cfg, &ctx.word32(1), &ctx.word32(0x0005), ctx);
+            PlicState::bitmap_register_write(
+                &mut map,
+                &cfg,
+                &ctx.word32(1),
+                &ctx.word32(0x0005),
+                ctx,
+            );
             st.enabled[0] = map;
             ctx.check(&st.enabled_bit(0, 32), "bit 32 set via register write");
             ctx.check(&st.enabled_bit(0, 34), "bit 34 set via register write");

@@ -122,7 +122,9 @@ impl Blaster {
                 let (q, _r) = self.divider(&x, &y);
                 // bvudiv x 0 = ones
                 let zero = self.is_zero(&y);
-                q.iter().map(|&l| self.aig.mux(zero, AigLit::TRUE, l)).collect()
+                q.iter()
+                    .map(|&l| self.aig.mux(zero, AigLit::TRUE, l))
+                    .collect()
             }
             Term::Urem(a, b) => {
                 let (x, y) = (self.get(a).to_vec(), self.get(b).to_vec());
@@ -181,9 +183,7 @@ impl Blaster {
                 bits.resize(width, sign);
                 bits
             }
-            Term::Extract { arg, hi, lo } => {
-                self.get(arg)[lo as usize..=hi as usize].to_vec()
-            }
+            Term::Extract { arg, hi, lo } => self.get(arg)[lo as usize..=hi as usize].to_vec(),
             Term::Concat(hi, lo) => {
                 let mut bits = self.get(lo).to_vec();
                 bits.extend_from_slice(self.get(hi));
@@ -384,9 +384,7 @@ impl Blaster {
             let ge = self.bits_ge_slices(low, &wconst);
             over = self.aig.or(over, ge);
         }
-        cur.iter()
-            .map(|&l| self.aig.mux(over, fill, l))
-            .collect()
+        cur.iter().map(|&l| self.aig.mux(over, fill, l)).collect()
     }
 
     fn bits_ge_slices(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
@@ -438,11 +436,7 @@ mod tests {
 
     /// Blasts `id`, then evaluates the circuit with the given variable
     /// values and compares against the term evaluator.
-    fn check_against_eval(
-        pool: &TermPool,
-        id: TermId,
-        env_pairs: &[(&str, u64)],
-    ) {
+    fn check_against_eval(pool: &TermPool, id: TermId, env_pairs: &[(&str, u64)]) {
         let mut blaster = Blaster::new();
         let bits = blaster.blast(pool, id);
 
@@ -469,7 +463,8 @@ mod tests {
             }
         }
         assert_eq!(
-            actual, expected,
+            actual,
+            expected,
             "circuit/eval mismatch for {} under {env_pairs:?}",
             pool.display(id)
         );
@@ -525,8 +520,15 @@ mod tests {
 
     #[test]
     fn shifts_match_eval() {
-        let shift_cases: &[(u64, u64)] =
-            &[(0xAB, 0), (0xAB, 1), (0xAB, 4), (0xAB, 7), (0xAB, 8), (0xAB, 200), (0x80, 3)];
+        let shift_cases: &[(u64, u64)] = &[
+            (0xAB, 0),
+            (0xAB, 1),
+            (0xAB, 4),
+            (0xAB, 7),
+            (0xAB, 8),
+            (0xAB, 200),
+            (0x80, 3),
+        ];
         binop_cases(|p, a, b| p.shl(a, b), Width::W8, shift_cases);
         binop_cases(|p, a, b| p.lshr(a, b), Width::W8, shift_cases);
         binop_cases(|p, a, b| p.ashr(a, b), Width::W8, shift_cases);
@@ -535,7 +537,13 @@ mod tests {
     #[test]
     fn shifts_match_eval_non_power_of_two_width() {
         let w = Width::new(5).unwrap();
-        let cases: &[(u64, u64)] = &[(0b10110, 0), (0b10110, 2), (0b10110, 4), (0b10110, 5), (0b10110, 7)];
+        let cases: &[(u64, u64)] = &[
+            (0b10110, 0),
+            (0b10110, 2),
+            (0b10110, 4),
+            (0b10110, 5),
+            (0b10110, 7),
+        ];
         binop_cases(|p, a, b| p.shl(a, b), w, cases);
         binop_cases(|p, a, b| p.lshr(a, b), w, cases);
         binop_cases(|p, a, b| p.ashr(a, b), w, cases);
@@ -610,4 +618,3 @@ mod tests {
         check_against_eval(&p, c, &[("a", 0xAB), ("b", 0xCD)]);
     }
 }
-

@@ -41,12 +41,7 @@ pub fn load_aig(aig: &Aig, roots: &[AigLit], solver: &mut SatSolver) -> CnfResul
     CnfResult::Loaded(node_var)
 }
 
-fn encode_cone(
-    aig: &Aig,
-    root: u32,
-    solver: &mut SatSolver,
-    node_var: &mut HashMap<u32, Var>,
-) {
+fn encode_cone(aig: &Aig, root: u32, solver: &mut SatSolver, node_var: &mut HashMap<u32, Var>) {
     let mut stack = vec![root];
     while let Some(&n) = stack.last() {
         if node_var.contains_key(&n) {

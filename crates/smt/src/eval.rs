@@ -99,21 +99,12 @@ pub fn evaluate(pool: &TermPool, root: TermId, assignment: &HashMap<String, u64>
             Term::Add(a, b) => get(a).wrapping_add(get(b)),
             Term::Sub(a, b) => get(a).wrapping_sub(get(b)),
             Term::Mul(a, b) => get(a).wrapping_mul(get(b)),
-            Term::Udiv(a, b) => {
-                let d = get(b);
-                if d == 0 {
-                    width.mask()
-                } else {
-                    get(a) / d
-                }
-            }
+            // Division by zero follows the SMT-LIB bvudiv/bvurem
+            // semantics: all-ones and the dividend respectively.
+            Term::Udiv(a, b) => get(a).checked_div(get(b)).unwrap_or(width.mask()),
             Term::Urem(a, b) => {
-                let d = get(b);
-                if d == 0 {
-                    get(a)
-                } else {
-                    get(a) % d
-                }
+                let a = get(a);
+                a.checked_rem(get(b)).unwrap_or(a)
             }
             Term::Shl(a, b) => {
                 let s = get(b);

@@ -58,5 +58,5 @@ pub mod solver;
 pub mod term;
 
 pub use model::Model;
-pub use solver::{SatResult, Solver, SolverStats};
+pub use solver::{QueryCache, SatResult, Solver, SolverStats};
 pub use term::{Term, TermId, TermPool, Width};

@@ -498,9 +498,7 @@ impl SatSolver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()]
-                    > self.level[learnt[max_i].var().index()]
-                {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -518,13 +516,10 @@ impl SatSolver {
         if r == NO_REASON {
             return false;
         }
-        self.clauses[r as usize]
-            .lits
-            .iter()
-            .all(|&q| {
-                let qv = q.var().index();
-                qv == v || self.seen[qv] || self.level[qv] == 0
-            })
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            let qv = q.var().index();
+            qv == v || self.seen[qv] || self.level[qv] == 0
+        })
     }
 
     fn backtrack(&mut self, target: u32) {
@@ -576,8 +571,7 @@ impl SatSolver {
             .iter()
             .map(|&ci| {
                 let lit0 = self.clauses[ci].lits[0];
-                self.reason[lit0.var().index()] == ci as u32
-                    && self.value_lit(lit0) == Assign::True
+                self.reason[lit0.var().index()] == ci as u32 && self.value_lit(lit0) == Assign::True
             })
             .collect();
         let target = learnt_idx.len() / 2;
@@ -690,9 +684,7 @@ impl SatSolver {
     fn heap_sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.activity[self.heap[i] as usize]
-                <= self.activity[self.heap[parent] as usize]
-            {
+            if self.activity[self.heap[i] as usize] <= self.activity[self.heap[parent] as usize] {
                 break;
             }
             self.heap_swap(i, parent);
@@ -705,14 +697,12 @@ impl SatSolver {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
             if l < self.heap.len()
-                && self.activity[self.heap[l] as usize]
-                    > self.activity[self.heap[largest] as usize]
+                && self.activity[self.heap[l] as usize] > self.activity[self.heap[largest] as usize]
             {
                 largest = l;
             }
             if r < self.heap.len()
-                && self.activity[self.heap[r] as usize]
-                    > self.activity[self.heap[largest] as usize]
+                && self.activity[self.heap[r] as usize] > self.activity[self.heap[largest] as usize]
             {
                 largest = r;
             }
@@ -903,8 +893,7 @@ mod tests {
             assert!(s.solve(), "planted instance must be satisfiable");
             for c in &clauses {
                 assert!(
-                    c.iter()
-                        .any(|&l| s.value(l.var()) != l.is_negated()),
+                    c.iter().any(|&l| s.value(l.var()) != l.is_negated()),
                     "model violates clause {c:?}"
                 );
             }
@@ -921,12 +910,12 @@ mod tests {
         let x: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
         // t_i = x_0 ^ ... ^ x_i
         let mut t_prev = x[0];
-        for i in 1..n {
+        for &xi in x.iter().skip(1) {
             let t = s.new_var();
             // t = t_prev ^ x_i  (4 clauses)
             let (a, b, c) = (
                 Lit::new(t_prev, false),
-                Lit::new(x[i], false),
+                Lit::new(xi, false),
                 Lit::new(t, false),
             );
             s.add_clause(&[a.negated(), b.negated(), c.negated()]);

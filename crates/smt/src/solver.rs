@@ -2,6 +2,7 @@
 //! terms, run the SAT core, read back a model.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::blast::Blaster;
@@ -45,42 +46,145 @@ pub struct SolverStats {
     pub unsat: u64,
     /// Queries answered from the query cache.
     pub cache_hits: u64,
+    /// Non-trivial queries that missed the cache and reached the SAT core
+    /// (zero when the cache is disabled — misses are only counted when a
+    /// cache was actually consulted).
+    pub cache_misses: u64,
     /// Queries decided without reaching the SAT core (constant folding).
     pub trivial: u64,
     /// Wall-clock time spent inside `check` (bit-blasting + SAT).
     pub solve_time: Duration,
 }
 
+impl SolverStats {
+    /// Merges `other` into `self` (summing counters and times). Used when
+    /// combining per-worker solver statistics into one report.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.trivial += other.trivial;
+        self.solve_time += other.solve_time;
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo cache of whole solver queries.
+///
+/// Keys are the sorted structural fingerprints of the constraint set
+/// ([`TermPool::fingerprint`]), so a key names the same logical query in
+/// *any* pool: one `QueryCache` can be shared between solvers working over
+/// different (per-worker) pools, which is exactly what the parallel
+/// explorer does via [`Solver::with_shared_cache`].
+///
+/// Sharing is semantically transparent. Constraint sets are blasted in
+/// fingerprint order and the SAT core is deterministic, so the model a
+/// cache hit returns is bit-for-bit the model a fresh solve would have
+/// produced.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    shards: [Mutex<HashMap<Vec<u128>, SatResult>>; CACHE_SHARDS],
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    fn shard(&self, key: &[u128]) -> &Mutex<HashMap<Vec<u128>, SatResult>> {
+        // Cheap deterministic fold of the key into a shard index. The
+        // fingerprints themselves are already well-mixed hashes.
+        let folded = key
+            .iter()
+            .fold(0u64, |acc, fp| acc.rotate_left(7) ^ (*fp as u64));
+        &self.shards[(folded as usize) % CACHE_SHARDS]
+    }
+
+    fn lock_shard(&self, key: &[u128]) -> std::sync::MutexGuard<'_, HashMap<Vec<u128>, SatResult>> {
+        // A panic while holding the guard cannot leave the map in an
+        // inconsistent state (plain HashMap ops), so poisoning is benign.
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a normalized key.
+    pub fn lookup(&self, key: &[u128]) -> Option<SatResult> {
+        self.lock_shard(key).get(key).cloned()
+    }
+
+    /// Stores a result under a normalized key.
+    pub fn insert(&self, key: Vec<u128>, result: SatResult) {
+        self.lock_shard(&key).entry(key).or_insert(result);
+    }
+
+    /// Number of cached queries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A stateless-per-query SMT solver with a whole-query memo cache.
 ///
-/// The cache is keyed on the sorted set of constraint [`TermId`]s, which is
-/// sound because term pools are append-only and hash-consed: the same
-/// constraint set always names the same ids within one pool. Callers must
-/// therefore use one `Solver` per [`TermPool`]; this is what the symbolic
-/// engine does (one pool + one solver per exploration).
-#[derive(Debug, Default)]
+/// The cache is keyed on the sorted *structural fingerprints* of the
+/// constraint set, which identify a query independently of the pool that
+/// interned it. A solver can therefore keep a private cache
+/// ([`Solver::new`]) or share one with other solvers over other pools
+/// ([`Solver::with_shared_cache`]) — the parallel explorer shares one
+/// cache across all workers so sibling paths stop re-solving identical
+/// queries.
+#[derive(Debug)]
 pub struct Solver {
     stats: SolverStats,
-    cache: HashMap<Vec<TermId>, SatResult>,
-    cache_enabled: bool,
+    cache: Option<Arc<QueryCache>>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
 }
 
 impl Solver {
-    /// Creates a solver with the query cache enabled.
+    /// Creates a solver with a fresh private query cache.
     pub fn new() -> Solver {
         Solver {
             stats: SolverStats::default(),
-            cache: HashMap::new(),
-            cache_enabled: true,
+            cache: Some(Arc::new(QueryCache::new())),
         }
     }
 
     /// Creates a solver without the query cache (ablation / benchmarks).
     pub fn without_cache() -> Solver {
         Solver {
-            cache_enabled: false,
-            ..Solver::new()
+            stats: SolverStats::default(),
+            cache: None,
         }
+    }
+
+    /// Creates a solver backed by an existing (possibly shared) cache.
+    pub fn with_shared_cache(cache: Arc<QueryCache>) -> Solver {
+        Solver {
+            stats: SolverStats::default(),
+            cache: Some(cache),
+        }
+    }
+
+    /// The cache backing this solver, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<QueryCache>> {
+        self.cache.as_ref()
     }
 
     /// Statistics accumulated so far.
@@ -99,7 +203,7 @@ impl Solver {
         self.stats.queries += 1;
 
         // Constant-level filtering.
-        let mut key: Vec<TermId> = Vec::with_capacity(constraints.len());
+        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
         for &c in constraints {
             assert_eq!(
                 pool.width(c),
@@ -114,38 +218,49 @@ impl Solver {
                 return SatResult::Unsat;
             }
             if !pool.is_true(c) {
-                key.push(c);
+                live.push(c);
             }
         }
-        key.sort_unstable();
-        key.dedup();
 
-        if key.is_empty() {
+        // Normalize to the canonical form: sorted by structural
+        // fingerprint, duplicates removed. The fingerprint list is the
+        // cache key; the id list in the same order is the blast order, so
+        // the SAT instance (and hence the returned model) is a function of
+        // the constraint structure alone.
+        let mut entries: Vec<(u128, TermId)> =
+            live.iter().map(|&c| (pool.fingerprint(c), c)).collect();
+        entries.sort_unstable_by_key(|&(fp, _)| fp);
+        entries.dedup_by_key(|&mut (fp, _)| fp);
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
+        let ordered: Vec<TermId> = entries.iter().map(|&(_, id)| id).collect();
+
+        if ordered.is_empty() {
             self.stats.trivial += 1;
             self.stats.sat += 1;
             self.stats.solve_time += start.elapsed();
             return SatResult::Sat(Model::new());
         }
 
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.get(&key) {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lookup(&key) {
                 self.stats.cache_hits += 1;
                 match hit {
                     SatResult::Sat(_) => self.stats.sat += 1,
                     SatResult::Unsat => self.stats.unsat += 1,
                 }
                 self.stats.solve_time += start.elapsed();
-                return hit.clone();
+                return hit;
             }
+            self.stats.cache_misses += 1;
         }
 
-        let result = self.check_uncached(pool, &key);
+        let result = self.check_uncached(pool, &ordered);
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
         }
-        if self.cache_enabled {
-            self.cache.insert(key, result.clone());
+        if let Some(cache) = &self.cache {
+            cache.insert(key, result.clone());
         }
         self.stats.solve_time += start.elapsed();
         result
@@ -296,6 +411,99 @@ mod tests {
         let r2 = s.check(&pool, &[c]);
         assert_eq!(r1, r2);
         assert_eq!(s.stats().cache_hits, 1);
+        assert_eq!(s.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn hit_miss_trivial_counters_add_up() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let one = pool.constant(1, Width::W8);
+        let two = pool.constant(2, Width::W8);
+        let c1 = pool.eq(x, one);
+        let c2 = pool.eq(x, two);
+        let t = pool.tru();
+        let mut s = Solver::new();
+        let _ = s.check(&pool, &[c1]); // miss
+        let _ = s.check(&pool, &[c1]); // hit
+        let _ = s.check(&pool, &[c2]); // miss
+        let _ = s.check(&pool, &[c1, c2]); // miss (different set)
+        let _ = s.check(&pool, &[t]); // trivial
+        let _ = s.check(&pool, &[]); // trivial
+        let stats = s.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(stats.trivial, 2);
+        assert_eq!(
+            stats.queries,
+            stats.cache_hits + stats.cache_misses + stats.trivial,
+            "every query is exactly one of hit/miss/trivial"
+        );
+    }
+
+    #[test]
+    fn without_cache_counts_no_hits_or_misses() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let one = pool.constant(1, Width::W8);
+        let c = pool.eq(x, one);
+        let mut s = Solver::without_cache();
+        let r1 = s.check(&pool, &[c]);
+        let r2 = s.check(&pool, &[c]);
+        assert_eq!(r1, r2);
+        assert_eq!(s.stats().cache_hits, 0);
+        assert_eq!(s.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn shared_cache_spans_pools_and_solvers() {
+        // Build the same structural query in two unrelated pools; the
+        // second solver must hit the entry the first one stored, and the
+        // models must agree exactly.
+        let cache = Arc::new(QueryCache::new());
+
+        let mut pool_a = TermPool::new();
+        let xa = pool_a.var("x", Width::W16);
+        let ka = pool_a.constant(1234, Width::W16);
+        let ca = pool_a.eq(xa, ka);
+        let mut solver_a = Solver::with_shared_cache(Arc::clone(&cache));
+        let ra = solver_a.check(&pool_a, &[ca]);
+
+        let mut pool_b = TermPool::new();
+        // Different construction history: intern unrelated junk first so
+        // the TermIds differ, then the same structural constraint.
+        let _junk = pool_b.var("y", Width::W32);
+        let kb = pool_b.constant(1234, Width::W16);
+        let xb = pool_b.var("x", Width::W16);
+        let cb = pool_b.eq(xb, kb);
+        let mut solver_b = Solver::with_shared_cache(Arc::clone(&cache));
+        let rb = solver_b.check(&pool_b, &[cb]);
+
+        assert_eq!(ra, rb, "same structure, same verdict and model");
+        assert_eq!(solver_a.stats().cache_misses, 1);
+        assert_eq!(solver_b.stats().cache_hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn models_identical_between_cached_and_fresh_solves() {
+        // The cache must be semantically transparent: a hit returns
+        // exactly what a fresh solve would compute.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let lim = pool.constant(100, Width::W8);
+        let sum = pool.add(x, y);
+        let c1 = pool.ult(sum, lim);
+        let c2 = pool.ugt(x, y);
+        let mut cached = Solver::new();
+        let mut fresh = Solver::without_cache();
+        let r_miss = cached.check(&pool, &[c1, c2]);
+        let r_hit = cached.check(&pool, &[c1, c2]);
+        let r_fresh = fresh.check(&pool, &[c1, c2]);
+        assert_eq!(r_miss, r_hit);
+        assert_eq!(r_miss, r_fresh);
     }
 
     #[test]
@@ -316,7 +524,14 @@ mod tests {
         let mut s = Solver::new();
         let r = s.check(
             &pool,
-            &[in_range_i1, in_range_i2, in_range_j1, in_range_j2, distinct, i_lt_j],
+            &[
+                in_range_i1,
+                in_range_i2,
+                in_range_j1,
+                in_range_j2,
+                distinct,
+                i_lt_j,
+            ],
         );
         match r {
             SatResult::Sat(m) => {
@@ -329,7 +544,14 @@ mod tests {
         let j_lt_i = pool.ult(j, i);
         let r2 = s.check(
             &pool,
-            &[in_range_i1, in_range_i2, in_range_j1, in_range_j2, distinct, j_lt_i],
+            &[
+                in_range_i1,
+                in_range_i2,
+                in_range_j1,
+                in_range_j2,
+                distinct,
+                j_lt_i,
+            ],
         );
         assert!(r2.is_sat());
     }

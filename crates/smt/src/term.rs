@@ -213,9 +213,23 @@ pub enum Term {
 pub struct TermPool {
     terms: Vec<Term>,
     widths: Vec<Width>,
+    fps: Vec<u128>,
     dedup: HashMap<Term, TermId>,
     vars: HashMap<Box<str>, TermId>,
     ops_created: u64,
+}
+
+/// 128-bit FNV-1a offset basis (the standard constant).
+const FP_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV prime.
+const FP_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+fn fp_mix(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FP_PRIME);
+    }
+    h
 }
 
 impl TermPool {
@@ -289,11 +303,106 @@ impl TermPool {
         if let Some(&id) = self.dedup.get(&term) {
             return id;
         }
+        let fp = self.structural_fp(&term, width);
         let id = TermId(self.terms.len() as u32);
         self.dedup.insert(term.clone(), id);
         self.terms.push(term);
         self.widths.push(width);
+        self.fps.push(fp);
         id
+    }
+
+    /// The structural fingerprint of `id`: a 128-bit Merkle-style hash of
+    /// the term's shape, computed with fixed constants (no per-process
+    /// hasher state). Structurally identical terms have equal fingerprints
+    /// *across* pools, which is what makes fingerprints usable as
+    /// pool-independent canonical keys — the shared solver cache and the
+    /// deterministic operand/constraint orderings are built on them.
+    pub fn fingerprint(&self, id: TermId) -> u128 {
+        self.fps[id.index()]
+    }
+
+    /// Orders a commutative operand pair canonically by structural
+    /// fingerprint. Creation order (TermId) would also work within one
+    /// pool, but would make the interned shape — and therefore solver
+    /// models — depend on the history of the pool; fingerprints make it a
+    /// function of the operands' structure alone.
+    fn commute(&self, a: TermId, b: TermId) -> (TermId, TermId) {
+        if self.fingerprint(a) <= self.fingerprint(b) {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn structural_fp(&self, term: &Term, width: Width) -> u128 {
+        fn tag(term: &Term) -> u8 {
+            match term {
+                Term::Const { .. } => 0,
+                Term::Var { .. } => 1,
+                Term::Not(_) => 2,
+                Term::Neg(_) => 3,
+                Term::And(..) => 4,
+                Term::Or(..) => 5,
+                Term::Xor(..) => 6,
+                Term::Add(..) => 7,
+                Term::Sub(..) => 8,
+                Term::Mul(..) => 9,
+                Term::Udiv(..) => 10,
+                Term::Urem(..) => 11,
+                Term::Shl(..) => 12,
+                Term::Lshr(..) => 13,
+                Term::Ashr(..) => 14,
+                Term::Eq(..) => 15,
+                Term::Ult(..) => 16,
+                Term::Ule(..) => 17,
+                Term::Slt(..) => 18,
+                Term::Sle(..) => 19,
+                Term::Ite(..) => 20,
+                Term::ZeroExt { .. } => 21,
+                Term::SignExt { .. } => 22,
+                Term::Extract { .. } => 23,
+                Term::Concat(..) => 24,
+            }
+        }
+        let mut h = fp_mix(FP_BASIS, &[tag(term), width.bits() as u8]);
+        let child = |h: u128, id: TermId| fp_mix(h, &self.fingerprint(id).to_le_bytes());
+        match term {
+            Term::Const { value, .. } => h = fp_mix(h, &value.to_le_bytes()),
+            Term::Var { name, .. } => h = fp_mix(h, name.as_bytes()),
+            Term::Not(a) | Term::Neg(a) => h = child(h, *a),
+            Term::And(a, b)
+            | Term::Or(a, b)
+            | Term::Xor(a, b)
+            | Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Udiv(a, b)
+            | Term::Urem(a, b)
+            | Term::Shl(a, b)
+            | Term::Lshr(a, b)
+            | Term::Ashr(a, b)
+            | Term::Eq(a, b)
+            | Term::Ult(a, b)
+            | Term::Ule(a, b)
+            | Term::Slt(a, b)
+            | Term::Sle(a, b)
+            | Term::Concat(a, b) => {
+                h = child(h, *a);
+                h = child(h, *b);
+            }
+            Term::Ite(c, t, e) => {
+                h = child(h, *c);
+                h = child(h, *t);
+                h = child(h, *e);
+            }
+            Term::ZeroExt { arg, .. } | Term::SignExt { arg, .. } => h = child(h, *arg),
+            Term::Extract { arg, hi, lo } => {
+                h = child(h, *arg);
+                h = fp_mix(h, &[*hi, *lo]);
+            }
+        }
+        h
     }
 
     /// Interns a constant, truncating `value` to `width`.
@@ -374,7 +483,7 @@ impl TermPool {
     /// Bitwise and.
     pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "and");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return self.constant(x & y, w),
             (Some(0), _) | (_, Some(0)) => return self.constant(0, w),
@@ -395,7 +504,7 @@ impl TermPool {
     /// Bitwise or.
     pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "or");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return self.constant(x | y, w),
             (Some(0), _) => return b,
@@ -417,7 +526,7 @@ impl TermPool {
     /// Bitwise exclusive or.
     pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "xor");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return self.constant(x ^ y, w),
             (Some(0), _) => return b,
@@ -440,7 +549,7 @@ impl TermPool {
     /// Wrapping addition.
     pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "add");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return self.constant(x.wrapping_add(y), w),
             (Some(0), _) => return b,
@@ -467,7 +576,7 @@ impl TermPool {
     /// Wrapping multiplication.
     pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "mul");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return self.constant(x.wrapping_mul(y), w),
             (Some(0), _) | (_, Some(0)) => return self.constant(0, w),
@@ -550,7 +659,7 @@ impl TermPool {
     /// Equality predicate (width-1 result).
     pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.assert_same_width(a, b, "eq");
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let (a, b) = self.commute(a, b);
         if a == b {
             return self.tru();
         }
@@ -584,7 +693,7 @@ impl TermPool {
         }
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return if x < y { self.tru() } else { self.fls() },
-            (_, Some(0)) => return self.fls(),                 // x < 0 is false
+            (_, Some(0)) => return self.fls(), // x < 0 is false
             (Some(x), _) if x == w.mask() => return self.fls(), // ones < x is false
             _ => {}
         }
@@ -599,7 +708,7 @@ impl TermPool {
         }
         match (self.const_value(a), self.const_value(b)) {
             (Some(x), Some(y)) => return if x <= y { self.tru() } else { self.fls() },
-            (Some(0), _) => return self.tru(),                  // 0 <= x
+            (Some(0), _) => return self.tru(), // 0 <= x
             (_, Some(y)) if y == w.mask() => return self.tru(), // x <= ones
             _ => {}
         }
@@ -623,10 +732,7 @@ impl TermPool {
             return self.fls();
         }
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
-            let (sx, sy) = (
-                w.sign_extend_to_64(x) as i64,
-                w.sign_extend_to_64(y) as i64,
-            );
+            let (sx, sy) = (w.sign_extend_to_64(x) as i64, w.sign_extend_to_64(y) as i64);
             return if sx < sy { self.tru() } else { self.fls() };
         }
         self.intern(Term::Slt(a, b), Width::W1)
@@ -639,10 +745,7 @@ impl TermPool {
             return self.tru();
         }
         if let (Some(x), Some(y)) = (self.const_value(a), self.const_value(b)) {
-            let (sx, sy) = (
-                w.sign_extend_to_64(x) as i64,
-                w.sign_extend_to_64(y) as i64,
-            );
+            let (sx, sy) = (w.sign_extend_to_64(x) as i64, w.sign_extend_to_64(y) as i64);
             return if sx <= sy { self.tru() } else { self.fls() };
         }
         self.intern(Term::Sle(a, b), Width::W1)
@@ -743,8 +846,7 @@ impl TermPool {
     /// Panics if the combined width exceeds 64 bits.
     pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
         let (wh, wl) = (self.width(hi), self.width(lo));
-        let w = Width::new(wh.bits() + wl.bits())
-            .expect("concat: combined width exceeds 64 bits");
+        let w = Width::new(wh.bits() + wl.bits()).expect("concat: combined width exceeds 64 bits");
         if let (Some(h), Some(l)) = (self.const_value(hi), self.const_value(lo)) {
             return self.constant((h << wl.bits()) | l, w);
         }

@@ -1,6 +1,10 @@
 //! Property-based tests for the SMT stack.
 //!
-//! Strategy: generate random term trees, then check three invariants.
+//! Strategy: generate random term trees from a seeded in-tree PRNG (the
+//! workspace builds offline, so `proptest` is unavailable — each property
+//! is a deterministic loop over `symsc_rng` with a fixed seed, which also
+//! makes every failure immediately reproducible), then check three
+//! invariants.
 //!
 //! 1. *Folding soundness* — the pool's construction-time simplifications
 //!    never change semantics: `evaluate(build(ops), env)` equals a shadow
@@ -14,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use symsc_rng::Rng;
 use symsc_smt::eval::evaluate;
 use symsc_smt::{SatResult, Solver, TermId, TermPool, Width};
 
@@ -40,44 +44,41 @@ enum Node {
     IteUlt(Box<Node>, Box<Node>, Box<Node>, Box<Node>),
 }
 
-fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(Node::Var),
-        any::<u8>().prop_map(Node::Const),
-    ];
-    leaf.prop_recursive(4, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| Node::Not(Box::new(a))),
-            inner.clone().prop_map(|a| Node::Neg(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Udiv(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Urem(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Node::Lshr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(c1, c2, t, e)| Node::IteUlt(
-                    Box::new(c1),
-                    Box::new(c2),
-                    Box::new(t),
-                    Box::new(e)
-                )),
-        ]
-    })
+/// Samples a random term tree of height at most `depth`.
+fn gen_node(rng: &mut Rng, depth: u32) -> Node {
+    // At depth 0 always emit a leaf; otherwise emit one ~1/4 of the time
+    // so trees stay varied in shape.
+    if depth == 0 || rng.gen_range_inclusive(0, 3) == 0 {
+        return if rng.gen_bool() {
+            Node::Var(rng.gen_range_inclusive(0, 2) as u8)
+        } else {
+            Node::Const(rng.next_u32() as u8)
+        };
+    }
+    let sub = |rng: &mut Rng| Box::new(gen_node(rng, depth - 1));
+    match rng.gen_range_inclusive(0, 12) {
+        0 => Node::Not(sub(rng)),
+        1 => Node::Neg(sub(rng)),
+        2 => Node::And(sub(rng), sub(rng)),
+        3 => Node::Or(sub(rng), sub(rng)),
+        4 => Node::Xor(sub(rng), sub(rng)),
+        5 => Node::Add(sub(rng), sub(rng)),
+        6 => Node::Sub(sub(rng), sub(rng)),
+        7 => Node::Mul(sub(rng), sub(rng)),
+        8 => Node::Udiv(sub(rng), sub(rng)),
+        9 => Node::Urem(sub(rng), sub(rng)),
+        10 => Node::Shl(sub(rng), sub(rng)),
+        11 => Node::Lshr(sub(rng), sub(rng)),
+        _ => Node::IteUlt(sub(rng), sub(rng), sub(rng), sub(rng)),
+    }
+}
+
+fn gen_env(rng: &mut Rng) -> [u8; 3] {
+    [
+        rng.next_u32() as u8,
+        rng.next_u32() as u8,
+        rng.next_u32() as u8,
+    ]
 }
 
 fn build(pool: &mut TermPool, node: &Node) -> TermId {
@@ -155,21 +156,10 @@ fn shadow(node: &Node, env: &[u8; 3]) -> u8 {
         Node::Add(a, b) => shadow(a, env).wrapping_add(shadow(b, env)),
         Node::Sub(a, b) => shadow(a, env).wrapping_sub(shadow(b, env)),
         Node::Mul(a, b) => shadow(a, env).wrapping_mul(shadow(b, env)),
-        Node::Udiv(a, b) => {
-            let d = shadow(b, env);
-            if d == 0 {
-                0xFF
-            } else {
-                shadow(a, env) / d
-            }
-        }
+        Node::Udiv(a, b) => shadow(a, env).checked_div(shadow(b, env)).unwrap_or(0xFF),
         Node::Urem(a, b) => {
-            let d = shadow(b, env);
-            if d == 0 {
-                shadow(a, env)
-            } else {
-                shadow(a, env) % d
-            }
+            let a = shadow(a, env);
+            a.checked_rem(shadow(b, env)).unwrap_or(a)
         }
         Node::Shl(a, b) => {
             let s = shadow(b, env);
@@ -203,20 +193,31 @@ fn env_map(env: &[u8; 3]) -> HashMap<String, u64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn folding_preserves_semantics(node in node_strategy(), env in any::<[u8; 3]>()) {
+#[test]
+fn folding_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0x5EED_0001);
+    for case in 0..256 {
+        let node = gen_node(&mut rng, 4);
+        let env = gen_env(&mut rng);
         let mut pool = TermPool::new();
         let t = build(&mut pool, &node);
         let via_pool = evaluate(&pool, t, &env_map(&env));
         let via_shadow = u64::from(shadow(&node, &env));
-        prop_assert_eq!(via_pool, via_shadow, "term: {}", pool.display(t));
+        assert_eq!(
+            via_pool,
+            via_shadow,
+            "case {case}: term {} under {env:?}",
+            pool.display(t)
+        );
     }
+}
 
-    #[test]
-    fn planted_constraint_is_sat(node in node_strategy(), env in any::<[u8; 3]>()) {
+#[test]
+fn planted_constraint_is_sat() {
+    let mut rng = Rng::seed_from_u64(0x5EED_0002);
+    for case in 0..256 {
+        let node = gen_node(&mut rng, 4);
+        let env = gen_env(&mut rng);
         let mut pool = TermPool::new();
         let t = build(&mut pool, &node);
         let planted = evaluate(&pool, t, &env_map(&env));
@@ -226,17 +227,24 @@ proptest! {
         match solver.check(&pool, &[constraint]) {
             SatResult::Sat(model) => {
                 let value = evaluate(&pool, constraint, &model.to_env());
-                prop_assert_eq!(value, 1, "model {} violates constraint", model);
+                assert_eq!(value, 1, "case {case}: model {model} violates constraint");
             }
             SatResult::Unsat => {
-                prop_assert!(false, "planted constraint reported unsat");
+                panic!("case {case}: planted constraint reported unsat");
             }
         }
     }
+}
 
-    #[test]
-    fn contradictory_equalities_are_unsat(c1 in any::<u8>(), c2 in any::<u8>()) {
-        prop_assume!(c1 != c2);
+#[test]
+fn contradictory_equalities_are_unsat() {
+    let mut rng = Rng::seed_from_u64(0x5EED_0003);
+    for _ in 0..256 {
+        let c1 = rng.next_u32() as u8;
+        let c2 = rng.next_u32() as u8;
+        if c1 == c2 {
+            continue;
+        }
         let mut pool = TermPool::new();
         let x = pool.var("x", W);
         let k1 = pool.constant(u64::from(c1), W);
@@ -244,12 +252,17 @@ proptest! {
         let e1 = pool.eq(x, k1);
         let e2 = pool.eq(x, k2);
         let mut solver = Solver::new();
-        prop_assert_eq!(solver.check(&pool, &[e1, e2]), SatResult::Unsat);
+        assert_eq!(solver.check(&pool, &[e1, e2]), SatResult::Unsat);
     }
+}
 
-    #[test]
-    fn model_round_trips_through_eval(a in any::<u8>(), b in any::<u8>()) {
-        // x + a == b always has the unique solution x = b - a.
+#[test]
+fn model_round_trips_through_eval() {
+    // x + a == b always has the unique solution x = b - a.
+    let mut rng = Rng::seed_from_u64(0x5EED_0004);
+    for _ in 0..256 {
+        let a = rng.next_u32() as u8;
+        let b = rng.next_u32() as u8;
         let mut pool = TermPool::new();
         let x = pool.var("x", W);
         let ka = pool.constant(u64::from(a), W);
@@ -259,9 +272,9 @@ proptest! {
         let mut solver = Solver::new();
         match solver.check(&pool, &[c]) {
             SatResult::Sat(m) => {
-                prop_assert_eq!(m.value_or_zero("x") as u8, b.wrapping_sub(a));
+                assert_eq!(m.value_or_zero("x") as u8, b.wrapping_sub(a));
             }
-            SatResult::Unsat => prop_assert!(false, "always satisfiable"),
+            SatResult::Unsat => panic!("always satisfiable"),
         }
     }
 }
@@ -273,13 +286,13 @@ macro_rules! width_props {
         mod $modname {
             use super::*;
 
-            proptest! {
-                #![proptest_config(ProptestConfig::with_cases(64))]
-
-                /// Unique-solution equation: x + a == b over the width.
-                #[test]
-                fn addition_inverts(a in any::<u64>(), b in any::<u64>()) {
-                    let (a, b) = (a & $mask, b & $mask);
+            /// Unique-solution equation: x + a == b over the width.
+            #[test]
+            fn addition_inverts() {
+                let mut rng = Rng::seed_from_u64(0x5EED_0010);
+                for _ in 0..64 {
+                    let a = rng.next_u64() & $mask;
+                    let b = rng.next_u64() & $mask;
                     let mut pool = TermPool::new();
                     let x = pool.var("x", $width);
                     let ka = pool.constant(a, $width);
@@ -289,46 +302,55 @@ macro_rules! width_props {
                     match Solver::new().check(&pool, &[c]) {
                         SatResult::Sat(m) => {
                             let got = m.value_or_zero("x");
-                            prop_assert_eq!(got, b.wrapping_sub(a) & $mask);
+                            assert_eq!(got, b.wrapping_sub(a) & $mask);
                         }
-                        SatResult::Unsat => prop_assert!(false, "always satisfiable"),
+                        SatResult::Unsat => panic!("always satisfiable"),
                     }
                 }
+            }
 
-                /// Signed comparison agrees with two's-complement host math.
-                #[test]
-                fn signed_less_than_matches_host(a in any::<u64>(), b in any::<u64>()) {
-                    let (a, b) = (a & $mask, b & $mask);
+            /// Signed comparison agrees with two's-complement host math.
+            #[test]
+            fn signed_less_than_matches_host() {
+                let mut rng = Rng::seed_from_u64(0x5EED_0011);
+                for _ in 0..64 {
+                    let a = rng.next_u64() & $mask;
+                    let b = rng.next_u64() & $mask;
                     let mut pool = TermPool::new();
                     let ka = pool.constant(a, $width);
                     let kb = pool.constant(b, $width);
                     let lt = pool.slt(ka, kb);
                     let sa = $width.sign_extend_to_64(a) as i64;
                     let sb = $width.sign_extend_to_64(b) as i64;
-                    prop_assert_eq!(pool.is_true(lt), sa < sb);
+                    assert_eq!(pool.is_true(lt), sa < sb);
                 }
+            }
 
-                /// Shift round trip: (x << k) >> k recovers the low bits.
-                #[test]
-                fn shift_round_trip(x in any::<u64>(), k in 0u32..8) {
-                    let bits = $width.bits();
-                    prop_assume!(k < bits);
-                    let x = x & $mask;
+            /// Shift round trip: (x << k) >> k recovers the low bits.
+            #[test]
+            fn shift_round_trip() {
+                let mut rng = Rng::seed_from_u64(0x5EED_0012);
+                for _ in 0..64 {
+                    let x = rng.next_u64() & $mask;
+                    let k = rng.gen_range_inclusive(0, 7) as u32;
                     let mut pool = TermPool::new();
                     let kx = pool.constant(x, $width);
                     let kk = pool.constant(u64::from(k), $width);
                     let left = pool.shl(kx, kk);
                     let back = pool.lshr(left, kk);
                     let expected = ((x << k) & $mask) >> k;
-                    prop_assert_eq!(pool.const_value(back), Some(expected));
+                    assert_eq!(pool.const_value(back), Some(expected));
                 }
+            }
 
-                /// The solver can invert a multiplication by an odd constant
-                /// (odd constants are units modulo 2^n, so a solution exists).
-                #[test]
-                fn odd_multiplier_inverts(m in any::<u64>(), target in any::<u64>()) {
-                    let m = (m & $mask) | 1; // force odd
-                    let target = target & $mask;
+            /// The solver can invert a multiplication by an odd constant
+            /// (odd constants are units modulo 2^n, so a solution exists).
+            #[test]
+            fn odd_multiplier_inverts() {
+                let mut rng = Rng::seed_from_u64(0x5EED_0013);
+                for _ in 0..64 {
+                    let m = (rng.next_u64() & $mask) | 1; // force odd
+                    let target = rng.next_u64() & $mask;
                     let mut pool = TermPool::new();
                     let x = pool.var("x", $width);
                     let km = pool.constant(m, $width);
@@ -338,10 +360,10 @@ macro_rules! width_props {
                     match Solver::new().check(&pool, &[c]) {
                         SatResult::Sat(model) => {
                             let got = model.value_or_zero("x");
-                            prop_assert_eq!(got.wrapping_mul(m) & $mask, target);
+                            assert_eq!(got.wrapping_mul(m) & $mask, target);
                         }
                         SatResult::Unsat => {
-                            prop_assert!(false, "odd multiplier must be invertible");
+                            panic!("odd multiplier must be invertible");
                         }
                     }
                 }

@@ -1,11 +1,10 @@
 //! The symbolic execution context: path constraints, branch decisions,
 //! assumptions, assertions and error recording.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use symsc_smt::{Model, SatResult, Solver, TermId, TermPool, Width};
+use symsc_smt::{Model, QueryCache, SatResult, Solver, TermId, TermPool, Width};
 
 use crate::error::{Counterexample, ErrorKind, SymError};
 use crate::value::{SymBool, SymWord};
@@ -54,13 +53,15 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
-    pub(crate) fn new(max_path_decisions: u64, cache: bool) -> EngineState {
+    /// A fresh engine state. `cache` is the (possibly shared) whole-query
+    /// solver cache: parallel workers pass clones of one [`Arc`] so that a
+    /// query solved on any worker is a hit on every other.
+    pub(crate) fn new(max_path_decisions: u64, cache: Option<Arc<QueryCache>>) -> EngineState {
         EngineState {
             pool: TermPool::new(),
-            solver: if cache {
-                Solver::new()
-            } else {
-                Solver::without_cache()
+            solver: match cache {
+                Some(shared) => Solver::with_shared_cache(shared),
+                None => Solver::without_cache(),
             },
             errors: Vec::new(),
             decisions: 0,
@@ -105,6 +106,18 @@ impl EngineState {
         for label in std::mem::take(&mut self.path_coverage) {
             *self.coverage.entry(label).or_insert(0) += 1;
         }
+    }
+
+    /// The decision directions taken on the current path so far.
+    pub(crate) fn taken_so_far(&self) -> Vec<bool> {
+        self.taken.clone()
+    }
+
+    /// Removes and returns the coverage bins hit on the current path.
+    /// Parallel workers fold these into the merged report themselves
+    /// instead of going through [`end_path_coverage`](Self::end_path_coverage).
+    pub(crate) fn take_path_coverage(&mut self) -> std::collections::BTreeSet<String> {
+        std::mem::take(&mut self.path_coverage)
     }
 
     /// Evaluates a width-1 term under the cached model, if one is held.
@@ -371,12 +384,12 @@ impl EngineState {
 /// context around explicitly.
 #[derive(Clone)]
 pub struct SymCtx {
-    pub(crate) inner: Rc<RefCell<EngineState>>,
+    pub(crate) inner: Arc<Mutex<EngineState>>,
 }
 
 impl std::fmt::Debug for SymCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.inner.borrow();
+        let st = self.engine();
         f.debug_struct("SymCtx")
             .field("path", &st.path_index)
             .field("constraints", &st.constraints.len())
@@ -386,8 +399,16 @@ impl std::fmt::Debug for SymCtx {
 }
 
 impl SymCtx {
-    pub(crate) fn new(inner: Rc<RefCell<EngineState>>) -> SymCtx {
+    pub(crate) fn new(inner: Arc<Mutex<EngineState>>) -> SymCtx {
         SymCtx { inner }
+    }
+
+    /// Locks the engine state. Path termination unwinds a
+    /// [`PathTerm`] panic *through* held guards, which poisons the mutex;
+    /// that poisoning is benign (`kill_path` only fires at points where the
+    /// state is consistent), so the poison flag is deliberately cleared.
+    pub(crate) fn engine(&self) -> MutexGuard<'_, EngineState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Declares a fresh symbolic input of the given width — the analogue
@@ -397,7 +418,7 @@ impl SymCtx {
     /// variable, which is what re-execution requires.
     pub fn symbolic(&self, name: &str, width: Width) -> SymWord {
         let id = {
-            let mut st = self.inner.borrow_mut();
+            let mut st = self.engine();
             if !st.inputs.iter().any(|n| n == name) {
                 st.inputs.push(name.to_string());
             }
@@ -416,7 +437,7 @@ impl SymCtx {
 
     /// A concrete word of the given width.
     pub fn word(&self, value: u64, width: Width) -> SymWord {
-        let id = self.inner.borrow_mut().pool.constant(value, width);
+        let id = self.engine().pool.constant(value, width);
         SymWord::from_raw(self.clone(), id, width)
     }
 
@@ -428,7 +449,7 @@ impl SymCtx {
     /// A concrete boolean.
     pub fn lit(&self, value: bool) -> SymBool {
         let id = {
-            let mut st = self.inner.borrow_mut();
+            let mut st = self.engine();
             if value {
                 st.pool.tru()
             } else {
@@ -443,7 +464,7 @@ impl SymCtx {
     /// silently.
     pub fn assume(&self, cond: &SymBool) {
         let id = cond.id();
-        self.inner.borrow_mut().assume(id);
+        self.engine().assume(id);
     }
 
     /// Asserts `cond`; any feasible violation is recorded as an
@@ -452,7 +473,7 @@ impl SymCtx {
     /// erring path.
     pub fn check(&self, cond: &SymBool, message: &str) {
         let id = cond.id();
-        self.inner.borrow_mut().check_assert(id, message);
+        self.engine().check_assert(id, message);
     }
 
     /// Asserts an already-concrete condition (e.g. a counter in the mock
@@ -468,13 +489,13 @@ impl SymCtx {
     /// for every control-flow decision over symbolic data.
     pub fn decide(&self, cond: &SymBool) -> bool {
         let id = cond.id();
-        self.inner.borrow_mut().decide(id)
+        self.engine().decide(id)
     }
 
     /// Records a non-assertion error (memory fault, trap, protocol
     /// violation) and terminates the current path.
     pub fn fail(&self, kind: ErrorKind, message: impl Into<String>) -> ! {
-        self.inner.borrow_mut().fail_path(kind, message.into())
+        self.engine().fail_path(kind, message.into())
     }
 
     /// Marks a functional-coverage bin as hit on the current path. The
@@ -482,21 +503,21 @@ impl SymCtx {
     /// verification-closure data for testbench review (which scenarios
     /// the symbolic exploration actually drove).
     pub fn cover(&self, label: &str) {
-        self.inner.borrow_mut().cover(label);
+        self.engine().cover(label);
     }
 
     /// Number of errors recorded so far in this exploration.
     pub fn error_count(&self) -> usize {
-        self.inner.borrow().errors.len()
+        self.engine().errors.len()
     }
 
     /// The current path's index (0-based).
     pub fn path_index(&self) -> u64 {
-        self.inner.borrow().path_index
+        self.engine().path_index
     }
 
     pub(crate) fn with_pool<R>(&self, f: impl FnOnce(&mut TermPool) -> R) -> R {
-        f(&mut self.inner.borrow_mut().pool)
+        f(&mut self.engine().pool)
     }
 }
 

@@ -84,10 +84,7 @@ impl Counterexample {
 
     /// The recorded inputs as a `name -> value` map (for replay).
     pub fn to_map(&self) -> std::collections::HashMap<String, u64> {
-        self.values
-            .iter()
-            .map(|(k, &v)| (k.clone(), v))
-            .collect()
+        self.values.iter().map(|(k, &v)| (k.clone(), v)).collect()
     }
 
     /// The concrete value of input `name` (zero if the input was not

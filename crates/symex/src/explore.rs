@@ -1,13 +1,26 @@
 //! The path explorer: forked re-execution over recorded decision prefixes.
+//!
+//! Exploration runs on a pool of worker threads (see
+//! [`Explorer::workers`]). Every pending decision prefix is an independent
+//! unit of work: a worker pops one, re-executes the testbench with the
+//! prefix forced, and pushes the newly discovered prefixes back. Workers
+//! keep private term pools and solvers but share one whole-query solver
+//! cache, so a feasibility query solved on any worker is a cache hit on
+//! every other. Per-worker results are merged into canonical (sequential
+//! depth-first) order, so the report is independent of scheduling.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{self, AssertUnwindSafe};
-use std::rc::Rc;
-use std::sync::Once;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
 use std::time::{Duration, Instant};
 
+use symsc_smt::QueryCache;
+
 use crate::ctx::{EngineState, PathTerm, SymCtx};
-use crate::error::{ErrorKind, Report};
+use crate::error::{ErrorKind, Report, SymError};
 use crate::stats::ExplorationStats;
 
 thread_local! {
@@ -37,6 +50,11 @@ fn install_quiet_hook() {
 /// symbolic exploration heuristics, which attempt to solve the most
 /// promising paths first"; the strategy is exposed here so its effect can
 /// be measured (see the `exploration` bench).
+///
+/// Strategies order *visitation*, so they only matter on a sequential
+/// exploration ([`Explorer::workers`]`(1)`) — with more workers, paths are
+/// claimed greedily by the pool and the merged report is always in
+/// canonical depth-first order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SearchStrategy {
     /// Depth-first: follow one execution to the end before backtracking
@@ -52,8 +70,9 @@ pub enum SearchStrategy {
 
 /// Drives the symbolic exploration of a testbench closure.
 ///
-/// The closure is executed once per path. All paths share one term pool
-/// and one solver (with its query cache), so replays are cheap.
+/// The closure is executed once per path. With one worker, all paths share
+/// one term pool and one solver; with several, each worker keeps its own
+/// pool and solver but all share one whole-query cache.
 ///
 /// # Example
 ///
@@ -80,6 +99,7 @@ pub struct Explorer {
     timeout: Option<Duration>,
     query_cache: bool,
     strategy: SearchStrategy,
+    workers: usize,
 }
 
 impl Default for Explorer {
@@ -90,7 +110,8 @@ impl Default for Explorer {
 
 impl Explorer {
     /// An explorer with default budgets (1 million paths, 100k decisions
-    /// per path, no timeout, query cache on).
+    /// per path, no timeout, query cache on, one worker per available
+    /// hardware thread).
     pub fn new() -> Explorer {
         Explorer {
             max_paths: 1_000_000,
@@ -98,6 +119,7 @@ impl Explorer {
             timeout: None,
             query_cache: true,
             strategy: SearchStrategy::DepthFirst,
+            workers: 0,
         }
     }
 
@@ -125,10 +147,35 @@ impl Explorer {
         self
     }
 
-    /// Selects the path-selection strategy (default: depth-first).
+    /// Selects the path-selection strategy (default: depth-first). Only
+    /// meaningful with [`workers`](Self::workers)`(1)`; see
+    /// [`SearchStrategy`].
     pub fn strategy(mut self, strategy: SearchStrategy) -> Explorer {
         self.strategy = strategy;
         self
+    }
+
+    /// Sets the number of worker threads. `0` (the default) uses
+    /// [`std::thread::available_parallelism`]; `1` runs the exploration
+    /// sequentially on the calling thread, preserving the single-threaded
+    /// engine's exact behavior (shared pool, strategy-ordered visitation).
+    pub fn workers(mut self, workers: usize) -> Explorer {
+        self.workers = workers;
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The exploration-wide solver cache, if enabled.
+    fn cache_handle(&self) -> Option<Arc<QueryCache>> {
+        self.query_cache.then(|| Arc::new(QueryCache::new()))
     }
 
     /// Explores all feasible paths of `testbench`.
@@ -137,11 +184,39 @@ impl Explorer {
     /// the engine's branch decisions (re-execution soundness). Panics from
     /// model code are caught and reported as [`ErrorKind::ModelPanic`]
     /// errors with a counterexample; they terminate only their own path.
-    pub fn explore<F: FnMut(&SymCtx)>(&self, mut testbench: F) -> Report {
+    ///
+    /// With more than one worker the closure is called concurrently from
+    /// several threads, hence the `Fn + Sync` bound. Testbenches that
+    /// mutate captured state should use [`explore_mut`](Self::explore_mut)
+    /// instead.
+    pub fn explore<F>(&self, testbench: F) -> Report
+    where
+        F: Fn(&SymCtx) + Sync,
+    {
+        let workers = self.resolved_workers();
+        if workers <= 1 {
+            self.explore_sequential(testbench)
+        } else {
+            self.explore_parallel(&testbench, workers)
+        }
+    }
+
+    /// Explores all feasible paths of a testbench that mutates captured
+    /// state (e.g. collects observations into a `Vec`). Mutable captures
+    /// cannot be shared across worker threads, so this always runs
+    /// sequentially, like [`workers`](Self::workers)`(1)`.
+    pub fn explore_mut<F: FnMut(&SymCtx)>(&self, testbench: F) -> Report {
+        self.explore_sequential(testbench)
+    }
+
+    /// The single-threaded engine: one pool, one solver, strategy-ordered
+    /// visitation. This is the reference semantics the parallel engine's
+    /// merged reports are defined against.
+    fn explore_sequential<F: FnMut(&SymCtx)>(&self, mut testbench: F) -> Report {
         install_quiet_hook();
-        let state = Rc::new(RefCell::new(EngineState::new(
+        let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
-            self.query_cache,
+            self.cache_handle(),
         )));
         let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
         let start = Instant::now();
@@ -165,8 +240,8 @@ impl Explorer {
                 }
             }
 
-            state.borrow_mut().begin_path(prefix);
             let ctx = SymCtx::new(state.clone());
+            ctx.engine().begin_path(prefix);
             IN_EXPLORATION.with(|f| f.set(true));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
             IN_EXPLORATION.with(|f| f.set(false));
@@ -178,22 +253,22 @@ impl Explorer {
                     // an abort or unhandled exception. Report it with a
                     // counterexample for the current path.
                     let message = panic_message(payload.as_ref());
-                    state
-                        .borrow_mut()
+                    ctx.engine()
                         .record_error_here(ErrorKind::ModelPanic, message);
                 }
             }
 
-            let mut st = state.borrow_mut();
+            let mut st = ctx.engine();
             st.path_index += 1;
             st.end_path_coverage();
             // Push pending prefixes (discovered this run); pick_next
             // applies the search strategy on removal.
             let pending = std::mem::take(&mut st.pending);
+            drop(st);
             worklist.extend(pending);
         }
 
-        let st = state.borrow();
+        let st = lock_state(&state);
         if st.budget_exhausted {
             completed = false;
         }
@@ -212,6 +287,161 @@ impl Explorer {
             completed,
         }
     }
+
+    /// The parallel engine: a pool of `workers` threads drains the shared
+    /// prefix queue. Each worker keeps a private [`EngineState`] (pool +
+    /// solver) and all workers share one whole-query cache; the per-path
+    /// results are merged into canonical depth-first order afterwards, so
+    /// the report does not depend on scheduling.
+    fn explore_parallel<F>(&self, testbench: &F, workers: usize) -> Report
+    where
+        F: Fn(&SymCtx) + Sync,
+    {
+        install_quiet_hook();
+        let start = Instant::now();
+        let cache = self.cache_handle();
+        let queue = WorkQueue::new(vec![Vec::new()]);
+        let limits = SharedLimits {
+            paths_started: AtomicU64::new(0),
+            max_paths: self.max_paths,
+            deadline: self.timeout.map(|t| start + t),
+            truncated: AtomicBool::new(false),
+        };
+
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cache = cache.clone();
+                let queue = &queue;
+                let limits = &limits;
+                handles.push(scope.spawn(move || self.run_worker(queue, limits, testbench, cache)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exploration worker panicked"))
+                .collect()
+        });
+
+        self.merge_outputs(outputs, &limits, start.elapsed())
+    }
+
+    /// One worker's loop: pop a prefix, re-execute, harvest the path
+    /// record, feed newly forked prefixes back to the queue.
+    fn run_worker<F>(
+        &self,
+        queue: &WorkQueue,
+        limits: &SharedLimits,
+        testbench: &F,
+        cache: Option<Arc<QueryCache>>,
+    ) -> WorkerOutput
+    where
+        F: Fn(&SymCtx) + Sync,
+    {
+        let state = Arc::new(Mutex::new(EngineState::new(self.max_path_decisions, cache)));
+        let mut records = Vec::new();
+
+        while let Some(prefix) = queue.pop() {
+            let over_budget =
+                limits.paths_started.fetch_add(1, AtomicOrdering::SeqCst) >= limits.max_paths;
+            let past_deadline = limits
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline);
+            if over_budget || past_deadline {
+                limits.truncated.store(true, AtomicOrdering::SeqCst);
+                queue.halt();
+                queue.complete(Vec::new());
+                break;
+            }
+
+            let ctx = SymCtx::new(state.clone());
+            ctx.engine().begin_path(prefix);
+            IN_EXPLORATION.with(|f| f.set(true));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
+            IN_EXPLORATION.with(|f| f.set(false));
+
+            if let Err(payload) = outcome {
+                if payload.downcast_ref::<PathTerm>().is_none() {
+                    let message = panic_message(payload.as_ref());
+                    ctx.engine()
+                        .record_error_here(ErrorKind::ModelPanic, message);
+                }
+            }
+
+            let mut st = ctx.engine();
+            st.path_index += 1;
+            let record = PathRecord {
+                taken: st.taken_so_far(),
+                errors: std::mem::take(&mut st.errors),
+                coverage: st.take_path_coverage(),
+            };
+            let pending = std::mem::take(&mut st.pending);
+            drop(st);
+            records.push(record);
+            queue.complete(pending);
+        }
+
+        let st = lock_state(&state);
+        WorkerOutput {
+            records,
+            decisions: st.decisions,
+            pool_ops: st.pool.ops_created(),
+            solver_time: st.solver_time,
+            solver: st.solver.stats(),
+            budget_exhausted: st.budget_exhausted,
+        }
+    }
+
+    /// Merges per-worker results into a report in canonical order: path
+    /// records sort by their decision vectors (taken-true before
+    /// taken-false), which is exactly the order the sequential depth-first
+    /// engine visits paths in. Error path indices are renumbered to that
+    /// order and coverage bins are re-counted, so the merged report is a
+    /// pure function of the explored path set.
+    fn merge_outputs(
+        &self,
+        outputs: Vec<WorkerOutput>,
+        limits: &SharedLimits,
+        time: Duration,
+    ) -> Report {
+        let mut completed = !limits.truncated.load(AtomicOrdering::SeqCst);
+        let mut records = Vec::new();
+        let mut stats = ExplorationStats {
+            time,
+            ..ExplorationStats::default()
+        };
+        for output in outputs {
+            records.extend(output.records);
+            stats.decisions += output.decisions;
+            stats.instructions += output.pool_ops;
+            stats.solver_time += output.solver_time;
+            stats.solver.merge(&output.solver);
+            if output.budget_exhausted {
+                completed = false;
+            }
+        }
+        stats.instructions += stats.decisions;
+        stats.paths = records.len() as u64;
+
+        records.sort_by(|a, b| cmp_decision_order(&a.taken, &b.taken));
+        let mut errors = Vec::new();
+        let mut coverage = BTreeMap::new();
+        for (index, record) in records.into_iter().enumerate() {
+            for mut error in record.errors {
+                error.path = index as u64;
+                errors.push(error);
+            }
+            for bin in record.coverage {
+                *coverage.entry(bin).or_insert(0) += 1;
+            }
+        }
+
+        Report {
+            errors,
+            coverage,
+            stats,
+            completed,
+        }
+    }
 }
 
 impl Explorer {
@@ -222,35 +452,35 @@ impl Explorer {
     /// debugger" step — the error reproduces deterministically.
     ///
     /// The returned report covers that single path (the reproduced errors
-    /// carry the replayed input values as their counterexample).
+    /// carry the replayed input values as their counterexample). Replay is
+    /// always sequential; the worker setting does not apply.
     pub fn replay<F: FnMut(&SymCtx)>(
         &self,
         counterexample: &crate::error::Counterexample,
         mut testbench: F,
     ) -> Report {
         install_quiet_hook();
-        let state = Rc::new(RefCell::new(EngineState::new(
+        let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
-            self.query_cache,
+            self.cache_handle(),
         )));
-        state.borrow_mut().replay = Some(counterexample.to_map());
+        lock_state(&state).replay = Some(counterexample.to_map());
         let start = Instant::now();
 
-        state.borrow_mut().begin_path(Vec::new());
         let ctx = SymCtx::new(state.clone());
+        ctx.engine().begin_path(Vec::new());
         IN_EXPLORATION.with(|f| f.set(true));
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
         IN_EXPLORATION.with(|f| f.set(false));
         if let Err(payload) = outcome {
             if payload.downcast_ref::<PathTerm>().is_none() {
                 let message = panic_message(payload.as_ref());
-                state
-                    .borrow_mut()
+                ctx.engine()
                     .record_error_here(ErrorKind::ModelPanic, message);
             }
         }
 
-        let mut st = state.borrow_mut();
+        let mut st = lock_state(&state);
         st.end_path_coverage();
         let st = &*st;
         let time = start.elapsed();
@@ -272,11 +502,7 @@ impl Explorer {
 
 impl Explorer {
     /// Removes and returns the next prefix to explore, per the strategy.
-    fn pick_next(
-        &self,
-        worklist: &mut Vec<Vec<bool>>,
-        rng_state: &mut u64,
-    ) -> Option<Vec<bool>> {
+    fn pick_next(&self, worklist: &mut Vec<Vec<bool>>, rng_state: &mut u64) -> Option<Vec<bool>> {
         if worklist.is_empty() {
             return None;
         }
@@ -295,6 +521,131 @@ impl Explorer {
             }
         }
     }
+}
+
+/// Exploration-wide budgets shared by all workers.
+struct SharedLimits {
+    /// Paths claimed so far (including the claim that trips the budget).
+    paths_started: AtomicU64,
+    max_paths: u64,
+    deadline: Option<Instant>,
+    /// Set when a worker stopped the exploration early (budget/deadline).
+    truncated: AtomicBool,
+}
+
+/// One explored path, as harvested from a worker: everything needed to
+/// reconstruct the sequential report during the merge.
+struct PathRecord {
+    /// The branch directions taken, which identify the path uniquely and
+    /// define its canonical (depth-first) position.
+    taken: Vec<bool>,
+    /// Errors recorded on this path (path indices renumbered at merge).
+    errors: Vec<SymError>,
+    /// Coverage bins hit on this path.
+    coverage: BTreeSet<String>,
+}
+
+/// A worker's complete contribution: its path records plus the counters of
+/// its private engine state.
+struct WorkerOutput {
+    records: Vec<PathRecord>,
+    decisions: u64,
+    pool_ops: u64,
+    solver_time: Duration,
+    solver: symsc_smt::SolverStats,
+    budget_exhausted: bool,
+}
+
+/// The shared work queue of pending decision prefixes.
+///
+/// `in_flight` counts prefixes popped but not yet completed: the queue is
+/// only *drained* when it is empty **and** nothing is in flight, because a
+/// running path may still fork new prefixes. `halt` wakes everyone up for
+/// an early exit (path budget or timeout).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    queue: Vec<Vec<bool>>,
+    in_flight: usize,
+    halted: bool,
+}
+
+impl WorkQueue {
+    fn new(initial: Vec<Vec<bool>>) -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                queue: initial,
+                in_flight: 0,
+                halted: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims the next prefix, blocking while other workers might still
+    /// fork new ones. Returns `None` once the queue has fully drained (or
+    /// was halted).
+    fn pop(&self) -> Option<Vec<bool>> {
+        let mut st = self.lock();
+        loop {
+            if st.halted {
+                return None;
+            }
+            if let Some(prefix) = st.queue.pop() {
+                st.in_flight += 1;
+                return Some(prefix);
+            }
+            if st.in_flight == 0 {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks one claimed prefix as done, adding the prefixes it forked.
+    fn complete(&self, forked: Vec<Vec<bool>>) {
+        let mut st = self.lock();
+        st.queue.extend(forked);
+        st.in_flight -= 1;
+        // Wake waiters: either new work arrived, or the drain condition
+        // (empty + nothing in flight) may now hold.
+        self.ready.notify_all();
+    }
+
+    /// Stops the exploration early: pending prefixes are abandoned.
+    fn halt(&self) {
+        let mut st = self.lock();
+        st.halted = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Canonical path order: compares two decision vectors with *true before
+/// false* at the first differing decision. A pending prefix is spawned at
+/// the decision it flips to false, so this is exactly the order in which
+/// the sequential depth-first engine completes paths. Distinct paths are
+/// never prefixes of one another (re-execution of a common prefix is
+/// deterministic), so the tie-break on length is defensive only.
+fn cmp_decision_order(a: &[bool], b: &[bool]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x, y) {
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn lock_state(state: &Arc<Mutex<EngineState>>) -> MutexGuard<'_, EngineState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -364,7 +715,7 @@ mod tests {
             }
         });
         assert!(!report.completed);
-        assert_eq!(report.stats.paths, 2);
+        assert!(report.stats.paths <= 2);
     }
 
     #[test]
@@ -460,6 +811,125 @@ mod tests {
 }
 
 #[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::Width;
+
+    /// A forking ladder with an error on one specific path; used to check
+    /// that parallel reports are canonical. The symbolic `check` issues the
+    /// same guard query on every path, which is what the shared query
+    /// cache absorbs.
+    fn ladder(ctx: &SymCtx) {
+        let x = ctx.symbolic("x", Width::W8);
+        let sixteen = ctx.word(16, Width::W8);
+        ctx.assume(&x.ult(&sixteen));
+        ctx.check(&x.ult(&sixteen), "in range");
+        let mut bits = [false; 4];
+        for bit in 0..4u32 {
+            let b = x.bit(bit).to_word();
+            let one = ctx.word(1, Width::W1);
+            bits[bit as usize] = ctx.decide(&b.eq(&one));
+        }
+        ctx.cover(if bits[0] { "bit0" } else { "nobit0" });
+        let needle = bits == [true, true, true, false]; // x == 0b0111
+        ctx.check_concrete(!needle, "0b0111 is the needle");
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential() {
+        let seq = Explorer::new().workers(1).explore(ladder);
+        for workers in [2, 4, 8] {
+            let par = Explorer::new().workers(workers).explore(ladder);
+            assert_eq!(par.stats.paths, seq.stats.paths, "{workers} workers");
+            assert_eq!(par.errors.len(), seq.errors.len());
+            assert_eq!(par.errors[0].kind, seq.errors[0].kind);
+            assert_eq!(par.errors[0].message, seq.errors[0].message);
+            assert_eq!(par.errors[0].path, seq.errors[0].path);
+            assert_eq!(
+                par.errors[0].counterexample, seq.errors[0].counterexample,
+                "{workers} workers: counterexamples must be identical"
+            );
+            assert_eq!(par.coverage, seq.coverage, "{workers} workers");
+            assert_eq!(par.stats.decisions, seq.stats.decisions);
+            assert!(par.completed);
+        }
+    }
+
+    #[test]
+    fn parallel_workers_share_the_query_cache() {
+        let report = Explorer::new().workers(4).explore(ladder);
+        // Every worker re-solves structurally identical prefix queries;
+        // with a shared cache at least some must hit.
+        assert!(
+            report.stats.solver.cache_hits > 0,
+            "shared cache shows no hits: {:?}",
+            report.stats.solver
+        );
+    }
+
+    #[test]
+    fn parallel_path_budget_truncates() {
+        let report = Explorer::new().workers(4).max_paths(2).explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            for v in 0..8u64 {
+                let k = ctx.word(v, Width::W8);
+                if ctx.decide(&x.eq(&k)) {
+                    return;
+                }
+            }
+        });
+        assert!(!report.completed);
+        assert!(report.stats.paths <= 2);
+    }
+
+    #[test]
+    fn parallel_timeout_truncates() {
+        let report = Explorer::new()
+            .workers(2)
+            .timeout(Duration::from_millis(0))
+            .explore(ladder);
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn parallel_model_panics_are_reported() {
+        let report = Explorer::new().workers(4).explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let k = ctx.word(0x2A, Width::W8);
+            if ctx.decide(&x.eq(&k)) {
+                panic!("boom at 42");
+            }
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].kind, ErrorKind::ModelPanic);
+        assert_eq!(report.errors[0].counterexample.value("x"), 0x2A);
+    }
+
+    #[test]
+    fn explore_mut_supports_mutable_captures() {
+        let mut seen = Vec::new();
+        let report = Explorer::new().explore_mut(|ctx| {
+            let x = ctx.symbolic("x", Width::W1);
+            let one = ctx.word(1, Width::W1);
+            seen.push(ctx.decide(&x.eq(&one)));
+        });
+        assert_eq!(report.stats.paths, 2);
+        assert_eq!(seen, vec![true, false]);
+    }
+
+    #[test]
+    fn canonical_order_puts_true_first() {
+        assert_eq!(cmp_decision_order(&[true, false], &[false]), Ordering::Less);
+        assert_eq!(
+            cmp_decision_order(&[false], &[true, true]),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_decision_order(&[true], &[true]), Ordering::Equal);
+    }
+}
+
+#[cfg(test)]
 mod replay_tests {
     use super::*;
     use crate::Width;
@@ -486,8 +956,10 @@ mod replay_tests {
             cex.value("x"),
             "replay reports the same inputs"
         );
-        assert_eq!(replayed.stats.solver.queries, replayed.stats.solver.trivial,
-            "no real solver work during replay");
+        assert_eq!(
+            replayed.stats.solver.queries, replayed.stats.solver.trivial,
+            "no real solver work during replay"
+        );
     }
 
     #[test]
@@ -550,7 +1022,10 @@ mod strategy_tests {
             SearchStrategy::RandomPath(7),
             SearchStrategy::RandomPath(1234),
         ] {
-            let report = Explorer::new().strategy(strategy).explore(ladder);
+            let report = Explorer::new()
+                .workers(1)
+                .strategy(strategy)
+                .explore(ladder);
             assert_eq!(report.stats.paths, 16, "{strategy:?}");
             assert_eq!(report.errors.len(), 1, "{strategy:?}");
             assert_eq!(report.errors[0].counterexample.value("x"), 0b0111);
@@ -561,9 +1036,11 @@ mod strategy_tests {
     #[test]
     fn strategies_order_paths_differently() {
         let dfs = Explorer::new()
+            .workers(1)
             .strategy(SearchStrategy::DepthFirst)
             .explore(ladder);
         let bfs = Explorer::new()
+            .workers(1)
             .strategy(SearchStrategy::BreadthFirst)
             .explore(ladder);
         // DFS pops the most recent fork (the bit-3 flip of the root path)
@@ -575,9 +1052,11 @@ mod strategy_tests {
     #[test]
     fn random_path_is_deterministic_per_seed() {
         let a = Explorer::new()
+            .workers(1)
             .strategy(SearchStrategy::RandomPath(99))
             .explore(ladder);
         let b = Explorer::new()
+            .workers(1)
             .strategy(SearchStrategy::RandomPath(99))
             .explore(ladder);
         assert_eq!(a.errors[0].path, b.errors[0].path);

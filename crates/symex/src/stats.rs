@@ -51,13 +51,15 @@ impl fmt::Display for ExplorationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "paths: {} | instr: {} | time: {:.3}s | solver: {:.2}% ({} queries, {} cached)",
+            "paths: {} | instr: {} | time: {:.3}s | solver: {:.2}% \
+             ({} queries, {} cache hits, {} cache misses)",
             self.paths,
             self.instructions,
             self.time.as_secs_f64(),
             self.solver_share(),
             self.solver.queries,
             self.solver.cache_hits,
+            self.solver.cache_misses,
         )
     }
 }

@@ -146,10 +146,7 @@ impl SymWord {
     fn guard_div(&self, rhs: &SymWord) {
         let zero = self.ctx.word(0, rhs.width);
         let nonzero = rhs.ne(&zero);
-        self.ctx
-            .inner
-            .borrow_mut()
-            .check_div_guard(nonzero.id());
+        self.ctx.engine().check_div_guard(nonzero.id());
     }
 
     cmp_method!(
@@ -187,9 +184,7 @@ impl SymWord {
 
     /// If-then-else over words: `cond ? self : other`.
     pub fn select(&self, cond: &SymBool, other: &SymWord) -> SymWord {
-        let id = self
-            .ctx
-            .with_pool(|p| p.ite(cond.id(), self.id, other.id));
+        let id = self.ctx.with_pool(|p| p.ite(cond.id(), self.id, other.id));
         SymWord::from_raw(self.ctx.clone(), id, self.width)
     }
 
@@ -255,7 +250,7 @@ impl SymWord {
         if let Some(v) = self.as_const() {
             return v;
         }
-        self.ctx.inner.borrow_mut().concretize(self.id, self.width)
+        self.ctx.engine().concretize(self.id, self.width)
     }
 }
 
@@ -322,7 +317,8 @@ impl SymBool {
 
     /// The concrete value if this boolean folded to a constant.
     pub fn as_const(&self) -> Option<bool> {
-        self.ctx.with_pool(|p| p.const_value(self.id).map(|v| v == 1))
+        self.ctx
+            .with_pool(|p| p.const_value(self.id).map(|v| v == 1))
     }
 
     /// Logical conjunction.

@@ -10,9 +10,8 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use symsc_plic::PlicConfig;
+use symsc_rng::Rng;
 use symsc_symex::{Counterexample, Explorer};
 
 use crate::suite::{test_bench, SuiteParams, TestId};
@@ -43,53 +42,52 @@ fn sample_inputs(
     test: TestId,
     config: PlicConfig,
     params: &SuiteParams,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Counterexample {
     let sources = u64::from(config.sources);
     let maxp = u64::from(config.max_priority);
     match test {
-        TestId::T1 => Counterexample::from_pairs([(
-            "i_interrupt",
-            rng.gen_range(0..=sources + 1),
-        )]),
+        TestId::T1 => {
+            Counterexample::from_pairs([("i_interrupt", rng.gen_range_inclusive(0, sources + 1))])
+        }
         TestId::T2 => {
-            let i = rng.gen_range(1..=sources);
-            let mut j = rng.gen_range(1..=sources);
+            let i = rng.gen_range_inclusive(1, sources);
+            let mut j = rng.gen_range_inclusive(1, sources);
             while j == i {
-                j = rng.gen_range(1..=sources);
+                j = rng.gen_range_inclusive(1, sources);
             }
             Counterexample::from_pairs([
                 ("i_interrupt".to_string(), i),
                 ("j_interrupt".to_string(), j),
-                ("i_priority".to_string(), rng.gen_range(1..=maxp)),
-                ("j_priority".to_string(), rng.gen_range(1..=maxp)),
+                ("i_priority".to_string(), rng.gen_range_inclusive(1, maxp)),
+                ("j_priority".to_string(), rng.gen_range_inclusive(1, maxp)),
             ])
         }
         TestId::T3 => Counterexample::from_pairs([
-            ("i_interrupt".to_string(), rng.gen_range(1..=sources)),
-            ("priority".to_string(), rng.gen_range(0..=maxp)),
-            ("threshold".to_string(), rng.gen_range(0..=maxp)),
+            (
+                "i_interrupt".to_string(),
+                rng.gen_range_inclusive(1, sources),
+            ),
+            ("priority".to_string(), rng.gen_range_inclusive(0, maxp)),
+            ("threshold".to_string(), rng.gen_range_inclusive(0, maxp)),
         ]),
         TestId::T4 => Counterexample::from_pairs([
-            ("addr".to_string(), u64::from(rng.gen::<u32>())),
+            ("addr".to_string(), u64::from(rng.next_u32())),
             (
                 "len".to_string(),
-                rng.gen_range(0..=u64::from(params.max_txn_bytes)),
+                rng.gen_range_inclusive(0, u64::from(params.max_txn_bytes)),
             ),
         ]),
         TestId::T5 => {
             let mut pairs = vec![
-                (
-                    "addr".to_string(),
-                    u64::from(rng.gen::<u32>() & !3),
-                ),
+                ("addr".to_string(), u64::from(rng.next_u32() & !3)),
                 (
                     "len".to_string(),
-                    rng.gen_range(0..=u64::from(params.max_txn_bytes / 4)) * 4,
+                    rng.gen_range_inclusive(0, u64::from(params.max_txn_bytes / 4)) * 4,
                 ),
             ];
             for k in 0..params.max_txn_bytes.div_ceil(4) {
-                pairs.push((format!("data_{k}"), u64::from(rng.gen::<u32>())));
+                pairs.push((format!("data_{k}"), u64::from(rng.next_u32())));
             }
             Counterexample::from_pairs(pairs)
         }
@@ -120,7 +118,7 @@ pub fn random_search_for(
     max_trials: u64,
     target: Option<&str>,
 ) -> BaselineResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let explorer = Explorer::new();
     let start = Instant::now();
     for trial in 1..=max_trials {

@@ -54,7 +54,9 @@ impl TestId {
     pub fn description(self) -> &'static str {
         match self {
             TestId::T1 => "basic interaction: symbolic interrupt, latency, pending, claim, cleanup",
-            TestId::T2 => "interrupt sequence: two symbolic lines, symbolic priorities, claim order",
+            TestId::T2 => {
+                "interrupt sequence: two symbolic lines, symbolic priorities, claim order"
+            }
             TestId::T3 => "interrupt masking: symbolic priority vs symbolic threshold",
             TestId::T4 => "TLM read interface: symbolic address and length",
             TestId::T5 => "TLM write interface: symbolic address, length and data",
@@ -249,7 +251,13 @@ fn t3_interrupt_masking(ctx: &SymCtx, config: PlicConfig) {
     ctx.assume(&threshold.ule(&maxp));
 
     plic.set_priority_symbolic(&i, &priority);
-    write_reg(ctx, &mut kernel, &mut plic, THRESHOLD_BASE as u32, &threshold);
+    write_reg(
+        ctx,
+        &mut kernel,
+        &mut plic,
+        THRESHOLD_BASE as u32,
+        &threshold,
+    );
 
     plic.trigger_interrupt(ctx, &mut kernel, &i);
     kernel.step();
@@ -321,12 +329,15 @@ fn t5_tlm_write_interface(ctx: &SymCtx, config: PlicConfig, params: SuiteParams)
 }
 
 /// Builds the testbench closure for `test` — usable with
-/// [`Verifier::run`], [`Verifier::replay`] and the random baseline.
+/// [`Verifier::run`], [`Verifier::replay`] and the random baseline. The
+/// closure is `Fn + Send + Sync` (all captures are `Copy` configuration),
+/// so it can be explored by a multi-worker [`Explorer`]
+/// (`symsc_symex::Explorer`).
 pub fn test_bench(
     test: TestId,
     config: PlicConfig,
     params: SuiteParams,
-) -> impl FnMut(&SymCtx) {
+) -> impl Fn(&SymCtx) + Send + Sync {
     move |ctx: &SymCtx| match test {
         TestId::T1 => t1_basic_interaction(ctx, config),
         TestId::T2 => t2_interrupt_priority(ctx, config),
@@ -403,12 +414,18 @@ mod tests {
             .iter()
             .map(|e| e.message.as_str())
             .collect();
-        assert!(messages.iter().any(|m| m.contains("aligned")), "F2: {messages:?}");
+        assert!(
+            messages.iter().any(|m| m.contains("aligned")),
+            "F2: {messages:?}"
+        );
         assert!(
             messages.iter().any(|m| m.contains("no register mapping")),
             "F3: {messages:?}"
         );
-        assert!(messages.iter().any(|m| m.contains("boundary")), "F5(read): {messages:?}");
+        assert!(
+            messages.iter().any(|m| m.contains("boundary")),
+            "F5(read): {messages:?}"
+        );
     }
 
     #[test]
@@ -429,7 +446,10 @@ mod tests {
             messages.iter().any(|m| m.contains("does not allow")),
             "F4: {messages:?}"
         );
-        assert!(messages.iter().any(|m| m.contains("boundary")), "F5: {messages:?}");
+        assert!(
+            messages.iter().any(|m| m.contains("boundary")),
+            "F5: {messages:?}"
+        );
         assert!(
             messages
                 .iter()
@@ -500,7 +520,10 @@ mod tests {
 
     #[test]
     fn t3_detects_exactly_if6() {
-        let o = run(TestId::T3, fixed().fault(InjectedFault::If6ThresholdOffByOne));
+        let o = run(
+            TestId::T3,
+            fixed().fault(InjectedFault::If6ThresholdOffByOne),
+        );
         assert!(!o.passed(), "T3 must detect IF6");
         for fault in [
             InjectedFault::If1OffByOneGateway,
@@ -516,7 +539,10 @@ mod tests {
     fn t4_t5_miss_all_injected_faults() {
         // The interface tests target decode bugs, not interrupt logic.
         for test in [TestId::T4, TestId::T5] {
-            for fault in [InjectedFault::If2DropNotifyId13, InjectedFault::If6ThresholdOffByOne] {
+            for fault in [
+                InjectedFault::If2DropNotifyId13,
+                InjectedFault::If6ThresholdOffByOne,
+            ] {
                 let o = run(test, fixed().fault(fault));
                 assert!(o.passed(), "{test} must not detect {}: {o}", fault.label());
             }
@@ -539,7 +565,10 @@ mod tests {
         let v = Verifier::new("T1");
         let o = run_test(TestId::T1, faithful(), &SuiteParams::default(), &v);
         let cex = o.report.errors[0].counterexample.clone();
-        let replayed = v.replay(&cex, test_bench(TestId::T1, faithful(), SuiteParams::default()));
+        let replayed = v.replay(
+            &cex,
+            test_bench(TestId::T1, faithful(), SuiteParams::default()),
+        );
         assert!(!replayed.passed(), "the bug reproduces concretely");
     }
 
@@ -552,7 +581,10 @@ mod tests {
 
     #[test]
     fn if6_counterexample_has_priority_equal_threshold() {
-        let o = run(TestId::T3, fixed().fault(InjectedFault::If6ThresholdOffByOne));
+        let o = run(
+            TestId::T3,
+            fixed().fault(InjectedFault::If6ThresholdOffByOne),
+        );
         let cex = &o.report.errors[0].counterexample;
         assert_eq!(
             cex.value("priority"),

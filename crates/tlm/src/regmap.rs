@@ -181,10 +181,7 @@ impl RegisterBank {
         // Alignment: the register file is word-granular.
         let three = ctx.word32(3);
         let zero = ctx.word32(0);
-        let aligned = addr
-            .and(&three)
-            .eq(&zero)
-            .and(&len.and(&three).eq(&zero));
+        let aligned = addr.and(&three).eq(&zero).and(&len.and(&three).eq(&zero));
         if ctx.decide(&aligned.not()) {
             match self.check_mode {
                 CheckMode::Assert => {
@@ -232,9 +229,9 @@ impl RegisterBank {
             match self.check_mode {
                 // One shared assert in the decode code = one bug (F4),
                 // whichever register trips it.
-                CheckMode::Assert => panic!(
-                    "assertion failed: register does not allow this access mode"
-                ),
+                CheckMode::Assert => {
+                    panic!("assertion failed: register does not allow this access mode")
+                }
                 CheckMode::TlmError => {
                     payload.response = ResponseStatus::CommandError;
                     return;
@@ -379,10 +376,7 @@ mod tests {
             b.transport(&mut model, ctx, &mut kernel, &mut r);
             assert!(r.response.is_ok());
             for i in 0..4usize {
-                ctx.check(
-                    &r.word(i).eq(&ctx.word32(i as u32 + 1)),
-                    "word i readback",
-                );
+                ctx.check(&r.word(i).eq(&ctx.word32(i as u32 + 1)), "word i readback");
             }
         });
         assert!(report.passed());
@@ -504,13 +498,7 @@ mod tests {
             let addr = ctx.symbolic("addr", Width::W32);
             let len = ctx.symbolic("len", Width::W32);
             ctx.assume(&len.ule(&ctx.word32(8)));
-            let mut r = GenericPayload::with_symbolic_length(
-                ctx,
-                Command::Read,
-                addr,
-                len,
-                8,
-            );
+            let mut r = GenericPayload::with_symbolic_length(ctx, Command::Read, addr, len, 8);
             b.transport(&mut model, ctx, &mut kernel, &mut r);
         });
         let messages: Vec<&str> = report

@@ -183,7 +183,10 @@ mod tests {
             let mut txn = GenericPayload::read(ctx, ctx.word32(0x1010), 4);
             bus.b_transport(ctx, &mut kernel, &mut txn);
             assert!(txn.response.is_ok());
-            ctx.check(&txn.word(0).eq(&ctx.word32(0x10)), "device sees local offset");
+            ctx.check(
+                &txn.word(0).eq(&ctx.word32(0x10)),
+                "device sees local offset",
+            );
             ctx.check(
                 &txn.address.eq(&ctx.word32(0x1010)),
                 "global address restored",

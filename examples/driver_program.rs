@@ -12,10 +12,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use symsc_iss::{asm, Cpu, StepOutcome};
 use symsysc::plic::{InterruptTarget, Plic, PlicConfig, PlicVariant};
 use symsysc::prelude::*;
 use symsysc::tlm::Router;
-use symsc_iss::{asm, Cpu, StepOutcome};
 
 const PLIC_BASE: u32 = 0x0C00_0000;
 const ENABLE0: u32 = PLIC_BASE + 0x2000;

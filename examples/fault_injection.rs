@@ -48,7 +48,10 @@ fn main() {
         .expect("T3 detects IF6");
 
     println!("IF6 (threshold off-by-one), T3:");
-    println!("  symbolic execution : found in {:.3}s", sym_time.as_secs_f64());
+    println!(
+        "  symbolic execution : found in {:.3}s",
+        sym_time.as_secs_f64()
+    );
     for budget in [100u64, 1000] {
         let random = random_search(TestId::T3, config, &params, 42, budget);
         match random.found_at_trial {

@@ -56,7 +56,14 @@ fn main() {
         config.sources, config.max_priority
     );
 
-    let mut table = Table::new(&["Test", "Result", "#Exec. Ops", "Time [s]", "Paths", "Solver"]);
+    let mut table = Table::new(&[
+        "Test",
+        "Result",
+        "#Exec. Ops",
+        "Time [s]",
+        "Paths",
+        "Solver",
+    ]);
     let mut first_bug = None;
 
     for test in TestId::ALL {
@@ -81,10 +88,7 @@ fn main() {
             error.counterexample
         );
         let verifier = Verifier::new(test.name());
-        let replayed = verifier.replay(
-            &error.counterexample,
-            test_bench(test, config, params),
-        );
+        let replayed = verifier.replay(&error.counterexample, test_bench(test, config, params));
         println!("{replayed}");
         assert!(
             !replayed.passed(),

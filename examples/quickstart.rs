@@ -90,7 +90,12 @@ fn main() {
         let mut txn = GenericPayload::write(ctx, ctx.word32(0x0), 4);
         txn.set_word(0, limit.clone());
         let bank = dev.bank.clone();
-        bank.transport(&mut WatchdogRegs { dev: &mut dev }, ctx, &mut kernel, &mut txn);
+        bank.transport(
+            &mut WatchdogRegs { dev: &mut dev },
+            ctx,
+            &mut kernel,
+            &mut txn,
+        );
         assert!(txn.response.is_ok());
 
         // Let exactly `countdown` ticks elapse...
@@ -98,7 +103,12 @@ fn main() {
 
         // ...and check the specification: the watchdog must have expired.
         let mut status = GenericPayload::read(ctx, ctx.word32(0x4), 4);
-        bank.transport(&mut WatchdogRegs { dev: &mut dev }, ctx, &mut kernel, &mut status);
+        bank.transport(
+            &mut WatchdogRegs { dev: &mut dev },
+            ctx,
+            &mut kernel,
+            &mut status,
+        );
         ctx.check(
             &status.word(0).eq(&ctx.word32(1)),
             "watchdog expires after exactly `countdown` ticks",

@@ -71,9 +71,10 @@ fn main() {
     println!("{report}");
     assert!(report.passed(), "the CLINT timer meets its specification");
     assert_eq!(
-        report.stats.paths,
-        WINDOW,
+        report.stats.paths, WINDOW,
         "one path per compare point in the window"
     );
-    println!("CLINT timer verified: fires exactly at mtimecmp for every compare point in 1..={WINDOW}.");
+    println!(
+        "CLINT timer verified: fires exactly at mtimecmp for every compare point in 1..={WINDOW}."
+    );
 }

@@ -24,10 +24,11 @@ impl InterruptTarget for Hart {
 }
 
 fn main() {
-    let vcd: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
-    let vcd_out = vcd.clone();
+    let mut vcd: Vec<u8> = Vec::new();
 
-    let report = Explorer::new().explore(move |ctx| {
+    // The closure writes the captured VCD buffer, so it runs on the
+    // sequential (mutable-capture) explorer entry point.
+    let report = Explorer::new().explore_mut(|ctx| {
         let mut kernel = Kernel::new();
         kernel.enable_tracing();
         let mut plic = Plic::new(
@@ -60,14 +61,14 @@ fn main() {
         kernel.step();
         assert_eq!(hart.borrow().triggered, 2, "second delivery");
 
+        vcd.clear();
         kernel
-            .write_vcd(&mut *vcd_out.borrow_mut())
+            .write_vcd(&mut vcd)
             .expect("in-memory write cannot fail");
     });
 
     assert!(report.passed(), "{report}");
-    let bytes = vcd.borrow().clone();
-    let text = String::from_utf8(bytes).expect("VCD is ASCII");
+    let text = String::from_utf8(vcd).expect("VCD is ASCII");
     std::fs::write("plic_trace.vcd", &text).expect("write plic_trace.vcd");
 
     let changes = text.lines().filter(|l| l.starts_with('1')).count();

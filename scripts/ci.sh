@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full offline CI gate: formatting, lints, build, tier-1 tests.
+#
+# Everything runs with `--offline` — the workspace has no crates.io
+# dependencies, so a cold container with only the Rust toolchain must be
+# able to run this end to end.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+# --workspace so the bench bins (used below) are built too; the plain
+# root-package build is what the tier-1 gate itself uses.
+cargo build --offline --release --workspace
+
+echo "==> cargo test (tier-1)"
+cargo test --offline --release --workspace -q
+
+echo "==> parallel exploration determinism + cache smoke"
+./target/release/parallel_speedup 32 4
+
+echo "CI gate passed."

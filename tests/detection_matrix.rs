@@ -18,37 +18,82 @@ fn fixed_scaled() -> PlicConfig {
 }
 
 fn detects(test: TestId, config: PlicConfig) -> bool {
-    !run_test(test, config, &SuiteParams::default(), &Verifier::new(test.name())).passed()
+    !run_test(
+        test,
+        config,
+        &SuiteParams::default(),
+        &Verifier::new(test.name()),
+    )
+    .passed()
 }
 
 #[test]
 fn t1_row_full_scale() {
     // Paper row T1: F1 (via faithful), IF1, IF2, IF4, IF5 detected.
     assert!(detects(TestId::T1, PlicConfig::fe310()), "T1 finds F1");
-    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If1OffByOneGateway)));
-    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If2DropNotifyId13)));
-    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If4LateNotifyHighIds)));
-    assert!(detects(TestId::T1, fixed_full().fault(InjectedFault::If5EarlyClearReturn)));
+    assert!(detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If1OffByOneGateway)
+    ));
+    assert!(detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If2DropNotifyId13)
+    ));
+    assert!(detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If4LateNotifyHighIds)
+    ));
+    assert!(detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If5EarlyClearReturn)
+    ));
     // And the dashes:
-    assert!(!detects(TestId::T1, fixed_full().fault(InjectedFault::If3SkipRetrigger)));
-    assert!(!detects(TestId::T1, fixed_full().fault(InjectedFault::If6ThresholdOffByOne)));
+    assert!(!detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If3SkipRetrigger)
+    ));
+    assert!(!detects(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If6ThresholdOffByOne)
+    ));
 }
 
 #[test]
 fn t2_row_scaled() {
     // Paper row T2: IF2, IF3, IF5 detected; IF1, IF4, IF6 dashes.
-    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If2DropNotifyId13)));
-    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If3SkipRetrigger)));
-    assert!(detects(TestId::T2, fixed_scaled().fault(InjectedFault::If5EarlyClearReturn)));
-    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If1OffByOneGateway)));
-    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If4LateNotifyHighIds)));
-    assert!(!detects(TestId::T2, fixed_scaled().fault(InjectedFault::If6ThresholdOffByOne)));
+    assert!(detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If2DropNotifyId13)
+    ));
+    assert!(detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If3SkipRetrigger)
+    ));
+    assert!(detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If5EarlyClearReturn)
+    ));
+    assert!(!detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If1OffByOneGateway)
+    ));
+    assert!(!detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If4LateNotifyHighIds)
+    ));
+    assert!(!detects(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If6ThresholdOffByOne)
+    ));
 }
 
 #[test]
 fn t3_row_full_scale() {
     // Paper row T3: only IF6.
-    assert!(detects(TestId::T3, fixed_full().fault(InjectedFault::If6ThresholdOffByOne)));
+    assert!(detects(
+        TestId::T3,
+        fixed_full().fault(InjectedFault::If6ThresholdOffByOne)
+    ));
     for fault in [
         InjectedFault::If1OffByOneGateway,
         InjectedFault::If2DropNotifyId13,
@@ -80,6 +125,88 @@ fn t4_t5_rows_full_scale() {
             !detects(TestId::T5, fixed_full().fault(fault)),
             "T5 must not detect {}",
             fault.label()
+        );
+    }
+}
+
+#[test]
+fn multi_worker_explorer_detects_every_injected_fault() {
+    // Table 2's diagonal with the parallel explorer: for each injected
+    // fault, its best detecting test still flags it at 4 workers.
+    let detects_at = |test: TestId, config: PlicConfig| {
+        !run_test(
+            test,
+            config,
+            &SuiteParams::default(),
+            &Verifier::new(test.name()).workers(4),
+        )
+        .passed()
+    };
+    assert!(detects_at(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If1OffByOneGateway)
+    ));
+    assert!(detects_at(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If2DropNotifyId13)
+    ));
+    assert!(detects_at(
+        TestId::T2,
+        fixed_scaled().fault(InjectedFault::If3SkipRetrigger)
+    ));
+    assert!(detects_at(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If4LateNotifyHighIds)
+    ));
+    assert!(detects_at(
+        TestId::T1,
+        fixed_full().fault(InjectedFault::If5EarlyClearReturn)
+    ));
+    assert!(detects_at(
+        TestId::T3,
+        fixed_full().fault(InjectedFault::If6ThresholdOffByOne)
+    ));
+}
+
+#[test]
+fn multi_worker_explorer_keeps_the_fixed_plic_clean() {
+    // No fault injected: every suite test passes at 4 workers (T2 on the
+    // scaled configuration, as in the sequential rows above).
+    for test in TestId::ALL {
+        let config = if test == TestId::T2 {
+            fixed_scaled()
+        } else {
+            fixed_full()
+        };
+        let outcome = run_test(
+            test,
+            config,
+            &SuiteParams::default(),
+            &Verifier::new(test.name()).workers(4),
+        );
+        assert!(
+            outcome.passed(),
+            "{} must pass on the fixed PLIC at 4 workers: {outcome}",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn multi_worker_counterexamples_match_sequential() {
+    // The fault-pinpointing models must not depend on the worker count.
+    let config = fixed_full().fault(InjectedFault::If2DropNotifyId13);
+    for workers in [1, 4] {
+        let o = run_test(
+            TestId::T1,
+            config,
+            &SuiteParams::default(),
+            &Verifier::new("T1").workers(workers),
+        );
+        assert_eq!(
+            o.report.errors[0].counterexample.value("i_interrupt"),
+            13,
+            "IF2 pins id 13 at {workers} workers"
         );
     }
 }

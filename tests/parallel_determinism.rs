@@ -1,0 +1,90 @@
+//! Integration: parallel exploration is deterministic.
+//!
+//! The worker pool must be an implementation detail: for every suite test
+//! the report — path count, verdict, error messages, error path indices,
+//! counterexamples, coverage — must be byte-identical no matter how many
+//! workers explored the state space or how the scheduler interleaved them.
+//!
+//! T1–T5 run on the shape-preserving scaled configuration (full-scale T2
+//! takes minutes; determinism is about scheduling, not scale) against the
+//! faithful PLIC, so the suite exercises both failing reports (T1 finds
+//! the F1 claim bug) and passing ones.
+
+use symsc_plic::PlicConfig;
+use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::{TestOutcome, Verifier};
+
+/// Everything in a report that must not depend on scheduling.
+/// (`stats.time` and solver-cache hit/miss splits legitimately vary.)
+fn stable_view(outcome: &TestOutcome) -> String {
+    use std::fmt::Write;
+    let report = &outcome.report;
+    let mut view = String::new();
+    writeln!(
+        view,
+        "paths={} decisions={} completed={} passed={}",
+        report.stats.paths,
+        report.stats.decisions,
+        report.completed,
+        report.passed()
+    )
+    .unwrap();
+    for error in &report.errors {
+        writeln!(
+            view,
+            "error path={} kind={:?} msg={} cex={}",
+            error.path, error.kind, error.message, error.counterexample
+        )
+        .unwrap();
+    }
+    for (point, count) in &report.coverage {
+        writeln!(view, "cover {point}={count}").unwrap();
+    }
+    view
+}
+
+fn run_with_workers(test: TestId, workers: usize) -> TestOutcome {
+    run_test(
+        test,
+        PlicConfig::fe310_scaled(),
+        &SuiteParams::default(),
+        &Verifier::new(test.name()).workers(workers),
+    )
+}
+
+#[test]
+fn every_suite_test_is_worker_count_independent() {
+    for test in TestId::ALL {
+        let sequential = stable_view(&run_with_workers(test, 1));
+        for workers in [2, 8] {
+            let parallel = stable_view(&run_with_workers(test, workers));
+            assert_eq!(
+                sequential,
+                parallel,
+                "{} report changed between 1 and {workers} workers",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_t1_pins_the_same_counterexample() {
+    // T1 on the faithful scaled PLIC finds the claim bug; the model the
+    // solver produces must be the exact one the sequential explorer pins.
+    let sequential = run_with_workers(TestId::T1, 1);
+    let parallel = run_with_workers(TestId::T1, 8);
+    assert!(!sequential.passed() && !parallel.passed());
+    let seq_cex = &sequential.report.errors[0].counterexample;
+    let par_cex = &parallel.report.errors[0].counterexample;
+    assert_eq!(format!("{seq_cex}"), format!("{par_cex}"));
+}
+
+#[test]
+fn default_worker_count_matches_sequential() {
+    // `workers(0)` resolves to the host's available parallelism; whatever
+    // that is, the report must equal the 1-worker report.
+    let auto = stable_view(&run_with_workers(TestId::T3, 0));
+    let sequential = stable_view(&run_with_workers(TestId::T3, 1));
+    assert_eq!(auto, sequential);
+}

@@ -2,14 +2,16 @@
 //! reference model ([`ReferencePlic`]).
 //!
 //! Strategy: generate a random concrete stimulus (priorities, enables,
-//! threshold, triggered ids), drive both models, and compare the complete
-//! claim sequence and delivery decision. The TLM model runs inside the
-//! symbolic engine in fully concrete mode (constant folding keeps the
-//! solver idle), through the real TLM claim register.
+//! threshold, triggered ids) from a seeded in-tree PRNG (the workspace
+//! builds offline, so `proptest` is unavailable — a deterministic loop
+//! over `symsc_rng` replaces it), drive both models, and compare the
+//! complete claim sequence and delivery decision. The TLM model runs
+//! inside the symbolic engine in fully concrete mode (constant folding
+//! keeps the solver idle), through the real TLM claim register.
 
-use proptest::prelude::*;
 use symsc_pk::Kernel;
 use symsc_plic::{Plic, PlicConfig, PlicVariant, ReferencePlic};
+use symsc_rng::Rng;
 use symsc_symex::Explorer;
 use symsc_tlm::{BlockingTransport, GenericPayload};
 
@@ -23,19 +25,21 @@ struct Stimulus {
     triggers: Vec<u32>,
 }
 
-fn stimulus() -> impl Strategy<Value = Stimulus> {
-    (
-        proptest::collection::vec(0u32..=7, SOURCES as usize + 1),
-        proptest::collection::vec(any::<bool>(), SOURCES as usize + 1),
-        0u32..=7,
-        proptest::collection::vec(1u32..=SOURCES, 0..8),
-    )
-        .prop_map(|(priorities, enabled, threshold, triggers)| Stimulus {
-            priorities,
-            enabled,
-            threshold,
-            triggers,
-        })
+fn gen_stimulus(rng: &mut Rng) -> Stimulus {
+    let priorities = (0..=SOURCES)
+        .map(|_| rng.gen_range_inclusive(0, 7) as u32)
+        .collect();
+    let enabled = (0..=SOURCES).map(|_| rng.gen_bool()).collect();
+    let threshold = rng.gen_range_inclusive(0, 7) as u32;
+    let triggers = (0..rng.gen_range_inclusive(0, 7))
+        .map(|_| rng.gen_range_inclusive(1, u64::from(SOURCES)) as u32)
+        .collect();
+    Stimulus {
+        priorities,
+        enabled,
+        threshold,
+        triggers,
+    }
 }
 
 /// Drives the TLM model with the stimulus, returning the claim sequence
@@ -44,7 +48,7 @@ fn stimulus() -> impl Strategy<Value = Stimulus> {
 fn run_tlm_model(stim: &Stimulus) -> (Vec<u32>, bool) {
     let mut claims = Vec::new();
     let mut deliverable = false;
-    let report = Explorer::new().explore(|ctx| {
+    let report = Explorer::new().explore_mut(|ctx| {
         let mut kernel = Kernel::new();
         let mut cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
         cfg.sources = SOURCES;
@@ -112,20 +116,20 @@ fn run_reference(stim: &Stimulus) -> (Vec<u32>, bool) {
     (r.drain(), deliverable)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tlm_model_matches_reference_claim_order(stim in stimulus()) {
+#[test]
+fn tlm_model_matches_reference_claim_order() {
+    let mut rng = Rng::seed_from_u64(0x5EED_2001);
+    for case in 0..64 {
+        let stim = gen_stimulus(&mut rng);
         let (tlm_claims, tlm_deliverable) = run_tlm_model(&stim);
         let (ref_claims, ref_deliverable) = run_reference(&stim);
-        prop_assert_eq!(
+        assert_eq!(
             &tlm_claims, &ref_claims,
-            "claim sequences diverge for {:?}", stim
+            "case {case}: claim sequences diverge for {stim:?}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             tlm_deliverable, ref_deliverable,
-            "delivery decision diverges for {:?}", stim
+            "case {case}: delivery decision diverges for {stim:?}"
         );
     }
 }

@@ -20,7 +20,10 @@ fn replay_all_distinct(test: TestId, config: PlicConfig) {
             error.counterexample,
             error.message
         );
-        assert_eq!(replayed.report.stats.paths, 1, "replay is one concrete path");
+        assert_eq!(
+            replayed.report.stats.paths, 1,
+            "replay is one concrete path"
+        );
     }
 }
 

@@ -14,7 +14,12 @@ fn full() -> PlicConfig {
 }
 
 fn outcome(test: TestId, config: PlicConfig) -> symsysc_core::TestOutcome {
-    run_test(test, config, &SuiteParams::default(), &Verifier::new(test.name()))
+    run_test(
+        test,
+        config,
+        &SuiteParams::default(),
+        &Verifier::new(test.name()),
+    )
 }
 
 #[test]

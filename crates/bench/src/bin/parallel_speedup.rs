@@ -18,51 +18,9 @@
 
 use std::time::Instant;
 
-use symsc_pk::Kernel;
-use symsc_plic::{Plic, PlicConfig, PlicVariant};
-use symsc_symex::{Explorer, Report, SymCtx, Width};
-use symsc_tlm::{BlockingTransport, GenericPayload};
-
-const CLAIM_ADDR: u32 = 0x20_0004;
-
-/// The T1-pattern testbench: symbolic trigger, per-source enumeration,
-/// TLM claim, symbolic checks. `Fn + Send + Sync`, so it runs on the
-/// multi-worker explorer.
-fn t1_pattern(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
-    move |ctx: &SymCtx| {
-        let mut kernel = Kernel::new();
-        let mut plic = Plic::new(ctx, &mut kernel, cfg);
-        kernel.step();
-        plic.enable_all_sources(ctx);
-        for irq in 1..=cfg.sources {
-            plic.set_priority(ctx, irq, 1);
-        }
-
-        let i = ctx.symbolic("i_interrupt", Width::W32);
-        let one = ctx.word32(1);
-        let n = ctx.word32(cfg.sources);
-        ctx.assume(&i.uge(&one));
-        ctx.assume(&i.ule(&n));
-        // The same guard query on every path: the shared cache absorbs it.
-        ctx.check(&i.ule(&n), "id in range");
-
-        plic.trigger_interrupt(ctx, &mut kernel, &i);
-        kernel.step();
-
-        ctx.check(&plic.pending_bit_symbolic(&i), "pending after trigger");
-
-        // Claim ladder: one execution path per source id.
-        for k in 1..=cfg.sources {
-            if ctx.decide(&i.eq(&ctx.word32(k))) {
-                let mut claim = GenericPayload::read(ctx, ctx.word32(CLAIM_ADDR), 4);
-                plic.b_transport(ctx, &mut kernel, &mut claim);
-                ctx.check_concrete(claim.response.is_ok(), "claim read succeeds");
-                ctx.check(&claim.word(0).eq(&i), "claimed id matches trigger");
-                break;
-            }
-        }
-    }
-}
+use symsc_bench::workloads::{bench_config, t1_pattern};
+use symsc_plic::PlicConfig;
+use symsc_symex::{Explorer, Report};
 
 fn explore(cfg: PlicConfig, workers: usize) -> (Report, f64) {
     let start = Instant::now();
@@ -88,9 +46,7 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
-    let mut cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
-    cfg.sources = sources;
-    cfg.max_priority = 7;
+    let cfg = bench_config(sources);
 
     let (seq, seq_time) = explore(cfg, 1);
     let (par, par_time) = explore(cfg, workers);
@@ -148,6 +104,17 @@ fn main() {
     println!(
         "  speedup: {speedup:.2}x | shared cache: {} hits / {} misses ({hit_rate:.1}% hit rate)",
         solver.cache_hits, solver.cache_misses
+    );
+    println!(
+        "  stack: {} slices, {} slice hits, {} subset-unsat, {} model reuse, \
+         {} focus skips | {} SAT-core calls | {:.1}% answered above core",
+        solver.slices,
+        solver.slice_hits,
+        solver.cex_subset_hits,
+        solver.model_reuse_hits,
+        solver.focus_skips,
+        solver.sat_core_calls,
+        100.0 * solver.above_core_rate(),
     );
 
     // A single-path exploration never repeats a query, so only demand

@@ -25,11 +25,17 @@ fn main() {
         let sel = p.eq(best, i);
         let bad = p.not(sel);
         let t = Instant::now();
-        let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
+        let mut s = Solver::without_cache();
+        let r = s.check(&p, &[lo, hi, bad]);
+        let st = s.stats();
         println!(
-            "A n={n}: {:?} in {:.3}s",
+            "A n={n}: {:?} in {:.3}s ({} slices, {} core calls, core {:.3}s, slicing {:.3}s)",
             matches!(r, SatResult::Unsat),
-            t.elapsed().as_secs_f64()
+            t.elapsed().as_secs_f64(),
+            st.slices,
+            st.sat_core_calls,
+            st.sat_core_time.as_secs_f64(),
+            st.slicing_time.as_secs_f64(),
         );
     }
     // Shape B: with priority max-chain (ugt comparisons) like next_pending
@@ -70,11 +76,17 @@ fn main() {
         let empty = p.eq(best2_id, zero);
         let bad = p.not(empty);
         let t = Instant::now();
-        let r = Solver::without_cache().check(&p, &[lo, hi, bad]);
+        let mut s = Solver::without_cache();
+        let r = s.check(&p, &[lo, hi, bad]);
+        let st = s.stats();
         println!(
-            "B n={n}: {:?} in {:.3}s",
+            "B n={n}: {:?} in {:.3}s ({} slices, {} core calls, core {:.3}s, slicing {:.3}s)",
             matches!(r, SatResult::Unsat),
-            t.elapsed().as_secs_f64()
+            t.elapsed().as_secs_f64(),
+            st.slices,
+            st.sat_core_calls,
+            st.sat_core_time.as_secs_f64(),
+            st.slicing_time.as_secs_f64(),
         );
     }
 }

@@ -1,0 +1,250 @@
+//! The solver-stack ablation harness.
+//!
+//! Runs the T1-pattern workload (and its cross-product variant with an
+//! independent delay ladder) twice — once with the layered solver stack
+//! (counterexample cache + model-reuse witnesses) and once with the flat
+//! PR-1 configuration (whole-query cache only) — at 1, 2 and 8 workers,
+//! and verifies three things:
+//!
+//! 1. **Equivalence**: every configuration at every worker count produces
+//!    a byte-identical report (paths, verdicts, errors, counterexamples,
+//!    coverage) — the stack is a pure optimization.
+//! 2. **Effectiveness**: with the stack on, at least 30% of non-trivial
+//!    queries are answered above the SAT core, and the number of SAT-core
+//!    invocations drops vs. the flat configuration.
+//! 3. **Observability**: the per-layer counters are nonzero where the
+//!    workload exercises the layer (slice hits on the cross workload).
+//!
+//! Exits nonzero on any violation. With `--emit FILE`, writes the measured
+//! counters as JSON (the `BENCH_solver_stack.json` trajectory datapoint).
+//!
+//! Usage: `solver_stack [sources] [--emit FILE]` (default sources: 16).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use symsc_bench::workloads::{bench_config, t1_cross_pattern, t1_pattern, CROSS_DELAY_BINS};
+use symsc_smt::SolverStats;
+use symsc_symex::{Explorer, Report, SymCtx};
+
+/// The scheduling-independent projection of a report: everything the
+/// equivalence check compares, as one canonical string.
+fn stable_view(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "paths={} completed={} passed={}",
+        report.stats.paths,
+        report.completed,
+        report.passed()
+    );
+    for e in &report.errors {
+        let _ = writeln!(
+            out,
+            "error kind={:?} path={} msg={} cex={}",
+            e.kind, e.path, e.message, e.counterexample
+        );
+    }
+    for (bin, count) in &report.coverage {
+        let _ = writeln!(out, "cover {bin}={count}");
+    }
+    out
+}
+
+struct RunResult {
+    view: String,
+    stats: SolverStats,
+    seconds: f64,
+}
+
+fn run<F: Fn(&SymCtx) + Sync>(bench: &F, layered: bool, workers: usize) -> RunResult {
+    let start = Instant::now();
+    let report = Explorer::new()
+        .solver_stack(layered)
+        .workers(workers)
+        .explore(bench);
+    RunResult {
+        view: stable_view(&report),
+        stats: report.stats.solver,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn stats_json(s: &SolverStats) -> String {
+    format!(
+        "{{\"queries\": {}, \"trivial\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"slices\": {}, \"slice_hits\": {}, \
+         \"cex_subset_hits\": {}, \"model_reuse_hits\": {}, \
+         \"focus_skips\": {}, \"sliced_hits\": {}, \"sat_core_calls\": {}, \
+         \"evictions\": {}, \"above_core_rate\": {:.4}}}",
+        s.queries,
+        s.trivial,
+        s.cache_hits,
+        s.cache_misses,
+        s.slices,
+        s.slice_hits,
+        s.cex_subset_hits,
+        s.model_reuse_hits,
+        s.focus_skips,
+        s.sliced_hits,
+        s.sat_core_calls,
+        s.evictions,
+        s.above_core_rate(),
+    )
+}
+
+struct WorkloadOutcome {
+    name: &'static str,
+    paths: u64,
+    layered: SolverStats,
+    flat: SolverStats,
+    layered_seconds: f64,
+    flat_seconds: f64,
+    ok: bool,
+}
+
+fn run_workload<F: Fn(&SymCtx) + Sync>(
+    name: &'static str,
+    bench: F,
+    worker_counts: &[usize],
+) -> WorkloadOutcome {
+    let mut ok = true;
+
+    // The layered sequential run is the reference everything else must
+    // match byte for byte.
+    let reference = run(&bench, true, 1);
+    let flat_seq = run(&bench, false, 1);
+    if flat_seq.view != reference.view {
+        println!("MISMATCH [{name}]: flat vs layered reports differ at 1 worker");
+        ok = false;
+    }
+    for &workers in worker_counts {
+        for layered in [true, false] {
+            let r = run(&bench, layered, workers);
+            if r.view != reference.view {
+                println!(
+                    "MISMATCH [{name}]: report differs at {workers} workers \
+                     (layered={layered})"
+                );
+                ok = false;
+            }
+        }
+    }
+
+    let s = &reference.stats;
+    let flat = &flat_seq.stats;
+    let paths = reference
+        .view
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("paths="))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    println!("[{name}] {paths} paths");
+    println!(
+        "  layered: {:.2}s | {} queries ({} trivial) | {} cache hits | \
+         {} slices | {} slice hits | {} subset-unsat | {} model reuse | \
+         {} focus skips | {} core calls | {:.1}% above core",
+        reference.seconds,
+        s.queries,
+        s.trivial,
+        s.cache_hits,
+        s.slices,
+        s.slice_hits,
+        s.cex_subset_hits,
+        s.model_reuse_hits,
+        s.focus_skips,
+        s.sat_core_calls,
+        100.0 * s.above_core_rate(),
+    );
+    println!(
+        "  flat:    {:.2}s | {} queries | {} cache hits | {} core calls",
+        flat_seq.seconds, flat.queries, flat.cache_hits, flat.sat_core_calls
+    );
+
+    if s.above_core_rate() < 0.30 {
+        println!(
+            "MISMATCH [{name}]: only {:.1}% of non-trivial queries answered \
+             above the SAT core (need >= 30%)",
+            100.0 * s.above_core_rate()
+        );
+        ok = false;
+    }
+    if s.sat_core_calls >= flat.sat_core_calls {
+        println!(
+            "MISMATCH [{name}]: layered stack made {} SAT-core calls, flat \
+             made {} — no reduction",
+            s.sat_core_calls, flat.sat_core_calls
+        );
+        ok = false;
+    }
+
+    WorkloadOutcome {
+        name,
+        paths,
+        layered: *s,
+        flat: *flat,
+        layered_seconds: reference.seconds,
+        flat_seconds: flat_seq.seconds,
+        ok,
+    }
+}
+
+fn main() {
+    let mut sources: u32 = 16;
+    let mut emit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--emit" {
+            emit = args.next();
+        } else if let Ok(n) = arg.parse() {
+            sources = n;
+        }
+    }
+    let cfg = bench_config(sources);
+    let worker_counts = [2usize, 8];
+
+    println!("solver_stack ablation: sources={sources}, cross delay bins={CROSS_DELAY_BINS}");
+    let t1 = run_workload("t1", t1_pattern(cfg), &worker_counts);
+    let cross = run_workload("t1_cross", t1_cross_pattern(cfg), &worker_counts);
+
+    let mut ok = t1.ok && cross.ok;
+    // The cross workload exists to exercise the slice layer: its two
+    // independent ladders must produce genuine slice-level reuse.
+    let slice_layer = cross.layered.slice_hits + cross.layered.cex_subset_hits;
+    if slice_layer == 0 {
+        println!("MISMATCH [t1_cross]: slice layer shows no hits at all");
+        ok = false;
+    }
+
+    if let Some(path) = emit {
+        let mut json = String::from("{\n  \"harness\": \"solver_stack\",\n");
+        let _ = writeln!(json, "  \"sources\": {sources},");
+        let _ = writeln!(json, "  \"worker_counts_checked\": [1, 2, 8],");
+        let _ = writeln!(json, "  \"equivalent\": {ok},");
+        let _ = writeln!(json, "  \"workloads\": [");
+        for (i, w) in [&t1, &cross].iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(json, "      \"paths\": {},", w.paths);
+            let _ = writeln!(json, "      \"layered_seconds\": {:.3},", w.layered_seconds);
+            let _ = writeln!(json, "      \"flat_seconds\": {:.3},", w.flat_seconds);
+            let _ = writeln!(json, "      \"layered\": {},", stats_json(&w.layered));
+            let _ = writeln!(json, "      \"flat\": {}", stats_json(&w.flat));
+            let _ = writeln!(json, "    }}{}", if i == 0 { "," } else { "" });
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            println!("MISMATCH: could not write {path}: {e}");
+            ok = false;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -35,10 +35,27 @@ fn main() {
         "Solver",
     ]);
     let mut findings: Vec<String> = Vec::new();
+    let mut stack_lines: Vec<String> = Vec::new();
 
     for test in TestId::ALL {
         let outcome = run_test(test, config, &params, &Verifier::new(test.name()));
         table.row(&outcome.table_row());
+        let s = &outcome.report.stats.solver;
+        stack_lines.push(format!(
+            "  {}: {} queries | {} cache hits | {} slices | {} slice hits | \
+             {} subset-unsat | {} model reuse | {} focus skips | {} core calls \
+             | {:.1}% above core",
+            test.name(),
+            s.queries,
+            s.cache_hits,
+            s.slices,
+            s.slice_hits,
+            s.cex_subset_hits,
+            s.model_reuse_hits,
+            s.focus_skips,
+            s.sat_core_calls,
+            100.0 * s.above_core_rate(),
+        ));
         for error in outcome.report.distinct_errors() {
             let label = f_label(error).map(|l| format!("{l}: ")).unwrap_or_default();
             findings.push(format!(
@@ -54,6 +71,11 @@ fn main() {
     println!("Detected failures:");
     for f in &findings {
         println!("{f}");
+    }
+    println!();
+    println!("Solver stack (per-layer counters):");
+    for line in &stack_lines {
+        println!("{line}");
     }
     println!();
     println!("Note: '#Exec. Ops' counts engine operations (term constructions +");

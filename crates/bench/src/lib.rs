@@ -19,6 +19,8 @@
 
 use symsc_symex::SymError;
 
+pub mod workloads;
+
 /// Maps a detected error to the paper's bug label, by the error message of
 /// the corresponding engineered bug.
 pub fn f_label(error: &SymError) -> Option<&'static str> {

@@ -1,0 +1,91 @@
+//! Shared exploration workloads for the bench binaries.
+//!
+//! The bins (`parallel_speedup`, `solver_stack`) must measure the *same*
+//! testbenches so their numbers compose; the testbench closures live here
+//! rather than being copied per binary.
+
+use symsc_pk::Kernel;
+use symsc_plic::{Plic, PlicConfig, PlicVariant};
+use symsc_symex::{SymCtx, Width};
+use symsc_tlm::{BlockingTransport, GenericPayload};
+
+/// The PLIC claim/complete register address used by the workloads.
+pub const CLAIM_ADDR: u32 = 0x20_0004;
+
+/// The benchmark PLIC configuration: FE310 layout, fixed arbitration,
+/// `sources` interrupt lines.
+pub fn bench_config(sources: u32) -> PlicConfig {
+    let mut cfg = PlicConfig::fe310().variant(PlicVariant::Fixed);
+    cfg.sources = sources;
+    cfg.max_priority = 7;
+    cfg
+}
+
+/// The T1-pattern testbench (the paper's basic-interaction test): a
+/// symbolic interrupt id is triggered, enumerated with one `decide` per
+/// source (one execution path per id, like the claim ladder), and claimed
+/// through the real TLM claim register with symbolic checks. `Fn + Send +
+/// Sync`, so it runs on the multi-worker explorer.
+pub fn t1_pattern(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
+    move |ctx: &SymCtx| {
+        let mut kernel = Kernel::new();
+        let mut plic = Plic::new(ctx, &mut kernel, cfg);
+        kernel.step();
+        plic.enable_all_sources(ctx);
+        for irq in 1..=cfg.sources {
+            plic.set_priority(ctx, irq, 1);
+        }
+
+        let i = ctx.symbolic("i_interrupt", Width::W32);
+        let one = ctx.word32(1);
+        let n = ctx.word32(cfg.sources);
+        ctx.assume(&i.uge(&one));
+        ctx.assume(&i.ule(&n));
+        // The same guard query on every path: the shared cache absorbs it.
+        ctx.check(&i.ule(&n), "id in range");
+
+        plic.trigger_interrupt(ctx, &mut kernel, &i);
+        kernel.step();
+
+        ctx.check(&plic.pending_bit_symbolic(&i), "pending after trigger");
+
+        // Claim ladder: one execution path per source id.
+        for k in 1..=cfg.sources {
+            if ctx.decide(&i.eq(&ctx.word32(k))) {
+                let mut claim = GenericPayload::read(ctx, ctx.word32(CLAIM_ADDR), 4);
+                plic.b_transport(ctx, &mut kernel, &mut claim);
+                ctx.check_concrete(claim.response.is_ok(), "claim read succeeds");
+                ctx.check(&claim.word(0).eq(&i), "claimed id matches trigger");
+                break;
+            }
+        }
+    }
+}
+
+/// How many delay bins [`t1_cross_pattern`] enumerates.
+pub const CROSS_DELAY_BINS: u32 = 4;
+
+/// The T1-pattern testbench crossed with an *independent* symbolic delay:
+/// alongside the interrupt-id ladder, a second ladder enumerates a
+/// `t_delay` input that shares no variable with `i_interrupt`. The path
+/// count is the cross product (`sources × CROSS_DELAY_BINS`), and the two
+/// constraint families occupy disjoint independence slices — the workload
+/// the slicing layer exists for. Focused feasibility checks on one ladder
+/// skip the other ladder's slice entirely, and each slice's results are
+/// reused across the whole cross product by the counterexample cache.
+pub fn t1_cross_pattern(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
+    let t1 = t1_pattern(cfg);
+    move |ctx: &SymCtx| {
+        let delay = ctx.symbolic("t_delay", Width::W32);
+        let bins = ctx.word32(CROSS_DELAY_BINS);
+        ctx.assume(&delay.ult(&bins));
+        // Delay ladder: a fork per bin, independent of the id ladder.
+        for d in 0..CROSS_DELAY_BINS {
+            if ctx.decide(&delay.eq(&ctx.word32(d))) {
+                ctx.cover(&format!("delay{d}"));
+                break;
+            }
+        }
+        t1(ctx);
+    }
+}

@@ -97,6 +97,14 @@ impl Verifier {
         self
     }
 
+    /// Toggles the layered solver stack's cache layers (counterexample
+    /// cache and model-reuse witnesses; for ablations). Reports are
+    /// identical either way — only solve time and layer statistics change.
+    pub fn solver_stack(mut self, enabled: bool) -> Verifier {
+        self.explorer = self.explorer.solver_stack(enabled);
+        self
+    }
+
     /// Selects the path-selection strategy (default: depth-first).
     pub fn strategy(mut self, strategy: SearchStrategy) -> Verifier {
         self.explorer = self.explorer.strategy(strategy);

@@ -16,7 +16,11 @@
 //! 4. [`sat`] — a CDCL SAT solver (two-watched literals, VSIDS, first-UIP
 //!    clause learning, phase saving, Luby restarts, learnt-clause reduction).
 //! 5. [`solver`] — the façade: [`Solver::check`] returns
-//!    [`SatResult::Sat`] with a [`Model`] or [`SatResult::Unsat`].
+//!    [`SatResult::Sat`] with a [`Model`] or [`SatResult::Unsat`]. A layered
+//!    query-optimization stack (whole-query memoization, independence
+//!    slicing over variable-support sets, and the [`cex`] counterexample
+//!    cache with subset reasoning) answers most queries before the SAT
+//!    core runs, without changing any verdict or model.
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@
 
 pub mod aig;
 pub mod blast;
+pub mod cex;
 pub mod cnf;
 pub mod eval;
 pub mod model;
@@ -57,6 +62,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use cex::CexCache;
 pub use model::Model;
 pub use solver::{QueryCache, SatResult, Solver, SolverStats};
-pub use term::{Term, TermId, TermPool, Width};
+pub use term::{Support, Term, TermId, TermPool, Width};

@@ -1,15 +1,51 @@
-//! The top-level SMT façade: bit-blast a conjunction of width-1 constraint
-//! terms, run the SAT core, read back a model.
+//! The top-level SMT façade: a layered query-optimization stack in front
+//! of the bit-blasting SAT core.
+//!
+//! A query descends through the layers until one of them can answer it:
+//!
+//! ```text
+//!   Solver::check / check_feasible
+//!     1. constant filtering + fingerprint canonicalization   (trivial)
+//!     2. whole-query memo cache                              (QueryCache)
+//!     3. independence slicing: partition into connected
+//!        components by variable support; focused feasibility
+//!        checks solve only the focus component               (slicing)
+//!     4. per-slice counterexample cache: exact hit,
+//!        subset-UNSAT proof, cached-model witness            (CexCache)
+//!     5. bit-blast + CDCL                                    (SAT core)
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Everything downstream (counterexamples, path models, the parallel
+//! explorer's canonical merge) relies on `check` being a *pure function of
+//! the constraint set's structure*: same structural fingerprints in, same
+//! verdict and bit-for-bit the same model out, regardless of pool history,
+//! worker count or cache state. The layers preserve this as follows:
+//!
+//! - The canonical model of a query is defined as the *stitch* of the
+//!   canonical models of its independent slices (solved in fingerprint
+//!   order, each by the deterministic SAT core). Slicing is therefore not
+//!   an optional optimization but part of the decision procedure itself;
+//!   enabling or disabling the cache layers cannot change any model.
+//! - Cache hits (whole-query or per-slice) return exactly the canonical
+//!   result a fresh solve would compute, so shared caches are
+//!   semantically invisible.
+//! - Subset-UNSAT proofs and reused-model witnesses can depend on cache
+//!   *contents* (which vary with timing across workers), so they are only
+//!   used where a verdict — never a model — is reported:
+//!   [`Solver::check_feasible`]. Verdicts are unique, hence pure.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::blast::Blaster;
+use crate::cex::CexCache;
 use crate::cnf::{load_aig, CnfResult};
 use crate::model::Model;
 use crate::sat::SatSolver;
-use crate::term::{TermId, TermPool, Width};
+use crate::term::{Support, TermId, TermPool, Width};
 
 /// Result of a satisfiability query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,7 +71,8 @@ impl SatResult {
     }
 }
 
-/// Accumulated solver statistics across all queries of one [`Solver`].
+/// Accumulated solver statistics across all queries of one [`Solver`],
+/// with per-layer hit and time counters for the query stack.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Total queries issued (including cache hits and trivially-decided).
@@ -44,16 +81,41 @@ pub struct SolverStats {
     pub sat: u64,
     /// Queries answered unsatisfiable.
     pub unsat: u64,
-    /// Queries answered from the query cache.
+    /// Queries answered from the whole-query cache.
     pub cache_hits: u64,
-    /// Non-trivial queries that missed the cache and reached the SAT core
-    /// (zero when the cache is disabled — misses are only counted when a
-    /// cache was actually consulted).
+    /// Non-trivial queries that missed the whole-query cache (zero when
+    /// the cache is disabled — misses are only counted when a cache was
+    /// actually consulted).
     pub cache_misses: u64,
     /// Queries decided without reaching the SAT core (constant folding).
     pub trivial: u64,
-    /// Wall-clock time spent inside `check` (bit-blasting + SAT).
+    /// Wall-clock time spent inside `check`/`check_feasible` end to end.
     pub solve_time: Duration,
+    /// Independent slices examined (solved or answered) across queries.
+    pub slices: u64,
+    /// Slices answered by an exact-key counterexample-cache hit.
+    pub slice_hits: u64,
+    /// Slices proved UNSAT by a cached UNSAT subset.
+    pub cex_subset_hits: u64,
+    /// Feasibility slices answered SAT by re-evaluating a cached model.
+    pub model_reuse_hits: u64,
+    /// Slices skipped outright by focused feasibility checks (their
+    /// satisfiability was implied by the feasible base).
+    pub focus_skips: u64,
+    /// Cache-missed queries fully answered by the slice layers — i.e.
+    /// answered above the SAT core without a whole-query cache hit.
+    pub sliced_hits: u64,
+    /// Invocations of the bit-blast + CDCL core (one per solved slice).
+    pub sat_core_calls: u64,
+    /// Time spent partitioning constraint sets into slices.
+    pub slicing_time: Duration,
+    /// Time spent in counterexample-cache lookups, subset reasoning and
+    /// witness evaluation.
+    pub cex_time: Duration,
+    /// Time spent bit-blasting and in the SAT core.
+    pub sat_core_time: Duration,
+    /// Entries evicted from the bounded caches by this solver's inserts.
+    pub evictions: u64,
 }
 
 impl SolverStats {
@@ -67,12 +129,52 @@ impl SolverStats {
         self.cache_misses += other.cache_misses;
         self.trivial += other.trivial;
         self.solve_time += other.solve_time;
+        self.slices += other.slices;
+        self.slice_hits += other.slice_hits;
+        self.cex_subset_hits += other.cex_subset_hits;
+        self.model_reuse_hits += other.model_reuse_hits;
+        self.focus_skips += other.focus_skips;
+        self.sliced_hits += other.sliced_hits;
+        self.sat_core_calls += other.sat_core_calls;
+        self.slicing_time += other.slicing_time;
+        self.cex_time += other.cex_time;
+        self.sat_core_time += other.sat_core_time;
+        self.evictions += other.evictions;
+    }
+
+    /// Queries that were not decided by constant folding.
+    pub fn non_trivial(&self) -> u64 {
+        self.queries - self.trivial
+    }
+
+    /// Queries answered above the SAT core: whole-query cache hits plus
+    /// queries the slice layers answered outright.
+    pub fn answered_above_core(&self) -> u64 {
+        self.cache_hits + self.sliced_hits
+    }
+
+    /// Fraction of non-trivial queries answered above the SAT core.
+    pub fn above_core_rate(&self) -> f64 {
+        if self.non_trivial() == 0 {
+            0.0
+        } else {
+            self.answered_above_core() as f64 / self.non_trivial() as f64
+        }
     }
 }
 
 const CACHE_SHARDS: usize = 16;
+/// Default per-shard capacity of the whole-query cache (16 shards).
+const DEFAULT_QUERY_SHARD_CAPACITY: usize = 4096;
 
-/// A sharded, thread-safe memo cache of whole solver queries.
+/// One bounded shard: the memo map plus FIFO insertion order.
+#[derive(Debug, Default)]
+struct QueryShard {
+    map: HashMap<Vec<u128>, SatResult>,
+    order: std::collections::VecDeque<Vec<u128>>,
+}
+
+/// A sharded, thread-safe, bounded memo cache of whole solver queries.
 ///
 /// Keys are the sorted structural fingerprints of the constraint set
 /// ([`TermPool::fingerprint`]), so a key names the same logical query in
@@ -80,22 +182,43 @@ const CACHE_SHARDS: usize = 16;
 /// different (per-worker) pools, which is exactly what the parallel
 /// explorer does via [`Solver::with_shared_cache`].
 ///
-/// Sharing is semantically transparent. Constraint sets are blasted in
-/// fingerprint order and the SAT core is deterministic, so the model a
-/// cache hit returns is bit-for-bit the model a fresh solve would have
-/// produced.
-#[derive(Debug, Default)]
+/// Sharing is semantically transparent. Constraint sets are sliced and
+/// blasted in fingerprint order and the SAT core is deterministic, so the
+/// model a cache hit returns is bit-for-bit the model a fresh solve would
+/// have produced.
+///
+/// Each shard holds at most a fixed number of entries; when full, the
+/// oldest entry (FIFO) is evicted. Eviction order depends only on the
+/// sequence of inserts, and because cached results equal fresh solves,
+/// cache contents can never affect results — only speed.
+#[derive(Debug)]
 pub struct QueryCache {
-    shards: [Mutex<HashMap<Vec<u128>, SatResult>>; CACHE_SHARDS],
+    shards: [Mutex<QueryShard>; CACHE_SHARDS],
+    capacity: usize,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::new()
+    }
 }
 
 impl QueryCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default per-shard capacity.
     pub fn new() -> QueryCache {
-        QueryCache::default()
+        QueryCache::with_capacity(DEFAULT_QUERY_SHARD_CAPACITY)
     }
 
-    fn shard(&self, key: &[u128]) -> &Mutex<HashMap<Vec<u128>, SatResult>> {
+    /// Creates an empty cache holding at most `per_shard` entries per
+    /// shard (FIFO eviction).
+    pub fn with_capacity(per_shard: usize) -> QueryCache {
+        QueryCache {
+            shards: std::array::from_fn(|_| Mutex::new(QueryShard::default())),
+            capacity: per_shard.max(1),
+        }
+    }
+
+    fn shard(&self, key: &[u128]) -> &Mutex<QueryShard> {
         // Cheap deterministic fold of the key into a shard index. The
         // fingerprints themselves are already well-mixed hashes.
         let folded = key
@@ -104,7 +227,7 @@ impl QueryCache {
         &self.shards[(folded as usize) % CACHE_SHARDS]
     }
 
-    fn lock_shard(&self, key: &[u128]) -> std::sync::MutexGuard<'_, HashMap<Vec<u128>, SatResult>> {
+    fn lock_shard(&self, key: &[u128]) -> MutexGuard<'_, QueryShard> {
         // A panic while holding the guard cannot leave the map in an
         // inconsistent state (plain HashMap ops), so poisoning is benign.
         self.shard(key)
@@ -114,19 +237,33 @@ impl QueryCache {
 
     /// Looks up a normalized key.
     pub fn lookup(&self, key: &[u128]) -> Option<SatResult> {
-        self.lock_shard(key).get(key).cloned()
+        self.lock_shard(key).map.get(key).cloned()
     }
 
-    /// Stores a result under a normalized key.
-    pub fn insert(&self, key: Vec<u128>, result: SatResult) {
-        self.lock_shard(&key).entry(key).or_insert(result);
+    /// Stores a result under a normalized key, evicting the shard's
+    /// oldest entry if it is full. Returns the number of evictions (0/1).
+    pub fn insert(&self, key: Vec<u128>, result: SatResult) -> u64 {
+        let mut shard = self.lock_shard(&key);
+        if shard.map.contains_key(&key) {
+            return 0;
+        }
+        let mut evicted = 0;
+        if shard.map.len() >= self.capacity {
+            if let Some(old) = shard.order.pop_front() {
+                shard.map.remove(&old);
+                evicted = 1;
+            }
+        }
+        shard.order.push_back(key.clone());
+        shard.map.insert(key, result);
+        evicted
     }
 
     /// Number of cached queries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
 
@@ -136,19 +273,24 @@ impl QueryCache {
     }
 }
 
-/// A stateless-per-query SMT solver with a whole-query memo cache.
+/// How many cached subset models a feasibility check will evaluate as
+/// candidate witnesses before giving up and bit-blasting.
+const MODEL_REUSE_CANDIDATES: usize = 4;
+
+/// A stateless-per-query SMT solver with the layered query stack.
 ///
-/// The cache is keyed on the sorted *structural fingerprints* of the
-/// constraint set, which identify a query independently of the pool that
-/// interned it. A solver can therefore keep a private cache
-/// ([`Solver::new`]) or share one with other solvers over other pools
-/// ([`Solver::with_shared_cache`]) — the parallel explorer shares one
-/// cache across all workers so sibling paths stop re-solving identical
-/// queries.
+/// Caches are keyed on sorted *structural fingerprints*, which identify a
+/// query independently of the pool that interned it. A solver can keep
+/// private caches ([`Solver::new`]) or share them with other solvers over
+/// other pools ([`Solver::with_stack`]) — the parallel explorer shares one
+/// query cache and one counterexample cache across all workers so sibling
+/// paths stop re-solving identical queries and slices.
 #[derive(Debug)]
 pub struct Solver {
     stats: SolverStats,
     cache: Option<Arc<QueryCache>>,
+    cex: Option<Arc<CexCache>>,
+    model_reuse: bool,
 }
 
 impl Default for Solver {
@@ -158,33 +300,53 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates a solver with a fresh private query cache.
+    /// Creates a solver with the full stack and fresh private caches.
     pub fn new() -> Solver {
-        Solver {
-            stats: SolverStats::default(),
-            cache: Some(Arc::new(QueryCache::new())),
-        }
+        Solver::with_stack(
+            Some(Arc::new(QueryCache::new())),
+            Some(Arc::new(CexCache::new())),
+            true,
+        )
     }
 
-    /// Creates a solver without the query cache (ablation / benchmarks).
+    /// Creates a solver with every cache layer disabled (ablation /
+    /// benchmarks): all queries go through slicing straight to the core.
     pub fn without_cache() -> Solver {
-        Solver {
-            stats: SolverStats::default(),
-            cache: None,
-        }
+        Solver::with_stack(None, None, false)
     }
 
-    /// Creates a solver backed by an existing (possibly shared) cache.
+    /// Creates a solver whose whole-query cache is an existing (possibly
+    /// shared) one, with a private counterexample cache.
     pub fn with_shared_cache(cache: Arc<QueryCache>) -> Solver {
+        Solver::with_stack(Some(cache), Some(Arc::new(CexCache::new())), true)
+    }
+
+    /// Creates a solver with an explicit layer configuration: `cache` is
+    /// the whole-query memo layer, `cex` the per-slice counterexample
+    /// cache, `model_reuse` enables cached-model witnesses in
+    /// [`check_feasible`](Solver::check_feasible) (it has no effect
+    /// without `cex`). Any `Arc` may be shared across solvers/threads.
+    pub fn with_stack(
+        cache: Option<Arc<QueryCache>>,
+        cex: Option<Arc<CexCache>>,
+        model_reuse: bool,
+    ) -> Solver {
         Solver {
             stats: SolverStats::default(),
-            cache: Some(cache),
+            cache,
+            cex,
+            model_reuse,
         }
     }
 
-    /// The cache backing this solver, if caching is enabled.
+    /// The whole-query cache backing this solver, if enabled.
     pub fn cache(&self) -> Option<&Arc<QueryCache>> {
         self.cache.as_ref()
+    }
+
+    /// The counterexample cache backing this solver, if enabled.
+    pub fn cex_cache(&self) -> Option<&Arc<CexCache>> {
+        self.cex.as_ref()
     }
 
     /// Statistics accumulated so far.
@@ -199,47 +361,41 @@ impl Solver {
     ///
     /// Panics if any constraint term is not of width 1.
     pub fn check(&mut self, pool: &TermPool, constraints: &[TermId]) -> SatResult {
+        self.check_with_focus(pool, constraints, None)
+    }
+
+    /// Like [`check`](Solver::check), with an optional *focus* hint: the
+    /// freshly-added constraint the caller just pushed. The focus slice is
+    /// solved first, so an infeasible branch condition short-circuits
+    /// before unrelated slices are (re)solved. The hint affects work
+    /// order only, never the verdict or the model — slices are
+    /// independent, and a SAT answer always stitches every slice.
+    pub fn check_with_focus(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        focus: Option<TermId>,
+    ) -> SatResult {
         let start = Instant::now();
         self.stats.queries += 1;
 
-        // Constant-level filtering.
-        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
-        for &c in constraints {
-            assert_eq!(
-                pool.width(c),
-                Width::W1,
-                "constraint {} is not boolean",
-                pool.display(c)
-            );
-            if pool.is_false(c) {
+        let entries = match self.canonicalize(pool, constraints) {
+            Some(entries) => entries,
+            None => {
+                // A constant-false constraint: trivially UNSAT.
                 self.stats.trivial += 1;
                 self.stats.unsat += 1;
                 self.stats.solve_time += start.elapsed();
                 return SatResult::Unsat;
             }
-            if !pool.is_true(c) {
-                live.push(c);
-            }
-        }
-
-        // Normalize to the canonical form: sorted by structural
-        // fingerprint, duplicates removed. The fingerprint list is the
-        // cache key; the id list in the same order is the blast order, so
-        // the SAT instance (and hence the returned model) is a function of
-        // the constraint structure alone.
-        let mut entries: Vec<(u128, TermId)> =
-            live.iter().map(|&c| (pool.fingerprint(c), c)).collect();
-        entries.sort_unstable_by_key(|&(fp, _)| fp);
-        entries.dedup_by_key(|&mut (fp, _)| fp);
-        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
-        let ordered: Vec<TermId> = entries.iter().map(|&(_, id)| id).collect();
-
-        if ordered.is_empty() {
+        };
+        if entries.is_empty() {
             self.stats.trivial += 1;
             self.stats.sat += 1;
             self.stats.solve_time += start.elapsed();
             return SatResult::Sat(Model::new());
         }
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
 
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lookup(&key) {
@@ -254,19 +410,268 @@ impl Solver {
             self.stats.cache_misses += 1;
         }
 
-        let result = self.check_uncached(pool, &ordered);
+        let core_before = self.stats.sat_core_calls;
+        let result = self.solve_sliced(pool, &entries, focus);
+        if self.stats.sat_core_calls == core_before {
+            self.stats.sliced_hits += 1;
+        }
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
         }
         if let Some(cache) = &self.cache {
-            cache.insert(key, result.clone());
+            self.stats.evictions += cache.insert(key, result.clone());
         }
         self.stats.solve_time += start.elapsed();
         result
     }
 
-    fn check_uncached(&mut self, pool: &TermPool, constraints: &[TermId]) -> SatResult {
+    /// Decides whether `base ∪ {focus}` is satisfiable, where the caller
+    /// guarantees that `base` alone *is* satisfiable (the symbolic engine
+    /// maintains its path constraints feasible by construction).
+    ///
+    /// Under that precondition only the connected component containing
+    /// `focus` needs solving: every other slice is a subset of the
+    /// feasible base and cannot contribute a contradiction. No model is
+    /// returned, so this path may also answer SAT from a cached witness
+    /// model (evaluated concretely) — sound for the verdict, but not the
+    /// canonical model, which is why this entry point is verdict-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint term is not of width 1.
+    pub fn check_feasible(&mut self, pool: &TermPool, base: &[TermId], focus: TermId) -> bool {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        assert_eq!(
+            pool.width(focus),
+            Width::W1,
+            "focus constraint {} is not boolean",
+            pool.display(focus)
+        );
+
+        if pool.is_true(focus) {
+            // base ∪ {true} = base, feasible by precondition.
+            self.stats.trivial += 1;
+            self.stats.sat += 1;
+            self.stats.solve_time += start.elapsed();
+            return true;
+        }
+        let mut all: Vec<TermId> = Vec::with_capacity(base.len() + 1);
+        all.extend_from_slice(base);
+        all.push(focus);
+        let entries = match self.canonicalize(pool, &all) {
+            Some(entries) => entries,
+            None => {
+                self.stats.trivial += 1;
+                self.stats.unsat += 1;
+                self.stats.solve_time += start.elapsed();
+                return false;
+            }
+        };
+        let focus_fp = pool.fingerprint(focus);
+        // If the focus dedups into the base, the query *is* the base.
+        if base.iter().any(|&c| pool.fingerprint(c) == focus_fp) {
+            self.stats.trivial += 1;
+            self.stats.sat += 1;
+            self.stats.solve_time += start.elapsed();
+            return true;
+        }
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
+
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lookup(&key) {
+                self.stats.cache_hits += 1;
+                let sat = hit.is_sat();
+                if sat {
+                    self.stats.sat += 1;
+                } else {
+                    self.stats.unsat += 1;
+                }
+                self.stats.solve_time += start.elapsed();
+                return sat;
+            }
+            self.stats.cache_misses += 1;
+        }
+
+        let t_slice = Instant::now();
+        let slices = partition(pool, &entries);
+        self.stats.slicing_time += t_slice.elapsed();
+        let fi = slices
+            .iter()
+            .position(|s| s.iter().any(|&i| entries[i].0 == focus_fp))
+            .expect("focus constraint must land in some slice");
+        self.stats.focus_skips += (slices.len() - 1) as u64;
+        self.stats.slices += 1;
+
+        let slice_entries: Vec<(u128, TermId)> = slices[fi].iter().map(|&i| entries[i]).collect();
+        let core_before = self.stats.sat_core_calls;
+        let verdict = self.solve_slice(pool, &slice_entries, true);
+        if self.stats.sat_core_calls == core_before {
+            self.stats.sliced_hits += 1;
+        }
+        let sat = verdict.is_sat();
+        if sat {
+            self.stats.sat += 1;
+        } else {
+            self.stats.unsat += 1;
+            // An UNSAT verdict is the whole query's canonical answer
+            // (no model involved), so it may seed the whole-query cache.
+            if let Some(cache) = &self.cache {
+                self.stats.evictions += cache.insert(key, SatResult::Unsat);
+            }
+        }
+        self.stats.solve_time += start.elapsed();
+        sat
+    }
+
+    /// Constant-filters and canonicalizes a constraint set: sorted by
+    /// structural fingerprint, duplicates removed. Returns `None` if a
+    /// constant-false constraint makes the set trivially UNSAT. The
+    /// fingerprint list is the cache key; the id list in the same order is
+    /// the blast order, so the SAT instance (and hence the returned model)
+    /// is a function of the constraint structure alone.
+    fn canonicalize(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+    ) -> Option<Vec<(u128, TermId)>> {
+        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            assert_eq!(
+                pool.width(c),
+                Width::W1,
+                "constraint {} is not boolean",
+                pool.display(c)
+            );
+            if pool.is_false(c) {
+                return None;
+            }
+            if !pool.is_true(c) {
+                live.push(c);
+            }
+        }
+        let mut entries: Vec<(u128, TermId)> =
+            live.iter().map(|&c| (pool.fingerprint(c), c)).collect();
+        entries.sort_unstable_by_key(|&(fp, _)| fp);
+        entries.dedup_by_key(|&mut (fp, _)| fp);
+        Some(entries)
+    }
+
+    /// Solves a canonicalized non-empty query slice by slice and stitches
+    /// the canonical model. `focus` only promotes one slice to the front
+    /// of the work order.
+    fn solve_sliced(
+        &mut self,
+        pool: &TermPool,
+        entries: &[(u128, TermId)],
+        focus: Option<TermId>,
+    ) -> SatResult {
+        let t_slice = Instant::now();
+        let slices = partition(pool, entries);
+        self.stats.slicing_time += t_slice.elapsed();
+        self.stats.slices += slices.len() as u64;
+
+        let mut order: Vec<usize> = (0..slices.len()).collect();
+        if let Some(f) = focus {
+            let ffp = pool.fingerprint(f);
+            if let Some(pos) = order
+                .iter()
+                .position(|&si| slices[si].iter().any(|&i| entries[i].0 == ffp))
+            {
+                let fi = order.remove(pos);
+                order.insert(0, fi);
+            }
+        }
+
+        let mut models: Vec<Option<Model>> = vec![None; slices.len()];
+        for &si in &order {
+            let slice_entries: Vec<(u128, TermId)> =
+                slices[si].iter().map(|&i| entries[i]).collect();
+            match self.solve_slice(pool, &slice_entries, false) {
+                SatResult::Sat(m) => models[si] = Some(m),
+                SatResult::Unsat => return SatResult::Unsat,
+            }
+        }
+
+        // Stitch: slices constrain disjoint variable sets, so the union
+        // of their canonical models is the query's canonical model.
+        let mut model = Model::new();
+        for m in models.into_iter().flatten() {
+            for (name, value) in m.iter() {
+                model.insert(name.to_string(), value);
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let env = model.to_env();
+            for &(_, c) in entries {
+                debug_assert_eq!(
+                    crate::eval::evaluate(pool, c, &env),
+                    1,
+                    "stitched model {model} does not satisfy {}",
+                    pool.display(c)
+                );
+            }
+        }
+        SatResult::Sat(model)
+    }
+
+    /// Decides one slice through the counterexample-cache layer, falling
+    /// through to the SAT core. With `verdict_only`, cached subset models
+    /// may additionally witness SAT — such results carry a non-canonical
+    /// model and are never written back to any cache.
+    fn solve_slice(
+        &mut self,
+        pool: &TermPool,
+        entries: &[(u128, TermId)],
+        verdict_only: bool,
+    ) -> SatResult {
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
+        if let Some(cex) = &self.cex {
+            let t0 = Instant::now();
+            if let Some(hit) = cex.lookup_exact(&key) {
+                self.stats.slice_hits += 1;
+                self.stats.cex_time += t0.elapsed();
+                return hit;
+            }
+            if cex.subset_unsat(&key) {
+                self.stats.cex_subset_hits += 1;
+                self.stats.cex_time += t0.elapsed();
+                return SatResult::Unsat;
+            }
+            if verdict_only && self.model_reuse {
+                for m in cex.subset_models(&key, MODEL_REUSE_CANDIDATES) {
+                    let env = m.to_env();
+                    if entries
+                        .iter()
+                        .all(|&(_, c)| crate::eval::evaluate(pool, c, &env) == 1)
+                    {
+                        self.stats.model_reuse_hits += 1;
+                        self.stats.cex_time += t0.elapsed();
+                        return SatResult::Sat(m);
+                    }
+                }
+            }
+            self.stats.cex_time += t0.elapsed();
+        }
+
+        let t_core = Instant::now();
+        self.stats.sat_core_calls += 1;
+        let ordered: Vec<TermId> = entries.iter().map(|&(_, id)| id).collect();
+        let result = self.blast_and_solve(pool, &ordered);
+        self.stats.sat_core_time += t_core.elapsed();
+        if let Some(cex) = &self.cex {
+            // The core's answer for this slice key is canonical: safe to
+            // share across solvers and to stitch into future models.
+            self.stats.evictions += cex.insert(key, result.clone());
+        }
+        result
+    }
+
+    /// The SAT core: bit-blast the (canonically ordered) constraints into
+    /// an AIG, load as CNF, run CDCL, read the model back.
+    fn blast_and_solve(&mut self, pool: &TermPool, constraints: &[TermId]) -> SatResult {
         let mut blaster = Blaster::new();
         let mut roots = Vec::with_capacity(constraints.len());
         for &c in constraints {
@@ -317,6 +722,44 @@ impl Solver {
 
         SatResult::Sat(model)
     }
+}
+
+/// Partitions a canonicalized entry list into connected components by
+/// shared variable support. Components are returned in canonical order
+/// (by smallest member index, i.e. smallest fingerprint), each with its
+/// members sorted — so both the partition and every slice key are pure
+/// functions of the constraint set's structure.
+fn partition(pool: &TermPool, entries: &[(u128, TermId)]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(Support, Vec<usize>)> = Vec::new();
+    for (i, &(_, id)) in entries.iter().enumerate() {
+        let sup = pool.support(id);
+        let hits: Vec<usize> = (0..groups.len())
+            .filter(|&g| groups[g].0.intersects(sup))
+            .collect();
+        match hits.split_first() {
+            None => groups.push((sup.clone(), vec![i])),
+            Some((&first, rest)) => {
+                groups[first].0 = groups[first].0.union(sup);
+                groups[first].1.push(i);
+                // Merge later intersecting groups into the first; reverse
+                // order keeps the removal indices valid.
+                for &g in rest.iter().rev() {
+                    let (s, mut members) = groups.remove(g);
+                    groups[first].0 = groups[first].0.union(&s);
+                    groups[first].1.append(&mut members);
+                }
+            }
+        }
+    }
+    let mut slices: Vec<Vec<usize>> = groups
+        .into_iter()
+        .map(|(_, mut members)| {
+            members.sort_unstable();
+            members
+        })
+        .collect();
+    slices.sort_by_key(|s| s[0]);
+    slices
 }
 
 #[cfg(test)]
@@ -573,5 +1016,206 @@ mod tests {
             }
             SatResult::Unsat => panic!("x/2 = 7 is satisfiable"),
         }
+    }
+
+    #[test]
+    fn partition_splits_independent_variables() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let z = pool.var("z", Width::W8);
+        let k = pool.constant(3, Width::W8);
+        let cx = pool.ult(x, k); // slice {x}
+        let cy = pool.ugt(y, k); // slice {y}
+        let cyz = pool.ult(y, z); // joins y with z
+        let cz = pool.ne(z, k); // slice {y,z}
+
+        let canon = |cs: &[TermId], pool: &TermPool| {
+            let mut entries: Vec<(u128, TermId)> =
+                cs.iter().map(|&c| (pool.fingerprint(c), c)).collect();
+            entries.sort_unstable_by_key(|&(fp, _)| fp);
+            entries
+        };
+
+        let two_slices = canon(&[cx, cy, cyz, cz], &pool);
+        let slices = partition(&pool, &two_slices);
+        assert_eq!(slices.len(), 2);
+        // Each entry lands in exactly one slice.
+        let total: usize = slices.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        // Canonical order: slices sorted by smallest member index, members
+        // sorted within.
+        assert_eq!(slices[0][0], 0);
+        for s in &slices {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        let three_slices = canon(&[cx, cy, cz], &pool);
+        assert_eq!(partition(&pool, &three_slices).len(), 3);
+    }
+
+    #[test]
+    fn independent_slices_solve_and_stitch() {
+        // Two unrelated constraints: the model must cover both variables
+        // and must equal the flat (no-cache) result exactly.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let k1 = pool.constant(7, Width::W8);
+        let k2 = pool.constant(200, Width::W8);
+        let cx = pool.eq(x, k1);
+        let cy = pool.eq(y, k2);
+
+        let mut layered = Solver::new();
+        let mut flat = Solver::without_cache();
+        let r1 = layered.check(&pool, &[cx, cy]);
+        let r2 = flat.check(&pool, &[cx, cy]);
+        assert_eq!(r1, r2);
+        match r1 {
+            SatResult::Sat(m) => {
+                assert_eq!(m.value_or_zero("x"), 7);
+                assert_eq!(m.value_or_zero("y"), 200);
+            }
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+        assert_eq!(layered.stats().slices, 2);
+        // Two slices, each needing the core once.
+        assert_eq!(layered.stats().sat_core_calls, 2);
+    }
+
+    #[test]
+    fn slice_cache_hits_across_different_whole_queries() {
+        // The x-slice repeats across two queries whose y-slices differ:
+        // the whole-query cache misses both times, but the slice layer
+        // answers the x-slice from the counterexample cache.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let k1 = pool.constant(7, Width::W8);
+        let k2 = pool.constant(9, Width::W8);
+        let k3 = pool.constant(11, Width::W8);
+        let cx = pool.eq(x, k1);
+        let cy1 = pool.eq(y, k2);
+        let cy2 = pool.eq(y, k3);
+
+        let mut s = Solver::new();
+        let r1 = s.check(&pool, &[cx, cy1]);
+        let r2 = s.check(&pool, &[cx, cy2]);
+        assert!(r1.is_sat() && r2.is_sat());
+        assert_eq!(s.stats().cache_hits, 0, "whole-query keys differ");
+        assert_eq!(s.stats().slice_hits, 1, "x-slice reused");
+        assert_eq!(s.stats().sat_core_calls, 3, "x once, each y once");
+        // The reused slice model stitches identically to a fresh solve.
+        let mut fresh = Solver::without_cache();
+        assert_eq!(fresh.check(&pool, &[cx, cy2]), r2);
+    }
+
+    #[test]
+    fn subset_unsat_proves_without_solving() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let five = pool.constant(5, Width::W8);
+        let ten = pool.constant(10, Width::W8);
+        let lt = pool.ult(x, five);
+        let gt = pool.ugt(x, ten);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&pool, &[lt, gt]), SatResult::Unsat);
+        let core_after_first = s.stats().sat_core_calls;
+        // A superset of the UNSAT core: proved by subset reasoning, no
+        // new SAT-core call.
+        let seven = pool.constant(7, Width::W8);
+        let extra = pool.ne(x, seven);
+        assert_eq!(s.check(&pool, &[lt, gt, extra]), SatResult::Unsat);
+        assert_eq!(s.stats().sat_core_calls, core_after_first);
+        assert_eq!(s.stats().cex_subset_hits, 1);
+    }
+
+    #[test]
+    fn check_feasible_agrees_with_check() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let five = pool.constant(5, Width::W8);
+        let base = vec![pool.ult(x, five)]; // x < 5: feasible
+        let three = pool.constant(3, Width::W8);
+        let can_be_three = pool.eq(x, three);
+        let seven = pool.constant(7, Width::W8);
+        let cannot_be_seven = pool.eq(x, seven);
+
+        let mut s = Solver::new();
+        assert!(s.check_feasible(&pool, &base, can_be_three));
+        assert!(!s.check_feasible(&pool, &base, cannot_be_seven));
+
+        let mut flat = Solver::without_cache();
+        let mut with_extra = base.clone();
+        with_extra.push(can_be_three);
+        assert!(flat.check(&pool, &with_extra).is_sat());
+        with_extra.pop();
+        with_extra.push(cannot_be_seven);
+        assert!(!flat.check(&pool, &with_extra).is_sat());
+    }
+
+    #[test]
+    fn check_feasible_skips_unrelated_slices() {
+        // The base contains an expensive unrelated slice on y; a focused
+        // feasibility check on an x-constraint never touches it.
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let y = pool.var("y", Width::W8);
+        let k = pool.constant(100, Width::W8);
+        let cy = pool.ult(y, k);
+        let five = pool.constant(5, Width::W8);
+        let base = vec![cy, pool.ult(x, five)];
+        let three = pool.constant(3, Width::W8);
+        let focus = pool.eq(x, three);
+
+        let mut s = Solver::new();
+        assert!(s.check_feasible(&pool, &base, focus));
+        assert_eq!(s.stats().focus_skips, 1, "the y-slice was skipped");
+        assert_eq!(s.stats().sat_core_calls, 1, "only the x-slice solved");
+    }
+
+    #[test]
+    fn model_reuse_witnesses_feasibility() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let ten = pool.constant(10, Width::W8);
+        let lt = pool.ult(x, ten);
+        let mut s = Solver::new();
+        // Seed the counterexample cache with the canonical model of {lt}.
+        let seeded = s.check(&pool, &[lt]);
+        let seeded_value = match &seeded {
+            SatResult::Sat(m) => m.value_or_zero("x"),
+            SatResult::Unsat => panic!("x < 10 is satisfiable"),
+        };
+        // Focused feasibility of a superset the cached model satisfies:
+        // answered by evaluation, not the core.
+        let bound = pool.constant(seeded_value.wrapping_add(1), Width::W8);
+        let focus = pool.ult(x, bound); // cached x-value satisfies this
+        let core_before = s.stats().sat_core_calls;
+        assert!(s.check_feasible(&pool, &[lt], focus));
+        assert_eq!(s.stats().sat_core_calls, core_before);
+        assert_eq!(s.stats().model_reuse_hits, 1);
+    }
+
+    #[test]
+    fn bounded_query_cache_evicts_fifo_and_counts() {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Width::W8);
+        let mut s = Solver::with_stack(Some(Arc::new(QueryCache::with_capacity(1))), None, false);
+        // Enough distinct single-constraint queries to overflow every
+        // 1-entry shard and force evictions.
+        for v in 0..64 {
+            let k = pool.constant(v, Width::W8);
+            let c = pool.eq(x, k);
+            assert!(s.check(&pool, &[c]).is_sat());
+        }
+        assert!(s.stats().evictions > 0, "1-entry shards must evict");
+        // Correctness is unaffected: resolving an evicted query gives the
+        // same canonical model as the first time.
+        let k = pool.constant(0, Width::W8);
+        let c = pool.eq(x, k);
+        let again = s.check(&pool, &[c]);
+        let mut fresh = Solver::without_cache();
+        assert_eq!(again, fresh.check(&pool, &[c]));
     }
 }

@@ -8,8 +8,9 @@
 //!
 //! Booleans are width-1 bitvectors; there is no separate Bool sort.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// A bitvector width between 1 and 64 bits inclusive.
 ///
@@ -214,9 +215,98 @@ pub struct TermPool {
     terms: Vec<Term>,
     widths: Vec<Width>,
     fps: Vec<u128>,
+    supports: Vec<Support>,
     dedup: HashMap<Term, TermId>,
     vars: HashMap<Box<str>, TermId>,
     ops_created: u64,
+}
+
+/// The free-variable support of a term: the set of variables the term's
+/// value depends on, identified by their intern ordinal within the owning
+/// pool.
+///
+/// Supports are memoized per term at intern time (alongside the structural
+/// fingerprint), so reading the support of any term — however deep — is an
+/// O(1) index. The solver's independence slicing uses them to partition a
+/// constraint set into connected components that can be decided separately.
+///
+/// Pools rarely intern more than a handful of variables, so the common
+/// representation is a bitmask over the first 128 ordinals; larger pools
+/// fall back to a shared sorted set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Support {
+    /// Bitmask over variable ordinals `0..128` (the common case).
+    Mask(u128),
+    /// Explicit sorted ordinal set, used once ordinals reach 128.
+    Set(Arc<BTreeSet<u32>>),
+}
+
+impl Support {
+    /// The empty support (constants depend on no variables).
+    pub const EMPTY: Support = Support::Mask(0);
+
+    fn singleton(ordinal: u32) -> Support {
+        if ordinal < 128 {
+            Support::Mask(1 << ordinal)
+        } else {
+            Support::Set(Arc::new(std::iter::once(ordinal).collect()))
+        }
+    }
+
+    /// Whether the term depends on no variables.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Support::Mask(m) => *m == 0,
+            Support::Set(s) => s.is_empty(),
+        }
+    }
+
+    /// Number of distinct variables in the support.
+    pub fn len(&self) -> usize {
+        match self {
+            Support::Mask(m) => m.count_ones() as usize,
+            Support::Set(s) => s.len(),
+        }
+    }
+
+    fn to_set(&self) -> BTreeSet<u32> {
+        match self {
+            Support::Mask(m) => (0..128).filter(|o| m >> o & 1 == 1).collect(),
+            Support::Set(s) => (**s).clone(),
+        }
+    }
+
+    /// Whether two supports share at least one variable.
+    pub fn intersects(&self, other: &Support) -> bool {
+        match (self, other) {
+            (Support::Mask(a), Support::Mask(b)) => a & b != 0,
+            (Support::Mask(m), Support::Set(s)) | (Support::Set(s), Support::Mask(m)) => {
+                s.iter().take_while(|&&o| o < 128).any(|&o| m >> o & 1 == 1)
+            }
+            (Support::Set(a), Support::Set(b)) => {
+                let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|o| big.contains(o))
+            }
+        }
+    }
+
+    /// The union of two supports.
+    pub fn union(&self, other: &Support) -> Support {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        match (self, other) {
+            (Support::Mask(a), Support::Mask(b)) => Support::Mask(a | b),
+            (a, b) => {
+                let mut set = a.to_set();
+                set.extend(b.to_set());
+                Support::Set(Arc::new(set))
+            }
+        }
+    }
 }
 
 /// 128-bit FNV-1a offset basis (the standard constant).
@@ -298,17 +388,24 @@ impl TermPool {
             .map(move |(name, &id)| (&**name, self.width(id), id))
     }
 
+    // Both the structural fingerprint and the variable support are
+    // computed exactly once, here at intern time; `fingerprint` and
+    // `support` are O(1) indexed reads afterwards. `Solver::check` relies
+    // on this: canonicalizing and slicing a constraint set touches only
+    // memoized data, never re-deriving either from the term structure.
     fn intern(&mut self, term: Term, width: Width) -> TermId {
         self.ops_created += 1;
         if let Some(&id) = self.dedup.get(&term) {
             return id;
         }
         let fp = self.structural_fp(&term, width);
+        let support = self.structural_support(&term);
         let id = TermId(self.terms.len() as u32);
         self.dedup.insert(term.clone(), id);
         self.terms.push(term);
         self.widths.push(width);
         self.fps.push(fp);
+        self.supports.push(support);
         id
     }
 
@@ -320,6 +417,49 @@ impl TermPool {
     /// deterministic operand/constraint orderings are built on them.
     pub fn fingerprint(&self, id: TermId) -> u128 {
         self.fps[id.index()]
+    }
+
+    /// The memoized free-variable support of `id` (see [`Support`]).
+    ///
+    /// Constant folding guarantees that every non-constant term depends on
+    /// at least one variable, so a non-empty support is the rule for
+    /// anything a constraint set can contain after trivial filtering.
+    pub fn support(&self, id: TermId) -> &Support {
+        &self.supports[id.index()]
+    }
+
+    fn structural_support(&self, term: &Term) -> Support {
+        match term {
+            Term::Const { .. } => Support::EMPTY,
+            // The ordinal of a fresh variable is the number of variables
+            // interned before it (`var` registers it right after intern).
+            Term::Var { .. } => Support::singleton(self.vars.len() as u32),
+            Term::Not(a) | Term::Neg(a) => self.support(*a).clone(),
+            Term::And(a, b)
+            | Term::Or(a, b)
+            | Term::Xor(a, b)
+            | Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Udiv(a, b)
+            | Term::Urem(a, b)
+            | Term::Shl(a, b)
+            | Term::Lshr(a, b)
+            | Term::Ashr(a, b)
+            | Term::Eq(a, b)
+            | Term::Ult(a, b)
+            | Term::Ule(a, b)
+            | Term::Slt(a, b)
+            | Term::Sle(a, b)
+            | Term::Concat(a, b) => self.support(*a).union(self.support(*b)),
+            Term::Ite(c, t, e) => self
+                .support(*c)
+                .union(self.support(*t))
+                .union(self.support(*e)),
+            Term::ZeroExt { arg, .. } | Term::SignExt { arg, .. } | Term::Extract { arg, .. } => {
+                self.support(*arg).clone()
+            }
+        }
     }
 
     /// Orders a commutative operand pair canonically by structural
@@ -1136,5 +1276,53 @@ mod tests {
         let b = p.constant(2, Width::W8);
         let _ = p.add(a, b); // folds to a constant, still counted
         assert!(p.ops_created() > before);
+    }
+
+    #[test]
+    fn supports_track_free_variables() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Width::W32);
+        let y = p.var("y", Width::W32);
+        let z = p.var("z", Width::W32);
+        let k = p.constant(7, Width::W32);
+
+        assert!(p.support(k).is_empty());
+        assert_eq!(p.support(x).len(), 1);
+
+        let xy = p.add(x, y);
+        assert_eq!(p.support(xy).len(), 2);
+        assert!(p.support(xy).intersects(p.support(x)));
+        assert!(p.support(xy).intersects(p.support(y)));
+        assert!(!p.support(xy).intersects(p.support(z)));
+
+        // Supports survive structural rewrites: x + y - y folds back to x.
+        let back = p.sub(xy, y);
+        assert!(p.support(back).intersects(p.support(x)));
+
+        let cond = p.eq(x, k);
+        let ite = p.ite(cond, y, z);
+        assert_eq!(p.support(ite).len(), 3);
+    }
+
+    #[test]
+    fn support_falls_back_to_sets_past_128_variables() {
+        let mut p = TermPool::new();
+        let first = p.var("v0", Width::W8);
+        let vars: Vec<TermId> = (1..=130)
+            .map(|i| p.var(&format!("v{i}"), Width::W8))
+            .collect();
+        let late = vars[vars.len() - 1]; // ordinal 130: needs the Set form
+        assert!(matches!(p.support(late), Support::Set(_)));
+        let mixed = p.add(first, late);
+        assert_eq!(p.support(mixed).len(), 2);
+        assert!(p.support(mixed).intersects(p.support(first)));
+        assert!(p.support(mixed).intersects(p.support(late)));
+        assert!(!p.support(late).intersects(p.support(first)));
+        // Set–set intersection across two large unions.
+        let a = p.add(vars[128], vars[129]);
+        let b = p.add(vars[129], first);
+        assert!(p.support(a).intersects(p.support(b)));
+        // v129 is shared between the two unions.
+        assert_eq!(p.support(a).union(p.support(b)).len(), 3);
     }
 }

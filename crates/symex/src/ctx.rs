@@ -4,7 +4,7 @@
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use symsc_smt::{Model, QueryCache, SatResult, Solver, TermId, TermPool, Width};
+use symsc_smt::{Model, SatResult, Solver, TermId, TermPool, Width};
 
 use crate::error::{Counterexample, ErrorKind, SymError};
 use crate::value::{SymBool, SymWord};
@@ -53,16 +53,14 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
-    /// A fresh engine state. `cache` is the (possibly shared) whole-query
-    /// solver cache: parallel workers pass clones of one [`Arc`] so that a
-    /// query solved on any worker is a hit on every other.
-    pub(crate) fn new(max_path_decisions: u64, cache: Option<Arc<QueryCache>>) -> EngineState {
+    /// A fresh engine state around a pre-configured `solver`. Parallel
+    /// workers receive solvers built over clones of one shared cache
+    /// stack, so a query or slice solved on any worker is a hit on every
+    /// other.
+    pub(crate) fn new(max_path_decisions: u64, solver: Solver) -> EngineState {
         EngineState {
             pool: TermPool::new(),
-            solver: match cache {
-                Some(shared) => Solver::with_shared_cache(shared),
-                None => Solver::without_cache(),
-            },
+            solver,
             errors: Vec::new(),
             decisions: 0,
             path_index: 0,
@@ -147,9 +145,25 @@ impl EngineState {
         if let Some(e) = extra {
             cs.push(e);
         }
-        let result = self.solver.check(&self.pool, &cs);
+        // The freshly-pushed constraint is the focus hint: the solver
+        // solves its slice first so an infeasible branch short-circuits.
+        let result = self.solver.check_with_focus(&self.pool, &cs, extra);
         self.solver_time += start.elapsed();
         result
+    }
+
+    /// Verdict-only feasibility of `self.constraints ∪ {focus}`. The path
+    /// constraints are kept satisfiable by construction, which lets the
+    /// solver solve only the slice containing `focus` and answer SAT from
+    /// cached witness models — much cheaper than a full [`check`], but it
+    /// yields no model, so it is only used for fork-feasibility probes.
+    fn check_feasible(&mut self, focus: TermId) -> bool {
+        let start = Instant::now();
+        let feasible = self
+            .solver
+            .check_feasible(&self.pool, &self.constraints, focus);
+        self.solver_time += start.elapsed();
+        feasible
     }
 
     fn record_error(&mut self, kind: ErrorKind, message: String, model: &Model) {
@@ -227,8 +241,8 @@ impl EngineState {
         match self.env_value(cond) {
             Some(true) => {
                 // True branch witnessed by the cached model: only the
-                // forking check needs the solver.
-                if self.check(Some(not_cond)).is_sat() {
+                // forking check needs the solver, and only as a verdict.
+                if self.check_feasible(not_cond) {
                     let mut other = self.taken.clone();
                     other.push(false);
                     self.pending.push(other);
@@ -258,7 +272,7 @@ impl EngineState {
             }
             None => match self.check(Some(cond)) {
                 SatResult::Sat(model) => {
-                    if self.check(Some(not_cond)).is_sat() {
+                    if self.check_feasible(not_cond) {
                         let mut other = self.taken.clone();
                         other.push(false);
                         self.pending.push(other);

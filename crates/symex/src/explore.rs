@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
 use std::time::{Duration, Instant};
 
-use symsc_smt::QueryCache;
+use symsc_smt::{CexCache, QueryCache, Solver};
 
 use crate::ctx::{EngineState, PathTerm, SymCtx};
 use crate::error::{ErrorKind, Report, SymError};
@@ -98,8 +98,26 @@ pub struct Explorer {
     max_path_decisions: u64,
     timeout: Option<Duration>,
     query_cache: bool,
+    solver_stack: bool,
     strategy: SearchStrategy,
     workers: usize,
+}
+
+/// The cache stack one exploration's solvers are built over. Parallel
+/// workers all clone the same handles, so a query or slice solved on any
+/// worker is a hit on every other — semantically invisible either way,
+/// since cached results are bit-for-bit what a fresh solve computes.
+#[derive(Clone)]
+struct SolverSetup {
+    query: Option<Arc<QueryCache>>,
+    cex: Option<Arc<CexCache>>,
+    model_reuse: bool,
+}
+
+impl SolverSetup {
+    fn build(&self) -> Solver {
+        Solver::with_stack(self.query.clone(), self.cex.clone(), self.model_reuse)
+    }
 }
 
 impl Default for Explorer {
@@ -118,6 +136,7 @@ impl Explorer {
             max_path_decisions: 100_000,
             timeout: None,
             query_cache: true,
+            solver_stack: true,
             strategy: SearchStrategy::DepthFirst,
             workers: 0,
         }
@@ -147,6 +166,18 @@ impl Explorer {
         self
     }
 
+    /// Enables or disables the layered solver stack's cache layers — the
+    /// counterexample cache and cached-model feasibility witnesses
+    /// (default: on). Off reproduces the earlier flat-cache engine for
+    /// ablation runs. Independence slicing itself is always on: it is part
+    /// of the decision procedure (models are defined per slice), which is
+    /// what keeps this switch — like the worker count — incapable of
+    /// changing any report.
+    pub fn solver_stack(mut self, enabled: bool) -> Explorer {
+        self.solver_stack = enabled;
+        self
+    }
+
     /// Selects the path-selection strategy (default: depth-first). Only
     /// meaningful with [`workers`](Self::workers)`(1)`; see
     /// [`SearchStrategy`].
@@ -173,9 +204,13 @@ impl Explorer {
             .unwrap_or(1)
     }
 
-    /// The exploration-wide solver cache, if enabled.
-    fn cache_handle(&self) -> Option<Arc<QueryCache>> {
-        self.query_cache.then(|| Arc::new(QueryCache::new()))
+    /// The exploration-wide cache stack, per this explorer's config.
+    fn solver_setup(&self) -> SolverSetup {
+        SolverSetup {
+            query: self.query_cache.then(|| Arc::new(QueryCache::new())),
+            cex: self.solver_stack.then(|| Arc::new(CexCache::new())),
+            model_reuse: self.solver_stack,
+        }
     }
 
     /// Explores all feasible paths of `testbench`.
@@ -216,7 +251,7 @@ impl Explorer {
         install_quiet_hook();
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
-            self.cache_handle(),
+            self.solver_setup().build(),
         )));
         let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
         let start = Instant::now();
@@ -299,7 +334,7 @@ impl Explorer {
     {
         install_quiet_hook();
         let start = Instant::now();
-        let cache = self.cache_handle();
+        let setup = self.solver_setup();
         let queue = WorkQueue::new(vec![Vec::new()]);
         let limits = SharedLimits {
             paths_started: AtomicU64::new(0),
@@ -311,10 +346,10 @@ impl Explorer {
         let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
-                let cache = cache.clone();
+                let setup = setup.clone();
                 let queue = &queue;
                 let limits = &limits;
-                handles.push(scope.spawn(move || self.run_worker(queue, limits, testbench, cache)));
+                handles.push(scope.spawn(move || self.run_worker(queue, limits, testbench, setup)));
             }
             handles
                 .into_iter()
@@ -332,12 +367,15 @@ impl Explorer {
         queue: &WorkQueue,
         limits: &SharedLimits,
         testbench: &F,
-        cache: Option<Arc<QueryCache>>,
+        setup: SolverSetup,
     ) -> WorkerOutput
     where
         F: Fn(&SymCtx) + Sync,
     {
-        let state = Arc::new(Mutex::new(EngineState::new(self.max_path_decisions, cache)));
+        let state = Arc::new(Mutex::new(EngineState::new(
+            self.max_path_decisions,
+            setup.build(),
+        )));
         let mut records = Vec::new();
 
         while let Some(prefix) = queue.pop() {
@@ -462,7 +500,7 @@ impl Explorer {
         install_quiet_hook();
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
-            self.cache_handle(),
+            self.solver_setup().build(),
         )));
         lock_state(&state).replay = Some(counterexample.to_map());
         let start = Instant::now();

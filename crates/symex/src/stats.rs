@@ -52,7 +52,9 @@ impl fmt::Display for ExplorationStats {
         write!(
             f,
             "paths: {} | instr: {} | time: {:.3}s | solver: {:.2}% \
-             ({} queries, {} cache hits, {} cache misses)",
+             ({} queries, {} cache hits, {} cache misses) | \
+             stack: {} slices, {} slice hits, {} subset-unsat, \
+             {} model reuse, {} focus skips, {} core calls, {} evictions",
             self.paths,
             self.instructions,
             self.time.as_secs_f64(),
@@ -60,6 +62,13 @@ impl fmt::Display for ExplorationStats {
             self.solver.queries,
             self.solver.cache_hits,
             self.solver.cache_misses,
+            self.solver.slices,
+            self.solver.slice_hits,
+            self.solver.cex_subset_hits,
+            self.solver.model_reuse_hits,
+            self.solver.focus_skips,
+            self.solver.sat_core_calls,
+            self.solver.evictions,
         )
     }
 }

@@ -26,4 +26,10 @@ cargo test --offline --release --workspace -q
 echo "==> parallel exploration determinism + cache smoke"
 ./target/release/parallel_speedup 32 4
 
+echo "==> solver-stack ablation smoke"
+# Layered vs flat solver at 1/2/8 workers: byte-identical reports,
+# >=30% of non-trivial queries answered above the SAT core, fewer core
+# calls than the flat configuration. Exits nonzero on any violation.
+./target/release/solver_stack 8
+
 echo "CI gate passed."

@@ -212,6 +212,73 @@ fn multi_worker_counterexamples_match_sequential() {
 }
 
 #[test]
+fn flat_and_layered_solver_agree_on_every_detection() {
+    // Table 2's cells re-evaluated with the solver stack ablated: the
+    // flat-cache configuration must reach exactly the same verdict and
+    // pin the same counterexample as the (default) layered stack, for a
+    // detected fault, an undetected fault, and the faithful-PLIC bugs.
+    let cases = [
+        (
+            TestId::T1,
+            fixed_full().fault(InjectedFault::If2DropNotifyId13),
+        ),
+        (
+            TestId::T1,
+            fixed_full().fault(InjectedFault::If3SkipRetrigger),
+        ),
+        (
+            TestId::T2,
+            fixed_scaled().fault(InjectedFault::If3SkipRetrigger),
+        ),
+        (
+            TestId::T3,
+            fixed_full().fault(InjectedFault::If6ThresholdOffByOne),
+        ),
+        (TestId::T1, PlicConfig::fe310()),
+        (TestId::T4, PlicConfig::fe310()),
+    ];
+    for (test, config) in cases {
+        let layered = run_test(
+            test,
+            config,
+            &SuiteParams::default(),
+            &Verifier::new(test.name()),
+        );
+        let flat = run_test(
+            test,
+            config,
+            &SuiteParams::default(),
+            &Verifier::new(test.name()).solver_stack(false),
+        );
+        assert_eq!(
+            layered.passed(),
+            flat.passed(),
+            "{}: verdict differs between layered and flat solver",
+            test.name()
+        );
+        assert_eq!(
+            layered.report.stats.paths,
+            flat.report.stats.paths,
+            "{}: path count differs between layered and flat solver",
+            test.name()
+        );
+        let cex = |o: &symsysc_core::TestOutcome| {
+            o.report
+                .errors
+                .iter()
+                .map(|e| format!("{} @{}: {}", e.message, e.path, e.counterexample))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            cex(&layered),
+            cex(&flat),
+            "{}: counterexamples differ between layered and flat solver",
+            test.name()
+        );
+    }
+}
+
+#[test]
 fn if_counterexamples_pinpoint_the_fault() {
     // IF1: the overflow id.
     let o = run_test(

@@ -52,6 +52,17 @@ fn run_with_workers(test: TestId, workers: usize) -> TestOutcome {
     )
 }
 
+fn run_flat(test: TestId, workers: usize) -> TestOutcome {
+    run_test(
+        test,
+        PlicConfig::fe310_scaled(),
+        &SuiteParams::default(),
+        &Verifier::new(test.name())
+            .workers(workers)
+            .solver_stack(false),
+    )
+}
+
 #[test]
 fn every_suite_test_is_worker_count_independent() {
     for test in TestId::ALL {
@@ -62,6 +73,27 @@ fn every_suite_test_is_worker_count_independent() {
                 sequential,
                 parallel,
                 "{} report changed between 1 and {workers} workers",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn solver_stack_never_changes_a_report() {
+    // The layered solver stack (counterexample cache + model-reuse
+    // witnesses) is a pure optimization: for every suite test, the report
+    // with the stack enabled must equal the sequential flat-cache
+    // baseline byte for byte, at every worker count.
+    for test in TestId::ALL {
+        let flat_baseline = stable_view(&run_flat(test, 1));
+        for workers in [1, 2, 8] {
+            let layered = stable_view(&run_with_workers(test, workers));
+            assert_eq!(
+                flat_baseline,
+                layered,
+                "{} report changed between flat 1-worker and layered \
+                 {workers}-worker runs",
                 test.name()
             );
         }

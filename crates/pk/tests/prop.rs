@@ -175,6 +175,142 @@ fn run_until_is_exact() {
     }
 }
 
+/// One operation of the random wakelist script.
+#[derive(Clone, Copy, Debug)]
+enum WakeOp {
+    /// `notify(e, Timed(d))`; `d == 0` is a delta notification by rule.
+    Timed(u64),
+    /// `notify(e, Delta)`.
+    Delta,
+    /// `cancel(e)`.
+    Cancel,
+}
+
+/// The naive reference model of one event's pending notification, with
+/// the SystemC override rules applied longhand. `seq` mirrors the
+/// kernel's push order into the wakelist / delta list: it orders fires
+/// that land on the same instant.
+#[derive(Clone, Copy, Debug)]
+enum RefPending {
+    None,
+    Delta { seq: u64 },
+    At { t: u64, seq: u64 },
+}
+
+/// Random notify/cancel scripts against the sorted wakelist: the kernel's
+/// firing order and delta-cycle count must match a naive reference queue
+/// that replays the override rules (immediate-beats-timed is covered by
+/// `earliest_timed_notification_wins`; here: delta beats timed, a
+/// later-or-equal timed notification is ignored, an earlier one
+/// reschedules, `Timed(0)` degrades to delta, cancel silences).
+#[test]
+fn wakelist_firing_order_matches_reference_queue() {
+    let mut rng = Rng::seed_from_u64(0x5EED_1005);
+    for case in 0..128 {
+        let events = rng.gen_range_inclusive(1, 6) as usize;
+        let script: Vec<(usize, WakeOp)> = (0..rng.gen_range_inclusive(1, 12))
+            .map(|_| {
+                let target = rng.gen_range_inclusive(0, events as u64 - 1) as usize;
+                let op = match rng.gen_range_inclusive(0, 3) {
+                    0 => WakeOp::Delta,
+                    1 => WakeOp::Cancel,
+                    _ => WakeOp::Timed(rng.gen_range_inclusive(0, 50)),
+                };
+                (target, op)
+            })
+            .collect();
+
+        // The kernel under test: one one-shot waiter per event, parked
+        // before the script runs, logging (event, wake time).
+        let mut kernel = Kernel::new();
+        let ids: Vec<_> = (0..events)
+            .map(|i| kernel.create_event(&format!("e{i}")))
+            .collect();
+        let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &e) in ids.iter().enumerate() {
+            let log = log.clone();
+            let mut started = false;
+            kernel.spawn(&format!("w{i}"), move |ctx: &mut ProcessCtx<'_>| {
+                if started {
+                    log.borrow_mut().push((i, ctx.time().as_ns()));
+                    return Suspend::Terminate;
+                }
+                started = true;
+                Suspend::WaitEvent(e)
+            });
+        }
+        kernel.step(); // park the waiters at t = 0
+        for &(target, op) in &script {
+            match op {
+                WakeOp::Timed(d) => {
+                    kernel.notify(ids[target], NotifyKind::Timed(SimTime::from_ns(d)))
+                }
+                WakeOp::Delta => kernel.notify(ids[target], NotifyKind::Delta),
+                WakeOp::Cancel => kernel.cancel(ids[target]),
+            }
+        }
+        while kernel.step() {}
+
+        // The reference queue.
+        let mut pending = vec![RefPending::None; events];
+        let mut seq = 0u64;
+        let mut delta_pushed = false;
+        for &(target, op) in &script {
+            let op = match op {
+                WakeOp::Timed(0) => WakeOp::Delta, // notify(SC_ZERO_TIME)
+                other => other,
+            };
+            match op {
+                WakeOp::Delta => {
+                    if !matches!(pending[target], RefPending::Delta { .. }) {
+                        seq += 1;
+                        pending[target] = RefPending::Delta { seq };
+                        delta_pushed = true;
+                    }
+                }
+                WakeOp::Timed(d) => match pending[target] {
+                    RefPending::Delta { .. } => {}
+                    RefPending::At { t, .. } if t <= d => {}
+                    _ => {
+                        seq += 1;
+                        pending[target] = RefPending::At { t: d, seq };
+                    }
+                },
+                WakeOp::Cancel => pending[target] = RefPending::None,
+            }
+        }
+        // Expected firing order: surviving deltas first (at t = 0, in
+        // push order), then timed fires sorted by (time, push order).
+        let mut deltas: Vec<(u64, usize)> = Vec::new();
+        let mut timed: Vec<(u64, u64, usize)> = Vec::new();
+        for (i, p) in pending.iter().enumerate() {
+            match *p {
+                RefPending::Delta { seq } => deltas.push((seq, i)),
+                RefPending::At { t, seq } => timed.push((t, seq, i)),
+                RefPending::None => {}
+            }
+        }
+        deltas.sort_unstable();
+        timed.sort_unstable();
+        let expected: Vec<(usize, u64)> = deltas
+            .iter()
+            .map(|&(_, i)| (i, 0))
+            .chain(timed.iter().map(|&(t, _, i)| (i, t)))
+            .collect();
+
+        assert_eq!(&*log.borrow(), &expected, "case {case}: {script:?}");
+        // Delta-cycle count: one batch consumes every queued delta entry
+        // — even a batch of entries that were all cancelled (stale) still
+        // opens a delta cycle, exactly like the kernel.
+        let expected_deltas = u64::from(delta_pushed);
+        assert_eq!(
+            kernel.stats().delta_cycles,
+            expected_deltas,
+            "case {case}: delta cycles for {script:?}"
+        );
+    }
+}
+
 /// Cancelling after an arbitrary prefix of notifications silences the
 /// event: no wake ever happens.
 #[test]

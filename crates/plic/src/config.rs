@@ -2,6 +2,8 @@
 
 use symsc_pk::SimTime;
 
+use crate::mutation::MutationOp;
+
 /// Byte offset of `priority[1]`; `priority[i]` lives at `4 * i`.
 pub const PRIORITY_BASE: u64 = 0x0000_0004;
 /// Byte offset of the pending-interrupt bitmap.
@@ -53,6 +55,12 @@ pub enum PlicVariant {
 /// The paper's six injected faults (§5.3), each a one-line mutation of the
 /// PLIC. They are usually injected into [`PlicVariant::Fixed`] so that the
 /// original bugs do not mask them.
+///
+/// Each fault is now a named *preset* over the open mutation registry:
+/// [`InjectedFault::op`] maps it to the [`MutationOp`] the model hooks
+/// consult, and arbitrary further mutants are expressed as other operator
+/// parameterizations (see the `mutation` module and the `symsc-mutate`
+/// crate).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InjectedFault {
     /// **IF1** — off-by-one in the gateway's id bound (`<=` instead of
@@ -122,8 +130,11 @@ pub struct PlicConfig {
     pub max_priority: u32,
     /// Faithful (buggy) or fixed model.
     pub variant: PlicVariant,
-    /// At most one injected fault.
-    pub fault: Option<InjectedFault>,
+    /// At most one active mutation operator (first-order mutation). The
+    /// paper's IF1–IF6 arrive here through [`PlicConfig::fault`]; the
+    /// mutation engine injects arbitrary operators through
+    /// [`PlicConfig::mutate`].
+    pub mutation: Option<MutationOp>,
     /// Gateway-to-delivery latency: the delay of the `e_run` notification
     /// issued by `trigger_interrupt` (one clock cycle in the VP).
     pub clock_cycle: SimTime,
@@ -138,7 +149,7 @@ impl PlicConfig {
             sources: 51,
             max_priority: 32,
             variant: PlicVariant::Faithful,
-            fault: None,
+            mutation: None,
             clock_cycle: SimTime::from_ns(10),
         }
     }
@@ -166,15 +177,22 @@ impl PlicConfig {
         self
     }
 
-    /// Injects a fault (builder style).
-    pub fn fault(mut self, fault: InjectedFault) -> PlicConfig {
-        self.fault = Some(fault);
+    /// Injects one of the paper's named faults (builder style) — sugar
+    /// for [`mutate`](Self::mutate) with the preset's operator.
+    pub fn fault(self, fault: InjectedFault) -> PlicConfig {
+        self.mutate(fault.op())
+    }
+
+    /// Activates an arbitrary mutation operator (builder style). At most
+    /// one operator is active; a later call replaces the earlier one.
+    pub fn mutate(mut self, op: MutationOp) -> PlicConfig {
+        self.mutation = Some(op);
         self
     }
 
-    /// Whether a given fault is active.
+    /// Whether a given named fault preset is active.
     pub fn has_fault(&self, fault: InjectedFault) -> bool {
-        self.fault == Some(fault)
+        self.mutation == Some(fault.op())
     }
 
     /// Number of 32-bit words in the pending/enable bitmaps
@@ -217,7 +235,7 @@ mod tests {
         assert_eq!(c.sources, 51);
         assert_eq!(c.max_priority, 32);
         assert_eq!(c.bitmap_words(), 2);
-        assert!(c.fault.is_none());
+        assert!(c.mutation.is_none());
     }
 
     #[test]
@@ -244,5 +262,80 @@ mod tests {
     fn fault_labels() {
         let labels: Vec<&str> = InjectedFault::ALL.iter().map(|f| f.label()).collect();
         assert_eq!(labels, ["IF1", "IF2", "IF3", "IF4", "IF5", "IF6"]);
+    }
+
+    #[test]
+    fn fault_presets_resolve_to_operators() {
+        let c = PlicConfig::fe310().fault(InjectedFault::If2DropNotifyId13);
+        assert_eq!(c.mutation, Some(MutationOp::DropNotifyForId(13)));
+        assert!(c.has_fault(InjectedFault::If2DropNotifyId13));
+        // A non-preset parameterization of the same family is NOT the
+        // preset, even though it shares the operator shape.
+        let c = PlicConfig::fe310().mutate(MutationOp::DropNotifyForId(9));
+        assert!(!c.has_fault(InjectedFault::If2DropNotifyId13));
+    }
+
+    #[test]
+    fn mutate_replaces_the_previous_operator() {
+        let c = PlicConfig::fe310()
+            .fault(InjectedFault::If3SkipRetrigger)
+            .mutate(MutationOp::ClaimSkipsClear);
+        assert_eq!(c.mutation, Some(MutationOp::ClaimSkipsClear));
+        assert!(!c.has_fault(InjectedFault::If3SkipRetrigger));
+    }
+
+    #[test]
+    fn fe310_scaled_preserves_the_fe310_shape() {
+        let c = PlicConfig::fe310_scaled();
+        assert_eq!(c.harts, 1);
+        assert_eq!(c.sources, 16);
+        assert_eq!(c.max_priority, 8);
+        assert_eq!(c.variant, PlicVariant::Faithful);
+        assert!(c.mutation.is_none());
+        assert_eq!(c.clock_cycle, PlicConfig::fe310().clock_cycle);
+        // Scaled ids 0..=16 fit one bitmap word (the FE310 needs two).
+        assert_eq!(c.bitmap_words(), 1);
+    }
+
+    #[test]
+    fn if4_boundary_edge_cases() {
+        // Degenerate single-source PLIC: boundary 0 means *every* valid
+        // id (just id 1) is "high" — the fault stays observable.
+        let mut c = PlicConfig::fe310();
+        c.sources = 1;
+        assert_eq!(c.if4_boundary(), 0);
+        assert_eq!(c.bitmap_words(), 1);
+
+        // Word-boundary configurations: exactly 32 sources still uses the
+        // scaled rule (sources / 2); 33 is the first "large" config that
+        // pins the paper's literal boundary of 32.
+        c.sources = 32;
+        assert_eq!(c.if4_boundary(), 16);
+        assert_eq!(c.bitmap_words(), 2, "ids 0..=32 straddle the word");
+        c.sources = 33;
+        assert_eq!(c.if4_boundary(), 32);
+        assert_eq!(c.bitmap_words(), 2);
+
+        // The reference configurations.
+        assert_eq!(PlicConfig::fe310().if4_boundary(), 32);
+        assert_eq!(PlicConfig::fe310_scaled().if4_boundary(), 8);
+        assert_eq!(PlicConfig::small().if4_boundary(), 4);
+    }
+
+    #[test]
+    fn max_priority_config_keeps_boundary_semantics() {
+        // A max-priority variant of the scaled config: the IF4 boundary
+        // depends only on the source count, never on priority levels.
+        let mut c = PlicConfig::fe310_scaled();
+        c.max_priority = u32::MAX;
+        assert_eq!(c.if4_boundary(), 8);
+        let preset = c.fault(InjectedFault::If4LateNotifyHighIds);
+        assert_eq!(
+            preset.mutation,
+            Some(MutationOp::LateNotifyAboveBoundary {
+                boundary: None,
+                factor: 10
+            })
+        );
     }
 }

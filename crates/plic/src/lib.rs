@@ -38,6 +38,7 @@
 
 pub mod clint;
 pub mod config;
+pub mod mutation;
 pub mod plic;
 pub mod process;
 pub mod reference;
@@ -46,6 +47,7 @@ pub mod uart;
 
 pub use clint::Clint;
 pub use config::{InjectedFault, PlicConfig, PlicVariant};
+pub use mutation::{Mutation, MutationOp, ThresholdCmp};
 pub use plic::{InterruptTarget, Plic};
 pub use reference::ReferencePlic;
 pub use uart::Uart;

@@ -1,0 +1,173 @@
+//! The open mutation registry for the PLIC model.
+//!
+//! The paper's fault-injection study (§5.3) hard-codes six mutations,
+//! IF1–IF6. This module generalizes them into parameterized first-order
+//! mutation *operators* ([`MutationOp`]) consulted by hooks inside
+//! [`PlicState`](crate::state::PlicState): off-by-one bounds, dropped or
+//! duplicated notifications, boundary shifts, comparison flavors, stuck
+//! register bits, swapped tie-breaks and skipped cleanups. A mutation
+//! engine (the `symsc-mutate` crate) sweeps the parameters to derive
+//! dozens of mutants; the original IF1–IF6 remain available as named
+//! presets via [`InjectedFault`], which now merely selects an operator.
+//!
+//! `MutationOp` is `Copy` on purpose: [`PlicConfig`](crate::PlicConfig)
+//! carries at most one operator and stays `Copy`, so testbench closures
+//! keep capturing their configuration by value (`Fn + Send + Sync`).
+
+use crate::config::InjectedFault;
+
+/// Flavor of the delivery-eligibility threshold comparison
+/// (`priority <op> threshold`). The correct PLIC behavior is
+/// [`Strict`](ThresholdCmp::Strict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ThresholdCmp {
+    /// `priority > threshold` — the architected rule.
+    Strict,
+    /// `priority >= threshold` — the paper's IF6 off-by-one.
+    OrEqual,
+    /// The threshold is ignored entirely (always passes).
+    AlwaysPass,
+    /// Nothing ever passes the threshold (delivery is dead).
+    NeverPass,
+}
+
+/// A first-order mutation of the PLIC model.
+///
+/// Each operator is a parameterized family of one-line code changes; the
+/// hooks in `PlicState` consult the active operator at the corresponding
+/// program point. At most one operator is active per configuration
+/// (first-order mutation testing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// The gateway accepts ids `1..=sources + delta` instead of
+    /// `1..=sources`. `+1` is the paper's IF1; negative deltas silently
+    /// drop the highest ids.
+    GatewayBoundOffset(i32),
+    /// The gateway sets the pending bit but drops the `e_run`
+    /// notification when the id equals the parameter. Id 13 is the
+    /// paper's IF2 (the completion-side re-trigger is lost for the id as
+    /// well, matching the original fault).
+    DropNotifyForId(u32),
+    /// The gateway issues the `e_run` notification twice. Expected to be
+    /// an *equivalent* mutant: the kernel's notification override rules
+    /// make the duplicate a no-op.
+    DuplicateNotify,
+    /// Completion never re-notifies `e_run` — the paper's IF3.
+    SkipRetrigger,
+    /// The gateway stretches the notification delay by `factor` for ids
+    /// strictly above `boundary` (`None` resolves to the configuration's
+    /// [`if4_boundary`](crate::PlicConfig::if4_boundary), which with
+    /// factor 10 is the paper's IF4).
+    LateNotifyAboveBoundary {
+        /// Id boundary; `None` uses the configuration default.
+        boundary: Option<u32>,
+        /// Delay multiplier for ids above the boundary.
+        factor: u32,
+    },
+    /// Clearing the pending bit returns early for the given id, leaving
+    /// the bit set. Id 7 is the paper's IF5.
+    EarlyClearReturnForId(u32),
+    /// Replaces the delivery-eligibility threshold comparison.
+    /// [`ThresholdCmp::OrEqual`] is the paper's IF6.
+    ThresholdCompare(ThresholdCmp),
+    /// Priority ties select the *highest* eligible id instead of the
+    /// lowest (the RISC-V rule inverted).
+    TieBreakHighestId,
+    /// The given bit of every priority register reads as zero (a stuck-
+    /// at-0 register bit in the selection datapath).
+    StuckPriorityBit(u8),
+    /// The enable bit of the given source reads as always set (stuck-
+    /// at-1), regardless of what was programmed.
+    StuckEnableForId(u32),
+    /// A claim returns the best pending interrupt but does not clear its
+    /// pending bit.
+    ClaimSkipsClear,
+    /// Completion leaves the `hart_eip` flag set, so the HART never
+    /// receives another external interrupt.
+    CompleteKeepsEip,
+}
+
+/// A named mutation: anything that can deliver a [`MutationOp`] plus
+/// human-readable identification. Implemented by the [`InjectedFault`]
+/// presets and by the generated mutants of the `symsc-mutate` engine; the
+/// kill-matrix harness works with `&dyn Mutation` rows.
+pub trait Mutation {
+    /// Short unique identifier (e.g. `"IF2"` or `"drop_notify_7"`).
+    fn name(&self) -> String;
+    /// One-line description of the seeded defect.
+    fn description(&self) -> String;
+    /// The operator to activate in the PLIC model.
+    fn op(&self) -> MutationOp;
+}
+
+impl InjectedFault {
+    /// The mutation operator this preset selects.
+    pub fn op(self) -> MutationOp {
+        match self {
+            InjectedFault::If1OffByOneGateway => MutationOp::GatewayBoundOffset(1),
+            InjectedFault::If2DropNotifyId13 => MutationOp::DropNotifyForId(13),
+            InjectedFault::If3SkipRetrigger => MutationOp::SkipRetrigger,
+            InjectedFault::If4LateNotifyHighIds => MutationOp::LateNotifyAboveBoundary {
+                boundary: None,
+                factor: 10,
+            },
+            InjectedFault::If5EarlyClearReturn => MutationOp::EarlyClearReturnForId(7),
+            InjectedFault::If6ThresholdOffByOne => {
+                MutationOp::ThresholdCompare(ThresholdCmp::OrEqual)
+            }
+        }
+    }
+}
+
+impl Mutation for InjectedFault {
+    fn name(&self) -> String {
+        self.label().to_string()
+    }
+
+    fn description(&self) -> String {
+        let text = match self {
+            InjectedFault::If1OffByOneGateway => {
+                "off-by-one in the gateway id bound (<= instead of <)"
+            }
+            InjectedFault::If2DropNotifyId13 => "e_run notification dropped for interrupt id 13",
+            InjectedFault::If3SkipRetrigger => "completion does not re-notify e_run",
+            InjectedFault::If4LateNotifyHighIds => "10x delivery latency for high interrupt ids",
+            InjectedFault::If5EarlyClearReturn => "clear_pending returns early for id 7",
+            InjectedFault::If6ThresholdOffByOne => "threshold comparison >= instead of >",
+        };
+        text.to_string()
+    }
+
+    fn op(&self) -> MutationOp {
+        InjectedFault::op(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_map_to_distinct_operators() {
+        let ops: Vec<MutationOp> = InjectedFault::ALL.iter().map(|f| f.op()).collect();
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a, b, "preset operators must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn preset_trait_surfaces_paper_labels() {
+        let f = InjectedFault::If4LateNotifyHighIds;
+        assert_eq!(Mutation::name(&f), "IF4");
+        assert!(f.description().contains("latency"));
+        assert_eq!(
+            Mutation::op(&f),
+            MutationOp::LateNotifyAboveBoundary {
+                boundary: None,
+                factor: 10
+            }
+        );
+    }
+}

@@ -18,7 +18,8 @@ use std::rc::Rc;
 use symsc_pk::{Event, Kernel, NotifyKind};
 use symsc_symex::{ErrorKind, SymArray, SymBool, SymCtx, SymWord, Width};
 
-use crate::config::{InjectedFault, PlicConfig, PlicVariant};
+use crate::config::{PlicConfig, PlicVariant};
+use crate::mutation::{MutationOp, ThresholdCmp};
 use crate::plic::InterruptTarget;
 
 /// Mutable PLIC state shared between the TLM interface, the gateway and
@@ -79,12 +80,13 @@ impl PlicState {
         self.pending.store(irq, &one);
     }
 
-    /// Clears the pending bit of `irq` (IF5 returns early for id 7).
+    /// Clears the pending bit of `irq`. Mutation hook: an early-clear
+    /// return (IF5 with id 7) leaves the parameterized id's bit set.
     pub(crate) fn clear_pending(&mut self, irq: &SymWord) {
-        if self.config.has_fault(InjectedFault::If5EarlyClearReturn) {
-            let seven = self.ctx.word32(7);
-            if self.ctx.decide(&irq.eq(&seven)) {
-                return; // injected bug: id 7 is never cleared
+        if let Some(MutationOp::EarlyClearReturnForId(id)) = self.config.mutation {
+            let sticky = self.ctx.word32(id);
+            if self.ctx.decide(&irq.eq(&sticky)) {
+                return; // seeded bug: this id is never cleared
             }
         }
         let zero = self.ctx.word(0, Width::W1);
@@ -174,21 +176,40 @@ impl PlicState {
         let mut best_id = zero.clone();
         let mut best_prio = zero.clone();
         for irq in 1..=self.config.sources {
-            let prio = self.priorities.get(irq as usize);
+            let mut prio = self.priorities.get(irq as usize).clone();
+            // Mutation hook: a stuck-at-0 bit in the priority datapath.
+            if let Some(MutationOp::StuckPriorityBit(bit)) = self.config.mutation {
+                let mask = ctx.word32(!(1u32 << bit));
+                prio = prio.and(&mask);
+            }
             let pend = self.pending_bit(irq);
-            let enab = self.enabled_bit(hart, irq);
+            let mut enab = self.enabled_bit(hart, irq);
+            // Mutation hook: an enable bit stuck at 1.
+            if self.config.mutation == Some(MutationOp::StuckEnableForId(irq)) {
+                enab = ctx.lit(true);
+            }
             let mut eligible = pend.and(&enab).and(&prio.ugt(&zero));
             if consider_threshold {
-                // IF6 misreads the spec: `>=` instead of strictly greater.
-                let passes = if self.config.has_fault(InjectedFault::If6ThresholdOffByOne) {
-                    prio.uge(&self.threshold[hart])
-                } else {
-                    prio.ugt(&self.threshold[hart])
+                // Mutation hook: the comparison flavor. IF6 misreads the
+                // spec as `>=` instead of strictly greater.
+                let passes = match self.config.mutation {
+                    Some(MutationOp::ThresholdCompare(ThresholdCmp::OrEqual)) => {
+                        prio.uge(&self.threshold[hart])
+                    }
+                    Some(MutationOp::ThresholdCompare(ThresholdCmp::AlwaysPass)) => ctx.lit(true),
+                    Some(MutationOp::ThresholdCompare(ThresholdCmp::NeverPass)) => ctx.lit(false),
+                    _ => prio.ugt(&self.threshold[hart]),
                 };
                 eligible = eligible.and(&passes);
             }
-            // Strictly-greater keeps the earlier (lower) id on ties.
-            let better = eligible.and(&prio.ugt(&best_prio));
+            // Strictly-greater keeps the earlier (lower) id on ties;
+            // mutation hook: `>=` lets the latest (highest) id win.
+            let improves = if self.config.mutation == Some(MutationOp::TieBreakHighestId) {
+                prio.uge(&best_prio)
+            } else {
+                prio.ugt(&best_prio)
+            };
+            let better = eligible.and(&improves);
             let id_const = ctx.word32(irq);
             best_id = id_const.select(&better, &best_id);
             best_prio = prio.select(&better, &best_prio);
@@ -210,11 +231,13 @@ impl PlicState {
     pub(crate) fn gateway_trigger(&mut self, kernel: &mut Kernel, irq: &SymWord) {
         let ctx = self.ctx.clone();
         let one = ctx.word32(1);
-        // IF1 widens the accepted range by one.
-        let bound = if self.config.has_fault(InjectedFault::If1OffByOneGateway) {
-            self.config.sources + 1
-        } else {
-            self.config.sources
+        // Mutation hook: the accepted id range is shifted by the bound
+        // offset (IF1 widens it by one; negative offsets drop high ids).
+        let bound = match self.config.mutation {
+            Some(MutationOp::GatewayBoundOffset(delta)) => {
+                self.config.sources.saturating_add_signed(delta)
+            }
+            _ => self.config.sources,
         };
         let upper = ctx.word32(bound);
         let valid = irq.uge(&one).and(&irq.ule(&upper));
@@ -245,23 +268,31 @@ impl PlicState {
 
         self.set_pending(irq);
 
-        // IF2 drops the notification for id 13 (pending bit already set).
-        if self.config.has_fault(InjectedFault::If2DropNotifyId13) {
-            let thirteen = ctx.word32(13);
-            if ctx.decide(&irq.eq(&thirteen)) {
+        // Mutation hook: the notification is dropped for one id (IF2 with
+        // id 13; the pending bit is already set).
+        if let Some(MutationOp::DropNotifyForId(id)) = self.config.mutation {
+            let dropped = ctx.word32(id);
+            if ctx.decide(&irq.eq(&dropped)) {
                 return;
             }
         }
 
-        // IF4 stretches the delivery latency for high ids.
+        // Mutation hook: the delivery latency is stretched above a
+        // boundary id (IF4: factor 10 above the configuration default).
         let mut delay = self.config.clock_cycle;
-        if self.config.has_fault(InjectedFault::If4LateNotifyHighIds) {
-            let boundary = ctx.word32(self.config.if4_boundary());
-            if ctx.decide(&irq.ugt(&boundary)) {
-                delay = delay * 10;
+        if let Some(MutationOp::LateNotifyAboveBoundary { boundary, factor }) = self.config.mutation
+        {
+            let above = ctx.word32(boundary.unwrap_or_else(|| self.config.if4_boundary()));
+            if ctx.decide(&irq.ugt(&above)) {
+                delay = delay * u64::from(factor);
             }
         }
         kernel.notify(self.e_run, NotifyKind::Timed(delay));
+        // Mutation hook: a duplicated notification (equivalent under the
+        // kernel's override rules — the expected surviving mutant).
+        if self.config.mutation == Some(MutationOp::DuplicateNotify) {
+            kernel.notify(self.e_run, NotifyKind::Timed(delay));
+        }
     }
 
     // ----- claim / complete (the per-HART claim_response register) -----
@@ -274,7 +305,10 @@ impl PlicState {
         let zero = self.ctx.word32(0);
         let claimed = best.ne(&zero);
         if self.ctx.decide(&claimed) {
-            self.clear_pending(&best.clone());
+            // Mutation hook: a claim that forgets to clear pending.
+            if self.config.mutation != Some(MutationOp::ClaimSkipsClear) {
+                self.clear_pending(&best.clone());
+            }
         }
         best
     }
@@ -292,18 +326,22 @@ impl PlicState {
                 "assertion failed: claim_response written without external interrupt in flight"
             );
         }
-        self.hart_eip[hart] = false;
-        if self.config.has_fault(InjectedFault::If3SkipRetrigger) {
-            return; // injected bug: remaining interrupts never re-trigger
+        // Mutation hook: completion leaves the external-interrupt-pending
+        // flag set, blocking every later delivery to this HART.
+        if self.config.mutation != Some(MutationOp::CompleteKeepsEip) {
+            self.hart_eip[hart] = false;
         }
-        // IF2 breaks the notification logic for id-13 interrupts wherever
+        if self.config.mutation == Some(MutationOp::SkipRetrigger) {
+            return; // seeded bug: remaining interrupts never re-trigger
+        }
+        // A dropped notification (IF2 for id 13) breaks the logic wherever
         // it runs: the completion re-trigger is also lost when the next
-        // deliverable interrupt is 13.
-        if self.config.has_fault(InjectedFault::If2DropNotifyId13) {
+        // deliverable interrupt is the dropped id.
+        if let Some(MutationOp::DropNotifyForId(id)) = self.config.mutation {
             let best = self.next_pending_interrupt(hart, false);
-            let thirteen = self.ctx.word32(13);
+            let dropped = self.ctx.word32(id);
             let ctx = self.ctx.clone();
-            if ctx.decide(&best.eq(&thirteen)) {
+            if ctx.decide(&best.eq(&dropped)) {
                 return;
             }
         }
@@ -335,6 +373,7 @@ impl PlicState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::InjectedFault;
     use symsc_symex::Explorer;
 
     fn mk_state(ctx: &SymCtx, config: PlicConfig) -> (PlicState, Kernel) {

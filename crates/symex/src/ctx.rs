@@ -45,6 +45,12 @@ pub(crate) struct EngineState {
     pub(crate) coverage: std::collections::BTreeMap<String, u64>,
     /// Bins hit on the current path (merged into `coverage` per path).
     path_coverage: std::collections::BTreeSet<String>,
+    /// Symbolic branch coverage: fork-site fingerprint -> per-direction
+    /// path counts (merged from `path_branches` per path).
+    pub(crate) branches: std::collections::BTreeMap<u128, crate::stats::BranchCoverage>,
+    /// `(site, direction)` pairs decided on the current path. Sites are
+    /// structural fingerprints, so they agree across pools and workers.
+    path_branches: std::collections::BTreeSet<(u128, bool)>,
     /// A cached satisfying assignment for the current path constraints
     /// (KLEE's "eager evaluation" trick): branch feasibility can often be
     /// answered by evaluating the condition under this model instead of
@@ -78,6 +84,8 @@ impl EngineState {
             replay: None,
             coverage: std::collections::BTreeMap::new(),
             path_coverage: std::collections::BTreeSet::new(),
+            branches: std::collections::BTreeMap::new(),
+            path_branches: std::collections::BTreeSet::new(),
             cur_env: None,
         }
     }
@@ -90,6 +98,7 @@ impl EngineState {
         self.inputs.clear();
         self.path_decisions = 0;
         self.path_coverage.clear();
+        self.path_branches.clear();
         // The empty assignment satisfies the (empty) constraint set.
         self.cur_env = Some(std::collections::HashMap::new());
     }
@@ -116,6 +125,25 @@ impl EngineState {
     /// instead of going through [`end_path_coverage`](Self::end_path_coverage).
     pub(crate) fn take_path_coverage(&mut self) -> std::collections::BTreeSet<String> {
         std::mem::take(&mut self.path_coverage)
+    }
+
+    /// Folds the current path's `(site, direction)` pairs into the
+    /// exploration-level branch-coverage counts.
+    pub(crate) fn end_path_branches(&mut self) {
+        for (site, dir) in std::mem::take(&mut self.path_branches) {
+            let entry = self.branches.entry(site).or_default();
+            if dir {
+                entry.taken += 1;
+            } else {
+                entry.not_taken += 1;
+            }
+        }
+    }
+
+    /// Removes and returns the `(site, direction)` pairs decided on the
+    /// current path; the parallel merge counts them itself.
+    pub(crate) fn take_path_branches(&mut self) -> std::collections::BTreeSet<(u128, bool)> {
+        std::mem::take(&mut self.path_branches)
     }
 
     /// Evaluates a width-1 term under the cached model, if one is held.
@@ -223,6 +251,11 @@ impl EngineState {
             return c == 1;
         }
         self.count_decision();
+        // The fork-site id: a structural fingerprint, so the same program
+        // point yields the same id in every pool and on every worker.
+        // Recorded for forced (replayed) and free decisions alike — a
+        // path's covered set is independent of how it was reached.
+        let site = self.pool.fingerprint(cond);
 
         if self.cursor < self.forced.len() {
             let dir = self.forced[self.cursor];
@@ -234,6 +267,7 @@ impl EngineState {
             }
             self.constraints.push(c);
             self.taken.push(dir);
+            self.path_branches.insert((site, dir));
             return dir;
         }
 
@@ -249,6 +283,7 @@ impl EngineState {
                 }
                 self.constraints.push(cond);
                 self.taken.push(true);
+                self.path_branches.insert((site, true));
                 true
             }
             Some(false) => {
@@ -261,11 +296,13 @@ impl EngineState {
                         self.adopt_model(&model);
                         self.constraints.push(cond);
                         self.taken.push(true);
+                        self.path_branches.insert((site, true));
                         true
                     }
                     SatResult::Unsat => {
                         self.constraints.push(not_cond);
                         self.taken.push(false);
+                        self.path_branches.insert((site, false));
                         false
                     }
                 }
@@ -280,12 +317,14 @@ impl EngineState {
                     self.adopt_model(&model);
                     self.constraints.push(cond);
                     self.taken.push(true);
+                    self.path_branches.insert((site, true));
                     true
                 }
                 SatResult::Unsat => {
                     // The path itself is feasible, so the negation must be.
                     self.constraints.push(not_cond);
                     self.taken.push(false);
+                    self.path_branches.insert((site, false));
                     false
                 }
             },

@@ -296,6 +296,7 @@ impl Explorer {
             let mut st = ctx.engine();
             st.path_index += 1;
             st.end_path_coverage();
+            st.end_path_branches();
             // Push pending prefixes (discovered this run); pick_next
             // applies the search strategy on removal.
             let pending = std::mem::take(&mut st.pending);
@@ -318,6 +319,7 @@ impl Explorer {
                 time,
                 solver_time: st.solver_time,
                 solver: st.solver.stats(),
+                branches: st.branches.clone(),
             },
             completed,
         }
@@ -411,6 +413,7 @@ impl Explorer {
                 taken: st.taken_so_far(),
                 errors: std::mem::take(&mut st.errors),
                 coverage: st.take_path_coverage(),
+                branches: st.take_path_branches(),
             };
             let pending = std::mem::take(&mut st.pending);
             drop(st);
@@ -471,6 +474,16 @@ impl Explorer {
             for bin in record.coverage {
                 *coverage.entry(bin).or_insert(0) += 1;
             }
+            // Per-direction sums are order-independent, so the merged
+            // branch map matches the sequential engine's exactly.
+            for (site, dir) in record.branches {
+                let entry = stats.branches.entry(site).or_default();
+                if dir {
+                    entry.taken += 1;
+                } else {
+                    entry.not_taken += 1;
+                }
+            }
         }
 
         Report {
@@ -520,6 +533,7 @@ impl Explorer {
 
         let mut st = lock_state(&state);
         st.end_path_coverage();
+        st.end_path_branches();
         let st = &*st;
         let time = start.elapsed();
         Report {
@@ -532,6 +546,7 @@ impl Explorer {
                 time,
                 solver_time: st.solver_time,
                 solver: st.solver.stats(),
+                branches: st.branches.clone(),
             },
             completed: true,
         }
@@ -581,6 +596,8 @@ struct PathRecord {
     errors: Vec<SymError>,
     /// Coverage bins hit on this path.
     coverage: BTreeSet<String>,
+    /// `(fork-site fingerprint, direction)` pairs decided on this path.
+    branches: BTreeSet<(u128, bool)>,
 }
 
 /// A worker's complete contribution: its path records plus the counters of
@@ -1139,6 +1156,60 @@ mod coverage_tests {
         assert_eq!(report.coverage.get("before-assume"), Some(&1));
         assert_eq!(report.coverage.get("after-assume"), Some(&1));
         assert_eq!(report.coverage.get("unreachable"), None);
+    }
+
+    #[test]
+    fn branch_coverage_tracks_fork_sites_per_direction() {
+        let report = Explorer::new().workers(1).explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.assume(&x.ult(&ctx.word(4, Width::W8)));
+            // Site A forks both ways; site B only on the low half.
+            if ctx.decide(&x.ult(&ctx.word(2, Width::W8))) {
+                let _ = ctx.decide(&x.eq(&ctx.word(0, Width::W8)));
+            }
+        });
+        assert_eq!(report.stats.paths, 3);
+        assert_eq!(report.stats.branch_sites(), 2);
+        // Site A: taken on 2 paths, not-taken on 1; site B: 1 and 1.
+        let mut per_site: Vec<_> = report.stats.branches.values().collect();
+        per_site.sort_by_key(|b| (b.taken, b.not_taken));
+        assert_eq!((per_site[0].taken, per_site[0].not_taken), (1, 1));
+        assert_eq!((per_site[1].taken, per_site[1].not_taken), (2, 1));
+        assert_eq!(report.stats.branches_covered(), 4);
+        assert!((report.stats.branch_coverage() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_branches_cover_half() {
+        let report = Explorer::new().explore(|ctx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.assume(&x.ult(&ctx.word(4, Width::W8)));
+            // Infeasible true side: the site is decided but never taken.
+            let _ = ctx.decide(&x.uge(&ctx.word(10, Width::W8)));
+        });
+        assert_eq!(report.stats.paths, 1);
+        assert_eq!(report.stats.branch_sites(), 1);
+        assert_eq!(report.stats.branches_covered(), 1);
+        assert!((report.stats.branch_coverage() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_maps_merge_identically_across_worker_counts() {
+        let bench = |ctx: &SymCtx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.assume(&x.ult(&ctx.word(16, Width::W8)));
+            for bit in 0..4u32 {
+                let b = x.bit(bit).to_word();
+                let one = ctx.word(1, Width::W1);
+                let _ = ctx.decide(&b.eq(&one));
+            }
+        };
+        let seq = Explorer::new().workers(1).explore(bench);
+        assert_eq!(seq.stats.branch_sites(), 4);
+        for workers in [2, 4, 8] {
+            let par = Explorer::new().workers(workers).explore(bench);
+            assert_eq!(par.stats.branches, seq.stats.branches, "{workers} workers");
+        }
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use array::SymArray;
 pub use ctx::SymCtx;
 pub use error::{Counterexample, ErrorKind, Report, SymError};
 pub use explore::{Explorer, SearchStrategy};
-pub use stats::ExplorationStats;
+pub use stats::{BranchCoverage, ExplorationStats};
 pub use symsc_smt::Width;
 pub use value::{SymBool, SymWord};

@@ -1,9 +1,37 @@
 //! Exploration statistics, matching the columns of the paper's Table 1.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
 use symsc_smt::SolverStats;
+
+/// Per-direction hit counts of one symbolic fork site.
+///
+/// A *site* is identified by the structural fingerprint of the branch
+/// condition (see [`TermPool::fingerprint`](symsc_smt::TermPool)): two
+/// decisions over structurally identical conditions are the same site, on
+/// any worker and in any pool. The counts are *paths*, not executions — a
+/// path that decides the same site twice in one direction counts once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchCoverage {
+    /// Paths on which the site was decided `true`.
+    pub taken: u64,
+    /// Paths on which the site was decided `false`.
+    pub not_taken: u64,
+}
+
+impl BranchCoverage {
+    /// Whether both directions of the site were exercised.
+    pub fn both_directions(&self) -> bool {
+        self.taken > 0 && self.not_taken > 0
+    }
+
+    /// Directions exercised at this site (0, 1 or 2).
+    pub fn directions(&self) -> u64 {
+        u64::from(self.taken > 0) + u64::from(self.not_taken > 0)
+    }
+}
 
 /// Aggregate counters for one exploration.
 ///
@@ -12,7 +40,7 @@ use symsc_smt::SolverStats;
 /// Our engine has no LLVM bytecode; `instructions` counts *engine
 /// operations* instead (term constructions plus branch decisions), which is
 /// the closest native analogue of interpreted instruction count.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ExplorationStats {
     /// Completed execution paths.
     pub paths: u64,
@@ -26,6 +54,10 @@ pub struct ExplorationStats {
     pub solver_time: Duration,
     /// Raw statistics from the SMT layer.
     pub solver: SolverStats,
+    /// Symbolic branch coverage: fork-site fingerprint -> per-direction
+    /// path counts. Deterministic across worker counts — the map is a pure
+    /// function of the explored path set.
+    pub branches: BTreeMap<u128, BranchCoverage>,
 }
 
 impl ExplorationStats {
@@ -45,6 +77,26 @@ impl ExplorationStats {
         }
         self.instructions as f64 / self.time.as_secs_f64()
     }
+
+    /// Distinct symbolic fork sites decided during the exploration.
+    pub fn branch_sites(&self) -> u64 {
+        self.branches.len() as u64
+    }
+
+    /// Exercised branch directions, counting each site's `true` and
+    /// `false` outcomes separately (at most `2 * branch_sites()`).
+    pub fn branches_covered(&self) -> u64 {
+        self.branches.values().map(BranchCoverage::directions).sum()
+    }
+
+    /// Exercised directions over possible directions, in percent — the
+    /// symbolic analogue of branch coverage. Zero when nothing forked.
+    pub fn branch_coverage(&self) -> f64 {
+        if self.branches.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.branches_covered() as f64 / (2 * self.branch_sites()) as f64
+    }
 }
 
 impl fmt::Display for ExplorationStats {
@@ -54,7 +106,8 @@ impl fmt::Display for ExplorationStats {
             "paths: {} | instr: {} | time: {:.3}s | solver: {:.2}% \
              ({} queries, {} cache hits, {} cache misses) | \
              stack: {} slices, {} slice hits, {} subset-unsat, \
-             {} model reuse, {} focus skips, {} core calls, {} evictions",
+             {} model reuse, {} focus skips, {} core calls, {} evictions | \
+             branch sites: {} ({}/{} directions)",
             self.paths,
             self.instructions,
             self.time.as_secs_f64(),
@@ -69,6 +122,9 @@ impl fmt::Display for ExplorationStats {
             self.solver.focus_skips,
             self.solver.sat_core_calls,
             self.solver.evictions,
+            self.branch_sites(),
+            self.branches_covered(),
+            2 * self.branch_sites(),
         )
     }
 }
@@ -92,6 +148,32 @@ mod tests {
             ..ExplorationStats::default()
         };
         assert!((s.solver_share() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_coverage_counts_directions() {
+        let mut s = ExplorationStats::default();
+        assert_eq!(s.branch_sites(), 0);
+        assert_eq!(s.branch_coverage(), 0.0);
+        s.branches.insert(
+            1,
+            BranchCoverage {
+                taken: 3,
+                not_taken: 1,
+            },
+        );
+        s.branches.insert(
+            2,
+            BranchCoverage {
+                taken: 2,
+                not_taken: 0,
+            },
+        );
+        assert_eq!(s.branch_sites(), 2);
+        assert_eq!(s.branches_covered(), 3);
+        assert!((s.branch_coverage() - 75.0).abs() < 1e-9);
+        assert!(s.branches[&1].both_directions());
+        assert!(!s.branches[&2].both_directions());
     }
 
     #[test]

@@ -32,4 +32,10 @@ echo "==> solver-stack ablation smoke"
 # calls than the flat configuration. Exits nonzero on any violation.
 ./target/release/solver_stack 8
 
+echo "==> mutation-testing smoke"
+# Reduced kill matrix (T1-T3, IF presets + 6 generated mutants) with a
+# kill-rate floor: all presets and at least 4 generated mutants must be
+# killed. Exits nonzero when the oracle weakens.
+./target/release/mutation_kill --smoke --floor 80
+
 echo "CI gate passed."

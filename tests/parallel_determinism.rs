@@ -10,7 +10,8 @@
 //! faithful PLIC, so the suite exercises both failing reports (T1 finds
 //! the F1 claim bug) and passing ones.
 
-use symsc_plic::PlicConfig;
+use symsc_mutate::{run_kill_matrix, Mutant};
+use symsc_plic::{InjectedFault, MutationOp, PlicConfig, PlicVariant, ThresholdCmp};
 use symsc_testbench::{run_test, SuiteParams, TestId};
 use symsysc_core::{TestOutcome, Verifier};
 
@@ -39,6 +40,11 @@ fn stable_view(outcome: &TestOutcome) -> String {
     }
     for (point, count) in &report.coverage {
         writeln!(view, "cover {point}={count}").unwrap();
+    }
+    // Branch coverage: fork-site fingerprints are structural, so both the
+    // key set and the per-direction counts must merge identically.
+    for (site, bc) in &report.stats.branches {
+        writeln!(view, "branch {site:032x}={}/{}", bc.taken, bc.not_taken).unwrap();
     }
     view
 }
@@ -110,6 +116,39 @@ fn parallel_t1_pins_the_same_counterexample() {
     let seq_cex = &sequential.report.errors[0].counterexample;
     let par_cex = &parallel.report.errors[0].counterexample;
     assert_eq!(format!("{seq_cex}"), format!("{par_cex}"));
+}
+
+#[test]
+fn kill_matrix_is_byte_identical_across_worker_counts() {
+    // The mutation kill matrix is built from many explorations; its
+    // stable rendering (verdicts, distinct errors, path counts, branch
+    // coverage) must not depend on how many workers ran each one. A
+    // reduced matrix keeps the debug-mode runtime sane: two tests, two
+    // presets, one killed generated mutant, one known-equivalent survivor.
+    let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    let mutants = vec![
+        Mutant::from_preset(InjectedFault::If5EarlyClearReturn),
+        Mutant::from_preset(InjectedFault::If6ThresholdOffByOne),
+        Mutant::new(
+            "cmp_never",
+            "delivery dead",
+            MutationOp::ThresholdCompare(ThresholdCmp::NeverPass),
+        ),
+        Mutant::new("dup_notify", "double notify", MutationOp::DuplicateNotify),
+    ];
+    let tests = [TestId::T1, TestId::T3];
+    let one = run_kill_matrix(config, &mutants, &tests, 1);
+    let eight = run_kill_matrix(config, &mutants, &tests, 8);
+    assert_eq!(
+        one.stable_view(),
+        eight.stable_view(),
+        "kill matrix changed between 1 and 8 workers"
+    );
+    // And the reduced matrix behaves as the full harness expects.
+    assert!(one.mutants[0].killed(), "IF5 killed by T1");
+    assert!(one.mutants[1].killed(), "IF6 killed by T3");
+    assert!(one.mutants[2].killed(), "dead delivery killed");
+    assert!(!one.mutants[3].killed(), "duplicate notify survives");
 }
 
 #[test]

@@ -1,0 +1,325 @@
+//! The incremental-core ablation harness.
+//!
+//! Runs the T1-pattern workload (and its cross-product variant) twice —
+//! once with the incremental per-path SAT context (assumption solves on a
+//! retained, bit-blasted prefix) and once with the flat per-query core —
+//! at 1, 2 and 8 workers, and verifies three things:
+//!
+//! 1. **Equivalence**: every configuration at every worker count produces
+//!    a byte-identical report (paths, verdicts, errors, counterexamples,
+//!    coverage) — the incremental context is a pure optimization. The
+//!    default full-stack configuration is checked against the same
+//!    reference, so the shipped solver is covered too.
+//! 2. **Effectiveness**: on the cross workload the incremental core cuts
+//!    SAT-core conflicts or core wall-clock by at least 25% vs. the flat
+//!    configuration.
+//! 3. **Observability**: the incremental counters are live — contexts are
+//!    created, probes are decided as assumption solves, and retained
+//!    clauses are observed across solves.
+//!
+//! Both measured configurations run with every cache layer off (whole-query
+//! cache included): the caches are `solver_stack`'s ablation dimension, and
+//! leaving any of them on lets it absorb the very probes whose core cost
+//! this harness measures — with the shared query cache on, sibling paths
+//! answer each other's prefix probes and barely one probe per path reaches
+//! the core. A pleasant side effect: with no shared cache the counters are
+//! scheduling-independent, so the emitted numbers are exactly reproducible
+//! at any worker count.
+//!
+//! Exits nonzero on any violation. With `--emit FILE`, writes the measured
+//! counters as JSON (the `BENCH_incremental_solve.json` trajectory
+//! datapoint).
+//!
+//! Usage: `incremental_speedup [sources] [--emit FILE]` (default: 16).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use symsc_bench::workloads::{bench_config, t1_cross_pattern, t1_pattern, CROSS_DELAY_BINS};
+use symsc_smt::SolverStats;
+use symsc_symex::{Explorer, Report, SymCtx};
+
+/// The scheduling-independent projection of a report: everything the
+/// equivalence check compares, as one canonical string.
+fn stable_view(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "paths={} completed={} passed={}",
+        report.stats.paths,
+        report.completed,
+        report.passed()
+    );
+    for e in &report.errors {
+        let _ = writeln!(
+            out,
+            "error kind={:?} path={} msg={} cex={}",
+            e.kind, e.path, e.message, e.counterexample
+        );
+    }
+    for (bin, count) in &report.coverage {
+        let _ = writeln!(out, "cover {bin}={count}");
+    }
+    out
+}
+
+struct RunResult {
+    view: String,
+    stats: SolverStats,
+    seconds: f64,
+}
+
+fn run<F: Fn(&SymCtx) + Sync>(bench: &F, incremental: bool, workers: usize) -> RunResult {
+    let start = Instant::now();
+    let report = Explorer::new()
+        .query_cache(false)
+        .solver_stack(false)
+        .incremental(incremental)
+        .workers(workers)
+        .explore(bench);
+    RunResult {
+        view: stable_view(&report),
+        stats: report.stats.solver,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The shipped default configuration (full stack + incremental), used for
+/// an extra equivalence datapoint only.
+fn run_default<F: Fn(&SymCtx) + Sync>(bench: &F) -> RunResult {
+    let start = Instant::now();
+    let report = Explorer::new().workers(1).explore(bench);
+    RunResult {
+        view: stable_view(&report),
+        stats: report.stats.solver,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn stats_json(s: &SolverStats) -> String {
+    format!(
+        "{{\"queries\": {}, \"trivial\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"sat_core_calls\": {}, \
+         \"sat_conflicts\": {}, \"sat_core_seconds\": {:.3}, \
+         \"contexts\": {}, \"assumption_solves\": {}, \
+         \"clauses_retained\": {}, \"restarts\": {}}}",
+        s.queries,
+        s.trivial,
+        s.cache_hits,
+        s.cache_misses,
+        s.sat_core_calls,
+        s.sat_conflicts,
+        s.sat_core_time.as_secs_f64(),
+        s.incremental.contexts,
+        s.incremental.assumption_solves,
+        s.incremental.clauses_retained,
+        s.incremental.restarts,
+    )
+}
+
+/// Fractional reduction of `new` vs `old` (0.25 = 25% less). Zero when
+/// the baseline is zero.
+fn reduction(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        1.0 - new / old
+    }
+}
+
+struct WorkloadOutcome {
+    name: &'static str,
+    paths: u64,
+    incremental: SolverStats,
+    flat: SolverStats,
+    incremental_seconds: f64,
+    flat_seconds: f64,
+    conflict_reduction: f64,
+    core_time_reduction: f64,
+    ok: bool,
+}
+
+fn run_workload<F: Fn(&SymCtx) + Sync>(
+    name: &'static str,
+    bench: F,
+    worker_counts: &[usize],
+) -> WorkloadOutcome {
+    let mut ok = true;
+
+    // The incremental sequential run is the reference everything else
+    // must match byte for byte.
+    let reference = run(&bench, true, 1);
+    let flat_seq = run(&bench, false, 1);
+    if flat_seq.view != reference.view {
+        println!("MISMATCH [{name}]: flat vs incremental reports differ at 1 worker");
+        ok = false;
+    }
+    let full = run_default(&bench);
+    if full.view != reference.view {
+        println!("MISMATCH [{name}]: default full-stack report differs at 1 worker");
+        ok = false;
+    }
+    for &workers in worker_counts {
+        for incremental in [true, false] {
+            let r = run(&bench, incremental, workers);
+            if r.view != reference.view {
+                println!(
+                    "MISMATCH [{name}]: report differs at {workers} workers \
+                     (incremental={incremental})"
+                );
+                ok = false;
+            }
+        }
+    }
+
+    let s = &reference.stats;
+    let flat = &flat_seq.stats;
+    let paths = reference
+        .view
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("paths="))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    let conflict_reduction = reduction(flat.sat_conflicts as f64, s.sat_conflicts as f64);
+    let core_time_reduction = reduction(
+        flat.sat_core_time.as_secs_f64(),
+        s.sat_core_time.as_secs_f64(),
+    );
+
+    println!("[{name}] {paths} paths");
+    println!(
+        "  incremental: {:.2}s | {} queries | {} core calls | {} conflicts | \
+         {:.3}s in core | {} contexts | {} assumption solves | \
+         {} clauses retained | {} restarts",
+        reference.seconds,
+        s.queries,
+        s.sat_core_calls,
+        s.sat_conflicts,
+        s.sat_core_time.as_secs_f64(),
+        s.incremental.contexts,
+        s.incremental.assumption_solves,
+        s.incremental.clauses_retained,
+        s.incremental.restarts,
+    );
+    println!(
+        "  flat:        {:.2}s | {} queries | {} core calls | {} conflicts | \
+         {:.3}s in core",
+        flat_seq.seconds,
+        flat.queries,
+        flat.sat_core_calls,
+        flat.sat_conflicts,
+        flat.sat_core_time.as_secs_f64(),
+    );
+    println!(
+        "  reduction:   conflicts {:.1}% | core wall-clock {:.1}%",
+        100.0 * conflict_reduction,
+        100.0 * core_time_reduction,
+    );
+
+    if s.incremental.contexts == 0 || s.incremental.assumption_solves == 0 {
+        println!(
+            "MISMATCH [{name}]: incremental counters are dead \
+             ({} contexts, {} assumption solves)",
+            s.incremental.contexts, s.incremental.assumption_solves
+        );
+        ok = false;
+    }
+    if flat.incremental.contexts != 0 || flat.incremental.assumption_solves != 0 {
+        println!("MISMATCH [{name}]: flat run reports incremental activity");
+        ok = false;
+    }
+
+    WorkloadOutcome {
+        name,
+        paths,
+        incremental: *s,
+        flat: *flat,
+        incremental_seconds: reference.seconds,
+        flat_seconds: flat_seq.seconds,
+        conflict_reduction,
+        core_time_reduction,
+        ok,
+    }
+}
+
+fn main() {
+    let mut sources: u32 = 16;
+    let mut emit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--emit" {
+            emit = args.next();
+        } else if let Ok(n) = arg.parse() {
+            sources = n;
+        }
+    }
+    let cfg = bench_config(sources);
+    let worker_counts = [2usize, 8];
+
+    println!("incremental ablation: sources={sources}, cross delay bins={CROSS_DELAY_BINS}");
+    let t1 = run_workload("t1", t1_pattern(cfg), &worker_counts);
+    let cross = run_workload("t1_cross", t1_cross_pattern(cfg), &worker_counts);
+
+    let mut ok = t1.ok && cross.ok;
+    // The acceptance gate: on the cross workload the incremental context
+    // must cut SAT-core conflicts or core wall-clock by >= 25%.
+    if cross.conflict_reduction < 0.25 && cross.core_time_reduction < 0.25 {
+        println!(
+            "MISMATCH [t1_cross]: incremental core reduced conflicts by \
+             {:.1}% and core wall-clock by {:.1}% (need >= 25% on either)",
+            100.0 * cross.conflict_reduction,
+            100.0 * cross.core_time_reduction,
+        );
+        ok = false;
+    }
+
+    if let Some(path) = emit {
+        let mut json = String::from("{\n  \"harness\": \"incremental_speedup\",\n");
+        let _ = writeln!(json, "  \"sources\": {sources},");
+        let _ = writeln!(json, "  \"worker_counts_checked\": [1, 2, 8],");
+        let _ = writeln!(json, "  \"equivalent\": {ok},");
+        let _ = writeln!(json, "  \"workloads\": [");
+        for (i, w) in [&t1, &cross].iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(json, "      \"paths\": {},", w.paths);
+            let _ = writeln!(
+                json,
+                "      \"incremental_seconds\": {:.3},",
+                w.incremental_seconds
+            );
+            let _ = writeln!(json, "      \"flat_seconds\": {:.3},", w.flat_seconds);
+            let _ = writeln!(
+                json,
+                "      \"conflict_reduction\": {:.4},",
+                w.conflict_reduction
+            );
+            let _ = writeln!(
+                json,
+                "      \"core_time_reduction\": {:.4},",
+                w.core_time_reduction
+            );
+            let _ = writeln!(
+                json,
+                "      \"incremental\": {},",
+                stats_json(&w.incremental)
+            );
+            let _ = writeln!(json, "      \"flat\": {}", stats_json(&w.flat));
+            let _ = writeln!(json, "    }}{}", if i == 0 { "," } else { "" });
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            println!("MISMATCH: could not write {path}: {e}");
+            ok = false;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -59,8 +59,14 @@ struct RunResult {
 
 fn run<F: Fn(&SymCtx) + Sync>(bench: &F, layered: bool, workers: usize) -> RunResult {
     let start = Instant::now();
+    // The incremental per-path context is pinned off for *both*
+    // configurations: this harness ablates the cache layers alone, and
+    // its committed baseline counters predate (and must stay comparable
+    // across) the incremental core. `incremental_speedup` ablates the
+    // incremental dimension separately.
     let report = Explorer::new()
         .solver_stack(layered)
+        .incremental(false)
         .workers(workers)
         .explore(bench);
     RunResult {

@@ -1,0 +1,366 @@
+//! The perf-regression gate: compares a freshly measured harness run
+//! against its committed `BENCH_*.json` baseline.
+//!
+//! Deterministic counters (path counts, core calls on cache-free runs)
+//! are held to tight factors; scheduling-dependent ones (cache hit rates
+//! under parallel sharing) get additive slack; wall-clock gets a generous
+//! multiple so a loaded CI runner never trips the gate on its own. The
+//! point is to catch *structural* regressions — a change that doubles the
+//! SAT-core call count or halves a kill rate — not to benchmark the
+//! machine.
+//!
+//! Every check failure is returned as one human-readable violation line;
+//! an empty list means the gate passes.
+
+use crate::json::Json;
+
+/// Multiplicative head-room for counters that are deterministic at the
+/// baseline's scale. A genuine 2x regression always trips this.
+const COUNTER_FACTOR: f64 = 1.5;
+/// Additive slack for rates in [0, 1] that depend on worker scheduling.
+const RATE_SLACK: f64 = 0.10;
+/// Additive slack for percentage-valued rates (kill rate).
+const PERCENT_SLACK: f64 = 5.0;
+/// Wall-clock head-room: a run may take this many times the recorded
+/// baseline seconds (plus [`SECONDS_FLOOR`]) before the gate complains.
+const SECONDS_FACTOR: f64 = 5.0;
+/// Absolute wall-clock floor, so sub-100ms baselines don't turn timer
+/// jitter into failures.
+const SECONDS_FLOOR: f64 = 5.0;
+
+/// Collects violations while walking the two documents.
+struct Gate {
+    violations: Vec<String>,
+}
+
+impl Gate {
+    fn fail(&mut self, message: String) {
+        self.violations.push(message);
+    }
+
+    /// Numeric field lookup; a missing field is itself a violation.
+    fn num(&mut self, doc: &Json, context: &str, key: &str) -> Option<f64> {
+        match doc.get(key).and_then(Json::as_f64) {
+            Some(n) => Some(n),
+            None => {
+                self.fail(format!("{context}: missing numeric field \"{key}\""));
+                None
+            }
+        }
+    }
+
+    /// `current[key]` must not exceed `factor * baseline[key]`.
+    fn counter_within(&mut self, base: &Json, cur: &Json, context: &str, key: &str) {
+        let (Some(b), Some(c)) = (self.num(base, context, key), self.num(cur, context, key)) else {
+            return;
+        };
+        if c > b * COUNTER_FACTOR {
+            self.fail(format!(
+                "{context}: {key} regressed to {c} (baseline {b}, allowed factor {COUNTER_FACTOR})"
+            ));
+        }
+    }
+
+    /// `current[key]` must match `baseline[key]` exactly (deterministic).
+    fn counter_exact(&mut self, base: &Json, cur: &Json, context: &str, key: &str) {
+        let (Some(b), Some(c)) = (self.num(base, context, key), self.num(cur, context, key)) else {
+            return;
+        };
+        if b != c {
+            self.fail(format!("{context}: {key} is {c}, baseline says {b}"));
+        }
+    }
+
+    /// `current[key]` must stay within `slack` below `baseline[key]`.
+    fn rate_at_least(&mut self, base: &Json, cur: &Json, context: &str, key: &str, slack: f64) {
+        let (Some(b), Some(c)) = (self.num(base, context, key), self.num(cur, context, key)) else {
+            return;
+        };
+        if c < b - slack {
+            self.fail(format!(
+                "{context}: {key} dropped to {c} (baseline {b}, slack {slack})"
+            ));
+        }
+    }
+
+    /// Wall-clock seconds with generous head-room.
+    fn seconds_within(&mut self, base: &Json, cur: &Json, context: &str, key: &str) {
+        let (Some(b), Some(c)) = (self.num(base, context, key), self.num(cur, context, key)) else {
+            return;
+        };
+        let limit = b * SECONDS_FACTOR + SECONDS_FLOOR;
+        if c > limit {
+            self.fail(format!(
+                "{context}: {key} took {c}s (baseline {b}s, limit {limit:.1}s)"
+            ));
+        }
+    }
+
+    fn equivalence_holds(&mut self, cur: &Json, context: &str) {
+        if cur.get("equivalent").and_then(Json::as_bool) != Some(true) {
+            self.fail(format!(
+                "{context}: current run does not report \"equivalent\": true"
+            ));
+        }
+    }
+
+    /// Pairs up the `workloads` arrays by name; a workload present in the
+    /// baseline but missing from the current run is a violation.
+    fn workload_pairs<'j>(
+        &mut self,
+        base: &'j Json,
+        cur: &'j Json,
+    ) -> Vec<(String, &'j Json, &'j Json)> {
+        let mut pairs = Vec::new();
+        let base_ws = base.get("workloads").and_then(Json::as_arr).unwrap_or(&[]);
+        let cur_ws = cur.get("workloads").and_then(Json::as_arr).unwrap_or(&[]);
+        for bw in base_ws {
+            let Some(name) = bw.get("name").and_then(Json::as_str) else {
+                self.fail("baseline workload without a name".to_string());
+                continue;
+            };
+            match cur_ws
+                .iter()
+                .find(|w| w.get("name").and_then(Json::as_str) == Some(name))
+            {
+                Some(cw) => pairs.push((name.to_string(), bw, cw)),
+                None => self.fail(format!("current run is missing workload \"{name}\"")),
+            }
+        }
+        pairs
+    }
+}
+
+/// The whole-query-cache hit rate out of a stats object, if derivable.
+fn hit_rate(stats: &Json) -> Option<f64> {
+    let hits = stats.get("cache_hits")?.as_f64()?;
+    let misses = stats.get("cache_misses")?.as_f64()?;
+    if hits + misses == 0.0 {
+        None
+    } else {
+        Some(hits / (hits + misses))
+    }
+}
+
+fn compare_solver_stack(g: &mut Gate, base: &Json, cur: &Json) {
+    g.equivalence_holds(cur, "solver_stack");
+    g.counter_exact(base, cur, "solver_stack", "sources");
+    for (name, bw, cw) in g.workload_pairs(base, cur) {
+        let ctx = format!("solver_stack/{name}");
+        g.counter_exact(bw, cw, &ctx, "paths");
+        g.seconds_within(bw, cw, &ctx, "layered_seconds");
+        for config in ["layered", "flat"] {
+            let (Some(bs), Some(cs)) = (bw.get(config), cw.get(config)) else {
+                g.fail(format!("{ctx}: missing \"{config}\" stats"));
+                continue;
+            };
+            g.counter_within(bs, cs, &format!("{ctx}/{config}"), "sat_core_calls");
+        }
+        if let (Some(bs), Some(cs)) = (bw.get("layered"), cw.get("layered")) {
+            g.rate_at_least(bs, cs, &ctx, "above_core_rate", RATE_SLACK);
+            if let (Some(b), Some(c)) = (hit_rate(bs), hit_rate(cs)) {
+                if c < b - RATE_SLACK {
+                    g.fail(format!(
+                        "{ctx}: query-cache hit rate dropped to {c:.3} (baseline {b:.3})"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn compare_mutation(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "mutation_kill";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.counter_exact(base, cur, ctx, "mutants_total");
+    g.rate_at_least(base, cur, ctx, "kill_rate", PERCENT_SLACK);
+    g.rate_at_least(base, cur, ctx, "presets_killed", 0.0);
+    g.rate_at_least(base, cur, ctx, "generated_killed", 1.0);
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
+fn compare_incremental(g: &mut Gate, base: &Json, cur: &Json) {
+    g.equivalence_holds(cur, "incremental_speedup");
+    g.counter_exact(base, cur, "incremental_speedup", "sources");
+    for (name, bw, cw) in g.workload_pairs(base, cur) {
+        let ctx = format!("incremental_speedup/{name}");
+        g.counter_exact(bw, cw, &ctx, "paths");
+        g.seconds_within(bw, cw, &ctx, "incremental_seconds");
+        for config in ["incremental", "flat"] {
+            let (Some(bs), Some(cs)) = (bw.get(config), cw.get(config)) else {
+                g.fail(format!("{ctx}: missing \"{config}\" stats"));
+                continue;
+            };
+            // These runs are cache-free, so the counters are exact
+            // functions of the explored path set — any drift is a
+            // behavior change, not noise.
+            g.counter_exact(bs, cs, &format!("{ctx}/{config}"), "sat_core_calls");
+        }
+        if let (Some(bs), Some(cs)) = (bw.get("incremental"), cw.get("incremental")) {
+            g.counter_exact(bs, cs, &ctx, "assumption_solves");
+        }
+        // The headline claim: the incremental core still earns its keep.
+        // Conflicts are deterministic; core wall-clock is not — accept
+        // either, with slack on the timing side.
+        let conflict = cw.get("conflict_reduction").and_then(Json::as_f64);
+        let core_time = cw.get("core_time_reduction").and_then(Json::as_f64);
+        if name == "t1_cross" {
+            let best = conflict.unwrap_or(0.0).max(core_time.unwrap_or(0.0));
+            if best < 0.15 {
+                g.fail(format!(
+                    "{ctx}: incremental core shows no speedup (best reduction {best:.3}, \
+                     need >= 0.15 in conflicts or core wall-clock)"
+                ));
+            }
+        }
+    }
+}
+
+/// Compares a current harness emission against its committed baseline and
+/// returns the violation list (empty = gate passes). The harness kind is
+/// taken from the baseline's `"harness"` field; a current document from a
+/// different harness is rejected.
+pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
+    let mut g = Gate {
+        violations: Vec::new(),
+    };
+    let base_kind = baseline.get("harness").and_then(Json::as_str);
+    let cur_kind = current.get("harness").and_then(Json::as_str);
+    let Some(kind) = base_kind else {
+        g.fail("baseline has no \"harness\" field".to_string());
+        return g.violations;
+    };
+    if cur_kind != Some(kind) {
+        g.fail(format!(
+            "harness mismatch: baseline is \"{kind}\", current is {cur_kind:?}"
+        ));
+        return g.violations;
+    }
+    match kind {
+        "solver_stack" => compare_solver_stack(&mut g, baseline, current),
+        "mutation_kill" => compare_mutation(&mut g, baseline, current),
+        "incremental_speedup" => compare_incremental(&mut g, baseline, current),
+        other => g.fail(format!("unknown harness kind \"{other}\"")),
+    }
+    g.violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn solver_stack_doc(core_calls: u64) -> Json {
+        parse(&format!(
+            "{{\"harness\": \"solver_stack\", \"sources\": 32, \
+              \"equivalent\": true, \"workloads\": [\
+              {{\"name\": \"t1\", \"paths\": 32, \"layered_seconds\": 0.07, \
+                \"layered\": {{\"cache_hits\": 124, \"cache_misses\": 134, \
+                  \"sat_core_calls\": {core_calls}, \"above_core_rate\": 0.72}}, \
+                \"flat\": {{\"sat_core_calls\": 134}}}}]}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = solver_stack_doc(72);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+    }
+
+    #[test]
+    fn doubled_core_calls_fail() {
+        let base = solver_stack_doc(72);
+        let bad = solver_stack_doc(144);
+        let violations = compare(&base, &bad);
+        assert!(
+            violations.iter().any(|v| v.contains("sat_core_calls")),
+            "expected a sat_core_calls violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn equivalence_flag_is_required() {
+        let base = solver_stack_doc(72);
+        let cur = parse(
+            "{\"harness\": \"solver_stack\", \"sources\": 32, \
+             \"equivalent\": false, \"workloads\": []}",
+        )
+        .unwrap();
+        let violations = compare(&base, &cur);
+        assert!(violations.iter().any(|v| v.contains("equivalent")));
+        // Missing workloads are also caught.
+        assert!(violations.iter().any(|v| v.contains("missing workload")));
+    }
+
+    #[test]
+    fn kill_rate_drop_fails_and_slack_passes() {
+        let base = parse(
+            "{\"harness\": \"mutation_kill\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": 87.88, \
+              \"presets_killed\": 6, \"generated_killed\": 23, \
+              \"seconds\": 41.7}",
+        )
+        .unwrap();
+        let slightly_low = parse(
+            "{\"harness\": \"mutation_kill\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": 84.85, \
+              \"presets_killed\": 6, \"generated_killed\": 22, \
+              \"seconds\": 60.0}",
+        )
+        .unwrap();
+        assert_eq!(compare(&base, &slightly_low), Vec::<String>::new());
+        let collapsed = parse(
+            "{\"harness\": \"mutation_kill\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": 60.0, \
+              \"presets_killed\": 5, \"generated_killed\": 15, \
+              \"seconds\": 41.7}",
+        )
+        .unwrap();
+        let violations = compare(&base, &collapsed);
+        assert!(violations.iter().any(|v| v.contains("kill_rate")));
+        assert!(violations.iter().any(|v| v.contains("presets_killed")));
+    }
+
+    #[test]
+    fn harness_kind_mismatch_is_fatal() {
+        let base = solver_stack_doc(72);
+        let other = parse("{\"harness\": \"mutation_kill\"}").unwrap();
+        let violations = compare(&base, &other);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("harness mismatch"));
+    }
+
+    #[test]
+    fn incremental_counters_are_exact() {
+        let doc = |calls: u64, reduction: f64| {
+            parse(&format!(
+                "{{\"harness\": \"incremental_speedup\", \"sources\": 32, \
+                  \"equivalent\": true, \"workloads\": [\
+                  {{\"name\": \"t1_cross\", \"paths\": 128, \
+                    \"incremental_seconds\": 0.2, \
+                    \"conflict_reduction\": -0.27, \
+                    \"core_time_reduction\": {reduction}, \
+                    \"incremental\": {{\"sat_core_calls\": {calls}, \
+                      \"assumption_solves\": 268}}, \
+                    \"flat\": {{\"sat_core_calls\": 655}}}}]}}"
+            ))
+            .unwrap()
+        };
+        let base = doc(655, 0.35);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        let drifted = doc(700, 0.35);
+        assert!(compare(&base, &drifted)
+            .iter()
+            .any(|v| v.contains("sat_core_calls")));
+        let slowed = doc(655, 0.02);
+        assert!(compare(&base, &slowed)
+            .iter()
+            .any(|v| v.contains("no speedup")));
+    }
+}

@@ -9,6 +9,11 @@
 //! * `baseline_compare` — symbolic execution vs. random testing
 //!   time-to-bug (the reproduction's substitute for the paper's
 //!   unreproducible KLEE-on-SystemC-kernel baseline).
+//! * `solver_stack` / `incremental_speedup` — ablation harnesses for the
+//!   cache layers and the incremental per-path SAT context.
+//! * `mutation_kill` — the mutation-testing kill matrix.
+//! * `bench_gate` — compares fresh harness emissions against the
+//!   committed `BENCH_*.json` baselines and fails on regressions.
 //!
 //! Criterion benches (`cargo bench -p symsc-bench`): `solver`, `kernel`,
 //! `sim_time`, `exploration` — performance characteristics and the
@@ -19,6 +24,8 @@
 
 use symsc_symex::SymError;
 
+pub mod gate;
+pub mod json;
 pub mod workloads;
 
 /// Maps a detected error to the paper's bug label, by the error message of

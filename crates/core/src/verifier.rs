@@ -105,6 +105,14 @@ impl Verifier {
         self
     }
 
+    /// Toggles the incremental per-path SAT context (for ablations).
+    /// Reports are identical either way — only core work and the
+    /// incremental statistics change.
+    pub fn incremental(mut self, enabled: bool) -> Verifier {
+        self.explorer = self.explorer.incremental(enabled);
+        self
+    }
+
     /// Selects the path-selection strategy (default: depth-first).
     pub fn strategy(mut self, strategy: SearchStrategy) -> Verifier {
         self.explorer = self.explorer.strategy(strategy);

@@ -23,22 +23,51 @@ pub enum CnfResult {
 /// a constant-false root short-circuits to [`CnfResult::TriviallyUnsat`].
 pub fn load_aig(aig: &Aig, roots: &[AigLit], solver: &mut SatSolver) -> CnfResult {
     let mut node_var: HashMap<u32, Var> = HashMap::new();
+    if assert_roots(aig, roots, solver, &mut node_var) {
+        CnfResult::Loaded(node_var)
+    } else {
+        CnfResult::TriviallyUnsat
+    }
+}
 
+/// Incrementally asserts `roots` true on top of whatever the solver
+/// already holds, reusing and extending a persistent node→variable map so
+/// previously encoded cones are shared rather than re-blasted. Returns
+/// `false` when the asserted set became trivially unsatisfiable (a
+/// constant-false root or a root-level conflict).
+pub fn assert_roots(
+    aig: &Aig,
+    roots: &[AigLit],
+    solver: &mut SatSolver,
+    node_var: &mut HashMap<u32, Var>,
+) -> bool {
     for &root in roots {
         if root == AigLit::TRUE {
             continue;
         }
         if root == AigLit::FALSE {
-            return CnfResult::TriviallyUnsat;
+            return false;
         }
-        encode_cone(aig, root.node(), solver, &mut node_var);
-        let v = node_var[&root.node()];
-        let lit = Lit::new(v, root.complemented());
+        let lit = encode_lit(aig, root, solver, node_var);
         if !solver.add_clause(&[lit]) {
-            return CnfResult::TriviallyUnsat;
+            return false;
         }
     }
-    CnfResult::Loaded(node_var)
+    true
+}
+
+/// Encodes the cone of a non-constant AIG literal into `solver` (reusing
+/// the persistent map) and returns the corresponding SAT literal
+/// *without* asserting it — the caller may pass it as an assumption.
+pub fn encode_lit(
+    aig: &Aig,
+    lit: AigLit,
+    solver: &mut SatSolver,
+    node_var: &mut HashMap<u32, Var>,
+) -> Lit {
+    debug_assert!(lit != AigLit::TRUE && lit != AigLit::FALSE);
+    encode_cone(aig, lit.node(), solver, node_var);
+    Lit::new(node_var[&lit.node()], lit.complemented())
 }
 
 fn encode_cone(aig: &Aig, root: u32, solver: &mut SatSolver, node_var: &mut HashMap<u32, Var>) {

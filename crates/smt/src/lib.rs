@@ -57,12 +57,14 @@ pub mod blast;
 pub mod cex;
 pub mod cnf;
 pub mod eval;
+pub mod incremental;
 pub mod model;
 pub mod sat;
 pub mod solver;
 pub mod term;
 
 pub use cex::CexCache;
+pub use incremental::{IncrementalStats, SolverCtx};
 pub use model::Model;
 pub use solver::{QueryCache, SatResult, Solver, SolverStats};
 pub use term::{Support, Term, TermId, TermPool, Width};

@@ -5,10 +5,14 @@
 //! minimization, phase saving, Luby-sequence restarts and activity-based
 //! learnt-clause database reduction.
 //!
-//! The solver is deliberately single-shot (no incremental interface): the
-//! SMT layer builds a fresh instance per query and memoizes whole queries
-//! instead, which matches the workload of re-execution based symbolic
-//! exploration (many small, highly similar queries).
+//! The solver is incremental in the MiniSat style: clauses may be added
+//! between solves, and [`SatSolver::solve_with_assumptions`] decides the
+//! formula under a set of assumption literals posted as pseudo-decisions.
+//! Learned clauses, variable activities and saved phases all survive from
+//! one call to the next, which matches the workload of re-execution based
+//! symbolic exploration: along one path the constraint set only grows, so
+//! the conjuncts seen so far can stay asserted while each fork probe is a
+//! single assumption on top.
 
 use std::fmt;
 
@@ -197,6 +201,18 @@ impl SatSolver {
         self.stats
     }
 
+    /// Number of learnt clauses currently alive in the database (survivors
+    /// of [`reduce_db`](Self::reduce_db), not the cumulative count).
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Whether the clause database is still consistent. Once a root-level
+    /// conflict makes this `false`, every later solve returns `false`.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.assign.len()
@@ -247,10 +263,11 @@ impl SatSolver {
     /// Adds a clause. Returns `false` if the formula became trivially
     /// unsatisfiable (empty clause or root-level conflict).
     ///
-    /// Clauses may only be added before [`solve`](Self::solve) is called
-    /// (the solver is single-shot).
+    /// May be called between solves: the solver first backtracks to the
+    /// root level, so only level-0 assignments participate in the
+    /// satisfied/false-literal filtering below.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        debug_assert!(self.trail_lim.is_empty(), "add_clause after solve start");
+        self.backtrack(0);
         if !self.ok {
             return false;
         }
@@ -593,9 +610,26 @@ impl SatSolver {
     /// Solves the formula. Returns `true` if satisfiable; the model is then
     /// available through [`value`](Self::value).
     pub fn solve(&mut self) -> bool {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under `assumptions`, posted as pseudo-decisions
+    /// before any branching. Returns `true` if satisfiable together with
+    /// the assumptions; the model is then available through
+    /// [`value`](Self::value).
+    ///
+    /// `false` means unsatisfiable *under the assumptions*: unless the
+    /// clause database itself became unsatisfiable (a root-level
+    /// conflict), the solver stays usable and a later call with different
+    /// assumptions may succeed. Learned clauses are derived from the
+    /// clause database alone — assumptions enter the trail as decisions,
+    /// never as antecedents — so everything learned here remains valid
+    /// for every future call.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
+        self.backtrack(0);
         if self.propagate().is_some() {
             self.ok = false;
             return false;
@@ -603,10 +637,14 @@ impl SatSolver {
         let mut restarts = 0u64;
         loop {
             let conflict_budget = luby(restarts) * 100;
-            match self.search(conflict_budget) {
+            match self.search(conflict_budget, assumptions) {
                 SearchResult::Sat => return true,
                 SearchResult::Unsat => {
                     self.ok = false;
+                    return false;
+                }
+                SearchResult::AssumpUnsat => {
+                    self.backtrack(0);
                     return false;
                 }
                 SearchResult::Restart => {
@@ -618,7 +656,7 @@ impl SatSolver {
         }
     }
 
-    fn search(&mut self, conflict_budget: u64) -> SearchResult {
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> SearchResult {
         let mut conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
@@ -645,6 +683,31 @@ impl SatSolver {
                 }
                 if self.num_learnt > 2000 + 500 * self.reduce_count as usize {
                     self.reduce_db();
+                }
+                // Re-establish assumptions before any free branching: one
+                // pseudo-decision level per assumption, in order, so
+                // conflict analysis can backtrack through them and the
+                // next iteration repairs whatever it undid.
+                let mut posted = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        Assign::True => {
+                            // Already implied: dummy level keeps the
+                            // level-index == assumption-index mapping.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Assign::False => return SearchResult::AssumpUnsat,
+                        Assign::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, NO_REASON);
+                            posted = true;
+                            break;
+                        }
+                    }
+                }
+                if posted {
+                    continue; // propagate the assumption first
                 }
                 match self.pick_branch() {
                     None => return SearchResult::Sat,
@@ -725,6 +788,9 @@ impl SatSolver {
 enum SearchResult {
     Sat,
     Unsat,
+    /// Unsatisfiable only under the current assumptions; the clause
+    /// database itself is still consistent.
+    AssumpUnsat,
     Restart,
 }
 
@@ -898,6 +964,81 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn assumptions_flip_verdict_without_poisoning() {
+        // (a | b) with assumptions probing each polarity: the same solver
+        // instance must answer SAT/UNSAT per call and stay consistent.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, false), Lit::new(b, false)]);
+        assert!(!s.solve_with_assumptions(&[Lit::new(a, true), Lit::new(b, true)]));
+        assert!(s.is_ok(), "assumption UNSAT must not poison the solver");
+        assert!(s.solve_with_assumptions(&[Lit::new(a, true)]));
+        assert!(s.value(b), "!a forces b");
+        assert!(s.solve_with_assumptions(&[Lit::new(b, true)]));
+        assert!(s.value(a), "!b forces a");
+        assert!(s.solve(), "still satisfiable with no assumptions");
+    }
+
+    #[test]
+    fn clauses_added_between_solves_take_effect() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, false), Lit::new(b, false)]);
+        assert!(s.solve());
+        // Grow the formula after a solve: force !a, so b carries a|b.
+        assert!(s.add_clause(&[Lit::new(a, true)]));
+        assert!(s.solve());
+        assert!(!s.value(a), "unit !a must hold");
+        assert!(s.value(b), "a|b with !a forces b");
+        // And a new variable allocated after solving works too.
+        let c = s.new_var();
+        assert!(s.add_clause(&[Lit::new(c, false)]));
+        assert!(s.solve());
+        assert!(s.value(c));
+    }
+
+    #[test]
+    fn assumption_probes_on_a_growing_formula() {
+        // At-most-one-per-hole constraints for 4 pigeons / 3 holes: probe
+        // placements via assumptions, then grow the formula to the full
+        // (UNSAT) pigeonhole instance in the same solver.
+        let (pigeons, holes) = (4usize, 3usize);
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    let a = lit(&mut s, &mut vars, i1 * holes + j, true);
+                    let b = lit(&mut s, &mut vars, i2 * holes + j, true);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        // Two pigeons in one hole: rejected, solver stays consistent.
+        assert!(
+            !s.solve_with_assumptions(&[Lit::new(vars[0], false), Lit::new(vars[holes], false),])
+        );
+        assert!(s.is_ok());
+        // A proper partial placement: accepted.
+        assert!(s.solve_with_assumptions(&[
+            Lit::new(vars[0], false),             // pigeon 0 in hole 0
+            Lit::new(vars[holes + 1], false),     // pigeon 1 in hole 1
+            Lit::new(vars[2 * holes + 2], false), // pigeon 2 in hole 2
+        ]));
+        // Grow to the full pigeonhole instance: now genuinely UNSAT.
+        for i in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes)
+                .map(|j| lit(&mut s, &mut vars, i * holes + j, false))
+                .collect();
+            s.add_clause(&clause);
+        }
+        assert!(!s.solve());
+        assert!(s.stats().conflicts > 0, "full instance needs search");
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use crate::blast::Blaster;
 use crate::cex::CexCache;
 use crate::cnf::{load_aig, CnfResult};
+use crate::incremental::{IncrementalStats, SolverCtx};
 use crate::model::Model;
 use crate::sat::SatSolver;
 use crate::term::{Support, TermId, TermPool, Width};
@@ -114,8 +115,14 @@ pub struct SolverStats {
     pub cex_time: Duration,
     /// Time spent bit-blasting and in the SAT core.
     pub sat_core_time: Duration,
+    /// Conflicts analyzed by the SAT core across all invocations (fresh
+    /// and incremental alike) — the work metric the incremental layer is
+    /// meant to reduce.
+    pub sat_conflicts: u64,
     /// Entries evicted from the bounded caches by this solver's inserts.
     pub evictions: u64,
+    /// Counters for the incremental per-path context layer.
+    pub incremental: IncrementalStats,
 }
 
 impl SolverStats {
@@ -139,7 +146,9 @@ impl SolverStats {
         self.slicing_time += other.slicing_time;
         self.cex_time += other.cex_time;
         self.sat_core_time += other.sat_core_time;
+        self.sat_conflicts += other.sat_conflicts;
         self.evictions += other.evictions;
+        self.incremental.merge(&other.incremental);
     }
 
     /// Queries that were not decided by constant folding.
@@ -291,6 +300,11 @@ pub struct Solver {
     cache: Option<Arc<QueryCache>>,
     cex: Option<Arc<CexCache>>,
     model_reuse: bool,
+    incremental: bool,
+    /// The current path's retained incremental context (see
+    /// [`SolverCtx`]); dropped by [`begin_path`](Solver::begin_path) and
+    /// whenever the probe's prefix is not an extension of what is loaded.
+    ctx: Option<SolverCtx>,
 }
 
 impl Default for Solver {
@@ -336,7 +350,33 @@ impl Solver {
             cache,
             cex,
             model_reuse,
+            incremental: true,
+            ctx: None,
         }
+    }
+
+    /// Enables or disables the incremental per-path SAT context (default:
+    /// enabled). Purely an ablation/benchmark knob: verdicts are
+    /// identical either way, only core work and layer statistics change.
+    pub fn with_incremental(mut self, enabled: bool) -> Solver {
+        self.incremental = enabled;
+        if !enabled {
+            self.ctx = None;
+        }
+        self
+    }
+
+    /// Whether the incremental per-path context is enabled.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
+    }
+
+    /// Marks the start of a new exploration path: the previous path's
+    /// incremental context (if any) is dropped, so the next focused probe
+    /// builds a fresh prefix. Contexts are strictly worker-local and
+    /// path-local — this is what keeps the parallel merge deterministic.
+    pub fn begin_path(&mut self) {
+        self.ctx = None;
     }
 
     /// The whole-query cache backing this solver, if enabled.
@@ -506,7 +546,11 @@ impl Solver {
 
         let slice_entries: Vec<(u128, TermId)> = slices[fi].iter().map(|&i| entries[i]).collect();
         let core_before = self.stats.sat_core_calls;
-        let verdict = self.solve_slice(pool, &slice_entries, true);
+        let verdict = if self.incremental {
+            self.solve_focus_incremental(pool, &entries, &slice_entries, focus, focus_fp)
+        } else {
+            self.solve_slice(pool, &slice_entries, true)
+        };
         if self.stats.sat_core_calls == core_before {
             self.stats.sliced_hits += 1;
         }
@@ -627,35 +671,10 @@ impl Solver {
         entries: &[(u128, TermId)],
         verdict_only: bool,
     ) -> SatResult {
-        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
-        if let Some(cex) = &self.cex {
-            let t0 = Instant::now();
-            if let Some(hit) = cex.lookup_exact(&key) {
-                self.stats.slice_hits += 1;
-                self.stats.cex_time += t0.elapsed();
-                return hit;
-            }
-            if cex.subset_unsat(&key) {
-                self.stats.cex_subset_hits += 1;
-                self.stats.cex_time += t0.elapsed();
-                return SatResult::Unsat;
-            }
-            if verdict_only && self.model_reuse {
-                for m in cex.subset_models(&key, MODEL_REUSE_CANDIDATES) {
-                    let env = m.to_env();
-                    if entries
-                        .iter()
-                        .all(|&(_, c)| crate::eval::evaluate(pool, c, &env) == 1)
-                    {
-                        self.stats.model_reuse_hits += 1;
-                        self.stats.cex_time += t0.elapsed();
-                        return SatResult::Sat(m);
-                    }
-                }
-            }
-            self.stats.cex_time += t0.elapsed();
+        if let Some(hit) = self.cex_layers(pool, entries, verdict_only) {
+            return hit;
         }
-
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
         let t_core = Instant::now();
         self.stats.sat_core_calls += 1;
         let ordered: Vec<TermId> = entries.iter().map(|&(_, id)| id).collect();
@@ -667,6 +686,116 @@ impl Solver {
             self.stats.evictions += cex.insert(key, result.clone());
         }
         result
+    }
+
+    /// The counterexample-cache layers of [`solve_slice`](Self::solve_slice)
+    /// alone: exact hit, subset-UNSAT proof and (verdict-only) cached-model
+    /// witnesses. `None` means every layer missed and a core solve is due.
+    fn cex_layers(
+        &mut self,
+        pool: &TermPool,
+        entries: &[(u128, TermId)],
+        verdict_only: bool,
+    ) -> Option<SatResult> {
+        let cex = self.cex.as_ref()?;
+        let key: Vec<u128> = entries.iter().map(|&(fp, _)| fp).collect();
+        let t0 = Instant::now();
+        if let Some(hit) = cex.lookup_exact(&key) {
+            self.stats.slice_hits += 1;
+            self.stats.cex_time += t0.elapsed();
+            return Some(hit);
+        }
+        if cex.subset_unsat(&key) {
+            self.stats.cex_subset_hits += 1;
+            self.stats.cex_time += t0.elapsed();
+            return Some(SatResult::Unsat);
+        }
+        if verdict_only && self.model_reuse {
+            for m in cex.subset_models(&key, MODEL_REUSE_CANDIDATES) {
+                let env = m.to_env();
+                if entries
+                    .iter()
+                    .all(|&(_, c)| crate::eval::evaluate(pool, c, &env) == 1)
+                {
+                    self.stats.model_reuse_hits += 1;
+                    self.stats.cex_time += t0.elapsed();
+                    return Some(SatResult::Sat(m));
+                }
+            }
+        }
+        self.stats.cex_time += t0.elapsed();
+        None
+    }
+
+    /// The incremental core for focused feasibility checks: keep the
+    /// path's already-pushed constraints asserted in a retained CDCL
+    /// context ([`SolverCtx`]) and decide the probe as a single
+    /// assumption solve on top, reusing learned clauses, activities and
+    /// the bit-blasted CNF from every earlier probe on this path.
+    ///
+    /// Sits below the cex layers, exactly where the fresh core sits. On
+    /// UNSAT, the focus slice's key is seeded into the caches: with the
+    /// base feasible (the caller's precondition) and the whole set UNSAT,
+    /// the focus slice must itself be UNSAT — slices are
+    /// variable-disjoint — and an UNSAT verdict is canonical. A SAT
+    /// answer caches nothing: the witness assignment depends on solver
+    /// history, and only canonical results may be shared.
+    fn solve_focus_incremental(
+        &mut self,
+        pool: &TermPool,
+        entries: &[(u128, TermId)],
+        slice_entries: &[(u128, TermId)],
+        focus: TermId,
+        focus_fp: u128,
+    ) -> SatResult {
+        if let Some(hit) = self.cex_layers(pool, slice_entries, true) {
+            return hit;
+        }
+        let base: Vec<(u128, TermId)> = entries
+            .iter()
+            .copied()
+            .filter(|&(fp, _)| fp != focus_fp)
+            .collect();
+        let base_fps: Vec<u128> = base.iter().map(|&(fp, _)| fp).collect();
+        let reusable = self
+            .ctx
+            .as_ref()
+            .is_some_and(|c| c.compatible(pool, &base_fps));
+        if !reusable {
+            self.ctx = Some(SolverCtx::new(pool));
+            self.stats.incremental.contexts += 1;
+        }
+        let t_core = Instant::now();
+        let ctx = self.ctx.as_mut().expect("context ensured above");
+        ctx.extend_prefix(pool, &base);
+        self.stats.incremental.clauses_retained += ctx.learnt_alive() as u64;
+        let before = ctx.sat_stats();
+        let verdict = ctx.solve_assuming(pool, focus);
+        let after = ctx.sat_stats();
+        self.stats.sat_conflicts += after.conflicts - before.conflicts;
+        self.stats.incremental.restarts += after.restarts - before.restarts;
+        self.stats.sat_core_time += t_core.elapsed();
+        match verdict {
+            Some(true) => {
+                self.stats.sat_core_calls += 1;
+                self.stats.incremental.assumption_solves += 1;
+                // Verdict-only: the empty model is never reported or
+                // cached, only `is_sat()` is read.
+                SatResult::Sat(Model::new())
+            }
+            Some(false) => {
+                self.stats.sat_core_calls += 1;
+                self.stats.incremental.assumption_solves += 1;
+                if let Some(cex) = &self.cex {
+                    let key: Vec<u128> = slice_entries.iter().map(|&(fp, _)| fp).collect();
+                    self.stats.evictions += cex.insert(key, SatResult::Unsat);
+                }
+                SatResult::Unsat
+            }
+            // Context unusable (poisoned prefix or foreign pool): fall
+            // back to the fresh deterministic core.
+            None => self.solve_slice(pool, slice_entries, true),
+        }
     }
 
     /// The SAT core: bit-blast the (canonically ordered) constraints into
@@ -686,7 +815,9 @@ impl Solver {
             CnfResult::Loaded(map) => map,
         };
 
-        if !sat.solve() {
+        let satisfiable = sat.solve();
+        self.stats.sat_conflicts += sat.stats().conflicts;
+        if !satisfiable {
             return SatResult::Unsat;
         }
 

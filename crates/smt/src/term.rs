@@ -210,7 +210,7 @@ pub enum Term {
 /// let sum = pool.add(a, b);
 /// assert_eq!(pool.const_value(sum), Some(7)); // folded at construction
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct TermPool {
     terms: Vec<Term>,
     widths: Vec<Width>,
@@ -219,6 +219,49 @@ pub struct TermPool {
     dedup: HashMap<Term, TermId>,
     vars: HashMap<Box<str>, TermId>,
     ops_created: u64,
+    pool_id: u64,
+}
+
+/// Process-unique pool identities, used by the incremental solver context
+/// to detect that a [`TermId`] it memoized came from a different pool.
+static POOL_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_pool_id() -> u64 {
+    POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Default for TermPool {
+    fn default() -> TermPool {
+        TermPool {
+            terms: Vec::new(),
+            widths: Vec::new(),
+            fps: Vec::new(),
+            supports: Vec::new(),
+            dedup: HashMap::new(),
+            vars: HashMap::new(),
+            ops_created: 0,
+            pool_id: next_pool_id(),
+        }
+    }
+}
+
+impl Clone for TermPool {
+    /// Clones the pool's contents under a *fresh* identity: the clone may
+    /// intern terms the original never sees, so anything that memoized
+    /// [`TermId`]s against the original (the incremental solver context)
+    /// must not accept them from the clone.
+    fn clone(&self) -> TermPool {
+        TermPool {
+            terms: self.terms.clone(),
+            widths: self.widths.clone(),
+            fps: self.fps.clone(),
+            supports: self.supports.clone(),
+            dedup: self.dedup.clone(),
+            vars: self.vars.clone(),
+            ops_created: self.ops_created,
+            pool_id: next_pool_id(),
+        }
+    }
 }
 
 /// The free-variable support of a term: the set of variables the term's
@@ -326,6 +369,13 @@ impl TermPool {
     /// Creates an empty pool.
     pub fn new() -> TermPool {
         TermPool::default()
+    }
+
+    /// This pool's process-unique identity. [`TermId`]s are dense indices
+    /// with no pool tag of their own; long-lived consumers compare pool
+    /// identities to reject ids minted by someone else.
+    pub fn pool_id(&self) -> u64 {
+        self.pool_id
     }
 
     /// Number of distinct terms in the pool.

@@ -1,0 +1,177 @@
+//! Property: assumption-based incremental verdicts equal fresh-solve
+//! verdicts on random monotone query chains.
+//!
+//! The symbolic engine's query stream along one path is a monotone chain:
+//! the base constraint set only grows, stays feasible by construction,
+//! and every probe asks `check_feasible(base, focus)` for some fresh
+//! boolean `focus`. The incremental solver answers those probes from a
+//! retained assumption-solving context; this suite drives randomly
+//! generated chains through both an incremental solver and a flat
+//! cache-less fresh-solve reference and requires verdict equality at
+//! every single step.
+
+use symsc_smt::{Solver, TermId, TermPool, Width};
+
+/// Deterministic xorshift64* generator — no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random boolean term over a small set of 8-bit variables: comparisons
+/// over random arithmetic combinations, occasionally conjoined or negated
+/// so multi-level AIG cones appear.
+fn random_bool(pool: &mut TermPool, vars: &[TermId], rng: &mut Rng, depth: u32) -> TermId {
+    if depth > 0 && rng.below(4) == 0 {
+        let a = random_bool(pool, vars, rng, depth - 1);
+        let b = random_bool(pool, vars, rng, depth - 1);
+        return match rng.below(3) {
+            0 => pool.and(a, b),
+            1 => pool.or(a, b),
+            _ => pool.not(a),
+        };
+    }
+    let x = vars[rng.below(vars.len() as u64) as usize];
+    let lhs = match rng.below(3) {
+        0 => x,
+        1 => {
+            let y = vars[rng.below(vars.len() as u64) as usize];
+            pool.add(x, y)
+        }
+        _ => {
+            let k = pool.constant(rng.below(256), Width::W8);
+            pool.xor(x, k)
+        }
+    };
+    let k = pool.constant(rng.below(256), Width::W8);
+    match rng.below(4) {
+        0 => pool.eq(lhs, k),
+        1 => pool.ne(lhs, k),
+        2 => pool.ult(lhs, k),
+        _ => pool.ugt(lhs, k),
+    }
+}
+
+/// Runs one chain: probe random focuses against a growing feasible base,
+/// comparing the incremental solver against fresh flat solves throughout.
+fn run_chain(seed: u64, steps: u32) {
+    let mut rng = Rng(seed | 1);
+    let mut pool = TermPool::new();
+    let vars: Vec<TermId> = (0..4)
+        .map(|i| pool.var(&format!("v{i}"), Width::W8))
+        .collect();
+
+    // The solver under test: full stack + incremental context, exactly
+    // the engine's configuration.
+    let mut incremental = Solver::new();
+    assert!(incremental.incremental_enabled());
+    incremental.begin_path();
+
+    let mut base: Vec<TermId> = Vec::new();
+    for _ in 0..steps {
+        let focus = random_bool(&mut pool, &vars, &mut rng, 2);
+        let verdict = incremental.check_feasible(&pool, &base, focus);
+
+        // Reference: a cache-less, non-incremental solver deciding the
+        // whole conjunction from scratch.
+        let mut whole = base.clone();
+        whole.push(focus);
+        let mut fresh = Solver::without_cache().with_incremental(false);
+        let expected = fresh.check(&pool, &whole).is_sat();
+        assert_eq!(
+            verdict,
+            expected,
+            "seed {seed}: incremental verdict diverged from fresh solve \
+             at base length {}",
+            base.len()
+        );
+
+        // Keep the base feasible by construction, like the engine does:
+        // only a focus that was just proved feasible may be pushed.
+        if verdict && rng.below(3) != 0 {
+            base.push(focus);
+        }
+    }
+}
+
+#[test]
+fn incremental_verdicts_match_fresh_solves_on_random_chains() {
+    for seed in [
+        0x1234_5678,
+        0x9e37_79b9,
+        0xdead_beef,
+        0x0bad_cafe,
+        0x5555_aaaa,
+        0x0f0f_0f0f,
+    ] {
+        run_chain(seed, 40);
+    }
+}
+
+#[test]
+fn incremental_chain_reuses_contexts_and_counts_solves() {
+    // A hand-built monotone chain where every probe reaches the core:
+    // the retained context must serve the whole path (one context, many
+    // assumption solves).
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Width::W8);
+    let mut solver = Solver::without_cache().with_incremental(true);
+    solver.begin_path();
+
+    let mut base: Vec<TermId> = Vec::new();
+    let mut bound = 200u64;
+    for _ in 0..6 {
+        let k = pool.constant(bound, Width::W8);
+        let focus = pool.ult(x, k);
+        assert!(solver.check_feasible(&pool, &base, focus));
+        base.push(focus);
+        bound -= 30;
+    }
+    let stats = solver.stats();
+    assert_eq!(stats.incremental.contexts, 1, "one path, one context");
+    assert_eq!(stats.incremental.assumption_solves, 6);
+    assert_eq!(
+        stats.sat_core_calls, stats.incremental.assumption_solves,
+        "every core call on this chain was an assumption solve"
+    );
+
+    // A new path drops the context; the next probe builds a fresh one.
+    solver.begin_path();
+    let k = pool.constant(7, Width::W8);
+    let focus = pool.eq(x, k);
+    assert!(solver.check_feasible(&pool, &[], focus));
+    assert_eq!(solver.stats().incremental.contexts, 2);
+}
+
+#[test]
+fn infeasible_probe_does_not_poison_the_path() {
+    // decide() probes both polarities: an UNSAT probe on ¬c must leave
+    // the context fully usable for the path that takes c.
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Width::W8);
+    let ten = pool.constant(10, Width::W8);
+    let lt = pool.ult(x, ten);
+    let mut solver = Solver::without_cache().with_incremental(true);
+    solver.begin_path();
+
+    let base = vec![lt];
+    let twenty = pool.constant(20, Width::W8);
+    let impossible = pool.ugt(x, twenty); // x < 10 ∧ x > 20
+    assert!(!solver.check_feasible(&pool, &base, impossible));
+    let five = pool.constant(5, Width::W8);
+    let fine = pool.eq(x, five);
+    assert!(solver.check_feasible(&pool, &base, fine));
+    assert_eq!(solver.stats().incremental.contexts, 1);
+}

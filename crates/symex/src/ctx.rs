@@ -91,6 +91,9 @@ impl EngineState {
     }
 
     pub(crate) fn begin_path(&mut self, forced: Vec<bool>) {
+        // A new path invalidates the solver's per-path incremental
+        // context: its asserted prefix belongs to the path just ended.
+        self.solver.begin_path();
         self.constraints.clear();
         self.forced = forced;
         self.cursor = 0;
@@ -373,6 +376,14 @@ impl EngineState {
             let witness = self.model_from_env();
             self.record_error(kind, message.to_string(), &witness);
             true
+        } else if self.solver.incremental_enabled() && !self.check_feasible(not_cond) {
+            // Verdict-only fast path: a passing check is an UNSAT verdict
+            // and needs no model, so the incremental per-path context can
+            // answer it as an assumption solve on the retained prefix. A
+            // feasible violation falls through to the full solve below,
+            // which produces the canonical counterexample model — so the
+            // report is byte-identical with the probe on or off.
+            false
         } else if let SatResult::Sat(model) = self.check(Some(not_cond)) {
             self.record_error(kind, message.to_string(), &model);
             true

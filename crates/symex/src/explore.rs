@@ -99,6 +99,7 @@ pub struct Explorer {
     timeout: Option<Duration>,
     query_cache: bool,
     solver_stack: bool,
+    incremental: bool,
     strategy: SearchStrategy,
     workers: usize,
 }
@@ -112,11 +113,13 @@ struct SolverSetup {
     query: Option<Arc<QueryCache>>,
     cex: Option<Arc<CexCache>>,
     model_reuse: bool,
+    incremental: bool,
 }
 
 impl SolverSetup {
     fn build(&self) -> Solver {
         Solver::with_stack(self.query.clone(), self.cex.clone(), self.model_reuse)
+            .with_incremental(self.incremental)
     }
 }
 
@@ -137,6 +140,7 @@ impl Explorer {
             timeout: None,
             query_cache: true,
             solver_stack: true,
+            incremental: true,
             strategy: SearchStrategy::DepthFirst,
             workers: 0,
         }
@@ -178,6 +182,19 @@ impl Explorer {
         self
     }
 
+    /// Enables or disables the incremental per-path SAT context (default:
+    /// on). When on, each worker keeps the current path's constraint
+    /// prefix bit-blasted and asserted in a retained CDCL solver and
+    /// decides fork-feasibility probes as assumption solves on top,
+    /// carrying learned clauses and activities along the path. Contexts
+    /// are worker-local and dropped at every path start, and only
+    /// verdict-level probes use them, so — like the cache layers — this
+    /// switch cannot change any report, only how fast the core answers.
+    pub fn incremental(mut self, enabled: bool) -> Explorer {
+        self.incremental = enabled;
+        self
+    }
+
     /// Selects the path-selection strategy (default: depth-first). Only
     /// meaningful with [`workers`](Self::workers)`(1)`; see
     /// [`SearchStrategy`].
@@ -210,6 +227,7 @@ impl Explorer {
             query: self.query_cache.then(|| Arc::new(QueryCache::new())),
             cex: self.solver_stack.then(|| Arc::new(CexCache::new())),
             model_reuse: self.solver_stack,
+            incremental: self.incremental,
         }
     }
 

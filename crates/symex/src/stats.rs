@@ -107,6 +107,8 @@ impl fmt::Display for ExplorationStats {
              ({} queries, {} cache hits, {} cache misses) | \
              stack: {} slices, {} slice hits, {} subset-unsat, \
              {} model reuse, {} focus skips, {} core calls, {} evictions | \
+             incremental: {} contexts, {} assumption solves, \
+             {} clauses retained, {} restarts | \
              branch sites: {} ({}/{} directions)",
             self.paths,
             self.instructions,
@@ -122,6 +124,10 @@ impl fmt::Display for ExplorationStats {
             self.solver.focus_skips,
             self.solver.sat_core_calls,
             self.solver.evictions,
+            self.solver.incremental.contexts,
+            self.solver.incremental.assumption_solves,
+            self.solver.incremental.clauses_retained,
+            self.solver.incremental.restarts,
             self.branch_sites(),
             self.branches_covered(),
             2 * self.branch_sites(),

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The perf-regression gate: regenerates the bench-harness emissions at
+# the committed baselines' scales and compares them (with the tolerance
+# policy in crates/bench/src/gate.rs) against the BENCH_*.json files at
+# the repo root. Exits nonzero if any harness fails its own internal
+# checks or any counter regressed past tolerance.
+#
+# Everything runs offline; the release binaries are built if missing.
+#
+# Usage: scripts/bench_gate.sh [--skip-mutation]
+#   --skip-mutation  don't rerun the mutation smoke matrix (used by the
+#                    Actions gate job, where the mutation-smoke job runs
+#                    and gates that emission itself)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_mutation=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-mutation) skip_mutation=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --offline --release -p symsc-bench \
+  --bin solver_stack --bin incremental_speedup --bin mutation_kill --bin bench_gate
+
+out=target/bench_gate
+mkdir -p "$out"
+
+# Scales must match the committed baselines: both ablation harnesses are
+# recorded at sources=32, the mutation baseline at its --smoke matrix.
+echo "==> solver-stack ablation (sources=32)"
+./target/release/solver_stack 32 --emit "$out/solver_stack.json"
+
+echo "==> incremental-core ablation (sources=32)"
+./target/release/incremental_speedup 32 --emit "$out/incremental_solve.json"
+
+pairs=(
+  BENCH_solver_stack.json "$out/solver_stack.json"
+  BENCH_incremental_solve.json "$out/incremental_solve.json"
+)
+
+if [[ "$skip_mutation" -eq 0 ]]; then
+  echo "==> mutation-testing smoke matrix"
+  ./target/release/mutation_kill --smoke --floor 80 --emit "$out/mutation_smoke.json"
+  pairs+=(BENCH_mutation_smoke.json "$out/mutation_smoke.json")
+fi
+
+echo "==> comparing against committed baselines"
+./target/release/bench_gate "${pairs[@]}"
+
+echo "Bench gate passed."

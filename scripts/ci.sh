@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# The full offline CI gate: formatting, lints, build, tier-1 tests.
+# The full offline CI gate: formatting, lints, build, tier-1 tests, and
+# (unless skipped) the exploration smokes plus the perf-regression bench
+# gate.
 #
 # Everything runs with `--offline` — the workspace has no crates.io
 # dependencies, so a cold container with only the Rust toolchain must be
 # able to run this end to end.
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh [--skip-smokes]
+#   --skip-smokes  stop after the tier-1 tests; used by the Actions gate
+#                  job, which runs the smokes and the bench gate as its
+#                  own steps so each harness runs exactly once per
+#                  workflow (locally, plain `scripts/ci.sh` runs it all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+skip_smokes=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-smokes) skip_smokes=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -23,19 +37,21 @@ cargo build --offline --release --workspace
 echo "==> cargo test (tier-1)"
 cargo test --offline --release --workspace -q
 
+if [[ "$skip_smokes" -eq 1 ]]; then
+  echo "CI gate passed (smokes skipped)."
+  exit 0
+fi
+
 echo "==> parallel exploration determinism + cache smoke"
 ./target/release/parallel_speedup 32 4
 
-echo "==> solver-stack ablation smoke"
-# Layered vs flat solver at 1/2/8 workers: byte-identical reports,
-# >=30% of non-trivial queries answered above the SAT core, fewer core
-# calls than the flat configuration. Exits nonzero on any violation.
-./target/release/solver_stack 8
-
-echo "==> mutation-testing smoke"
-# Reduced kill matrix (T1-T3, IF presets + 6 generated mutants) with a
-# kill-rate floor: all presets and at least 4 generated mutants must be
-# killed. Exits nonzero when the oracle weakens.
-./target/release/mutation_kill --smoke --floor 80
+echo "==> bench gate (ablation harnesses + baseline comparison)"
+# Runs the solver-stack and incremental-core ablations at the committed
+# baselines' scales plus the reduced mutation kill matrix, and compares
+# all counters against BENCH_*.json. Each harness also enforces its own
+# internal invariants (byte-identical reports, kill-rate floor, >=25%
+# incremental core reduction), so this subsumes the old per-harness
+# smoke steps.
+scripts/bench_gate.sh
 
 echo "CI gate passed."

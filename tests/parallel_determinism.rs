@@ -107,6 +107,33 @@ fn solver_stack_never_changes_a_report() {
 }
 
 #[test]
+fn incremental_core_never_changes_a_report() {
+    // The incremental per-path SAT context (assumption solves on a
+    // retained, bit-blasted prefix) is a pure optimization exactly like
+    // the cache stack: for every suite test, the default incremental
+    // report at every worker count must equal the non-incremental
+    // sequential baseline byte for byte.
+    for test in TestId::ALL {
+        let flat_core = stable_view(&run_test(
+            test,
+            PlicConfig::fe310_scaled(),
+            &SuiteParams::default(),
+            &Verifier::new(test.name()).workers(1).incremental(false),
+        ));
+        for workers in [1, 2, 8] {
+            let incremental = stable_view(&run_with_workers(test, workers));
+            assert_eq!(
+                flat_core,
+                incremental,
+                "{} report changed between the non-incremental 1-worker \
+                 and incremental {workers}-worker runs",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_t1_pins_the_same_counterexample() {
     // T1 on the faithful scaled PLIC finds the claim bug; the model the
     // solver produces must be the exact one the sequential explorer pins.

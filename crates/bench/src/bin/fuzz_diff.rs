@@ -1,0 +1,220 @@
+//! The fuzz-vs-symbolic coverage comparison and seed-exchange harness.
+//!
+//! Measures how the two detection engines relate on the scaled FE310:
+//!
+//! 1. **Coverage overlap**: a deterministic baseline fuzz campaign and a
+//!    bounded symbolic exploration of the scripted probes run over the
+//!    *same* differential harness; because both report coverage as
+//!    structural `(fork-site fingerprint, direction)` pairs, their maps
+//!    intersect meaningfully and the harness emits the overlap counters.
+//! 2. **Worker invariance**: the baseline campaign is re-run at one and
+//!    eight workers and must be byte-identical (`"equivalent": true`).
+//! 3. **Seed exchange, both ways**: symbolic counterexample models of the
+//!    gateway probe (against IF1) must kill as fuzz seeds on their first
+//!    execution, and a fuzz-found divergence (against IF6) must be
+//!    confirmed by both the concolic trace and the constant-folded
+//!    replay of `symsc-symex`.
+//!
+//! Exits nonzero on any violation. With `--emit FILE`, writes the
+//! comparison as JSON (the `BENCH_fuzz_diff.json` trajectory datapoint).
+//!
+//! Usage: `fuzz_diff [--execs N] [--emit FILE]`
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use symsc_fuzz::exchange::{gateway_probe, masking_probe};
+use symsc_fuzz::{
+    confirm_by_replay, confirm_by_trace, dictionary, scripted_bench, seeds_from_symbolic, Fuzzer,
+};
+use symsc_plic::config::InjectedFault;
+use symsc_plic::{PlicConfig, PlicVariant};
+use symsc_symex::{Explorer, Report};
+
+/// Coverage points of an exploration report, in the fuzzer's key space.
+fn coverage_points(report: &Report) -> BTreeSet<(u128, bool)> {
+    let mut points = BTreeSet::new();
+    for (site, cov) in &report.stats.branches {
+        if cov.taken > 0 {
+            points.insert((*site, true));
+        }
+        if cov.not_taken > 0 {
+            points.insert((*site, false));
+        }
+    }
+    points
+}
+
+fn main() {
+    let mut execs: u64 = 256;
+    let mut emit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--execs" => execs = args.next().and_then(|v| v.parse().ok()).unwrap_or(execs),
+            "--emit" => emit = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    let seed: u64 = 0xD1FF;
+    println!(
+        "fuzz_diff: sources={}, campaign budget {execs} execs, seed {seed:#x}",
+        config.sources
+    );
+    let start = Instant::now();
+    let mut ok = true;
+
+    // 1. The baseline fuzz campaign, at one and eight workers.
+    let campaign = |workers| {
+        Fuzzer::new(config)
+            .seed(seed)
+            .workers(workers)
+            .max_execs(execs)
+            .seeds(dictionary(&config))
+            .run()
+    };
+    let fuzz = campaign(1);
+    let fuzz8 = campaign(8);
+    let equivalent = fuzz.corpus == fuzz8.corpus
+        && fuzz.coverage == fuzz8.coverage
+        && fuzz.findings == fuzz8.findings
+        && fuzz.execs == fuzz8.execs;
+    println!(
+        "fuzz campaign: {} execs, corpus {}, {} coverage points, {} findings; \
+         1-vs-8-worker equivalent: {equivalent}",
+        fuzz.execs,
+        fuzz.corpus.len(),
+        fuzz.coverage.len(),
+        fuzz.findings.len()
+    );
+    if !equivalent {
+        println!("MISMATCH: campaign differs between one and eight workers");
+        ok = false;
+    }
+    if !fuzz.findings.is_empty() {
+        println!("MISMATCH: baseline campaign diverged on the fixed PLIC");
+        ok = false;
+    }
+
+    // 2. Symbolic coverage of the scripted probes over the same harness.
+    let mut symbolic: BTreeSet<(u128, bool)> = BTreeSet::new();
+    let mut symbolic_paths: u64 = 0;
+    for (name, pins) in [
+        ("gateway", gateway_probe()),
+        ("masking(1)", masking_probe(1)),
+        ("masking(3)", masking_probe(3)),
+    ] {
+        let report = Explorer::new()
+            .max_paths(512)
+            .explore(scripted_bench(config, pins));
+        let points = coverage_points(&report);
+        println!(
+            "symbolic probe {name}: {} paths, {} coverage points",
+            report.stats.paths,
+            points.len()
+        );
+        symbolic_paths += report.stats.paths;
+        symbolic.extend(points);
+    }
+    let shared = fuzz.coverage.intersection(&symbolic).count();
+    let fuzz_only = fuzz.coverage.len() - shared;
+    let symbolic_only = symbolic.len() - shared;
+    println!(
+        "coverage: fuzz {} / symbolic {} / shared {shared} \
+         (fuzz-only {fuzz_only}, symbolic-only {symbolic_only})",
+        fuzz.coverage.len(),
+        symbolic.len()
+    );
+    if shared == 0 {
+        println!("MISMATCH: the two coverage maps do not intersect");
+        ok = false;
+    }
+
+    // 3a. Symbolic → fuzz: gateway models against IF1 kill on exec 1.
+    let if1 = config.fault(InjectedFault::If1OffByOneGateway);
+    let seeds = seeds_from_symbolic(if1, &gateway_probe(), 64);
+    let seeded = Fuzzer::new(if1)
+        .seed(seed)
+        .seeds(seeds.clone())
+        .stop_on_finding(true)
+        .max_execs(64)
+        .run();
+    let instant_kill = seeded.findings.first().map(|f| f.exec) == Some(1);
+    println!(
+        "symbolic->fuzz: {} exported seeds, instant kill: {instant_kill}",
+        seeds.len()
+    );
+    if !instant_kill {
+        println!("MISMATCH: symbolic gateway model did not kill IF1 on exec 1");
+        ok = false;
+    }
+
+    // 3b. Fuzz → symbolic: an IF6 divergence confirms by trace and replay.
+    let if6 = config.fault(InjectedFault::If6ThresholdOffByOne);
+    let hunt = Fuzzer::new(if6)
+        .seed(seed)
+        .seeds(dictionary(&if6))
+        .stop_on_finding(true)
+        .max_execs(execs)
+        .run();
+    let (trace_confirmed, replay_confirmed) = match hunt.findings.first() {
+        Some(finding) => (
+            !confirm_by_trace(if6, &finding.input).passed(),
+            !confirm_by_replay(if6, &finding.input).passed(),
+        ),
+        None => (false, false),
+    };
+    println!(
+        "fuzz->symbolic: IF6 divergence found: {}, trace confirmed: \
+         {trace_confirmed}, replay confirmed: {replay_confirmed}",
+        hunt.killed()
+    );
+    if !(trace_confirmed && replay_confirmed) {
+        println!("MISMATCH: fuzz-found divergence failed symbolic confirmation");
+        ok = false;
+    }
+
+    let seconds = start.elapsed().as_secs_f64();
+    println!("{seconds:.1}s");
+
+    if let Some(path) = emit {
+        let mut json = String::from("{\n  \"harness\": \"fuzz_diff\",\n");
+        let _ = writeln!(json, "  \"equivalent\": {equivalent},");
+        let _ = writeln!(
+            json,
+            "  \"config\": {{\"sources\": {}, \"max_priority\": {}}},",
+            config.sources, config.max_priority
+        );
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        let _ = writeln!(json, "  \"fuzz_execs\": {},", fuzz.execs);
+        let _ = writeln!(json, "  \"fuzz_corpus\": {},", fuzz.corpus.len());
+        let _ = writeln!(json, "  \"fuzz_points\": {},", fuzz.coverage.len());
+        let _ = writeln!(json, "  \"symbolic_paths\": {symbolic_paths},");
+        let _ = writeln!(json, "  \"symbolic_points\": {},", symbolic.len());
+        let _ = writeln!(json, "  \"shared_points\": {shared},");
+        let _ = writeln!(json, "  \"fuzz_only_points\": {fuzz_only},");
+        let _ = writeln!(json, "  \"symbolic_only_points\": {symbolic_only},");
+        let _ = writeln!(json, "  \"exchange_seeds\": {},", seeds.len());
+        let _ = writeln!(json, "  \"instant_kill\": {instant_kill},");
+        let _ = writeln!(json, "  \"trace_confirmed\": {trace_confirmed},");
+        let _ = writeln!(json, "  \"replay_confirmed\": {replay_confirmed},");
+        let _ = writeln!(json, "  \"seconds\": {seconds:.1}");
+        json.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            println!("MISMATCH: could not write {path}: {e}");
+            ok = false;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -184,6 +184,48 @@ fn compare_mutation(g: &mut Gate, base: &Json, cur: &Json) {
     g.seconds_within(base, cur, ctx, "seconds");
 }
 
+fn compare_fuzz_kill(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "fuzz_kill";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.counter_exact(base, cur, ctx, "mutants_total");
+    g.rate_at_least(base, cur, ctx, "kill_rate", PERCENT_SLACK);
+    g.rate_at_least(base, cur, ctx, "presets_killed", 0.0);
+    g.rate_at_least(base, cur, ctx, "generated_killed", 1.0);
+    // The symbolic verdict column rides along in full-matrix emissions
+    // only; when the baseline recorded it, the current run must too.
+    if base.get("symbolic_killed").is_some() {
+        g.rate_at_least(base, cur, ctx, "symbolic_killed", 0.0);
+    }
+    // Coverage of the corpus-building campaign is deterministic at the
+    // recorded seed, so shrinkage is a behavior change, not noise.
+    g.rate_at_least(base, cur, ctx, "coverage_points", 0.0);
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
+fn compare_fuzz_diff(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "fuzz_diff";
+    g.equivalence_holds(cur, ctx);
+    // All three coverage counters are pure functions of the recorded
+    // campaign seed and the probe set.
+    g.counter_exact(base, cur, ctx, "fuzz_points");
+    g.counter_exact(base, cur, ctx, "symbolic_points");
+    g.counter_exact(base, cur, ctx, "shared_points");
+    g.rate_at_least(base, cur, ctx, "exchange_seeds", 0.0);
+    for flag in ["instant_kill", "trace_confirmed", "replay_confirmed"] {
+        if cur.get(flag).and_then(Json::as_bool) != Some(true) {
+            g.fail(format!(
+                "{ctx}: current run does not report \"{flag}\": true"
+            ));
+        }
+    }
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
 fn compare_incremental(g: &mut Gate, base: &Json, cur: &Json) {
     g.equivalence_holds(cur, "incremental_speedup");
     g.counter_exact(base, cur, "incremental_speedup", "sources");
@@ -244,6 +286,8 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
     match kind {
         "solver_stack" => compare_solver_stack(&mut g, baseline, current),
         "mutation_kill" => compare_mutation(&mut g, baseline, current),
+        "fuzz_kill" => compare_fuzz_kill(&mut g, baseline, current),
+        "fuzz_diff" => compare_fuzz_diff(&mut g, baseline, current),
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
         other => g.fail(format!("unknown harness kind \"{other}\"")),
     }
@@ -325,6 +369,78 @@ mod tests {
         let violations = compare(&base, &collapsed);
         assert!(violations.iter().any(|v| v.contains("kill_rate")));
         assert!(violations.iter().any(|v| v.contains("presets_killed")));
+    }
+
+    fn fuzz_kill_doc(kill_rate: f64, presets: u64, generated: u64) -> Json {
+        parse(&format!(
+            "{{\"harness\": \"fuzz_kill\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": {kill_rate:.2}, \
+              \"presets_killed\": {presets}, \"generated_killed\": {generated}, \
+              \"symbolic_killed\": 29, \"coverage_points\": 210, \
+              \"seconds\": 55.0}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fuzz_kill_rate_regression_trips_the_gate() {
+        // The demonstration the acceptance criteria ask for: an injected
+        // kill-rate regression (e.g. a broken dictionary replays nothing
+        // and only half the mutants die) must fail the gate.
+        let base = fuzz_kill_doc(87.88, 6, 23);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        let regressed = fuzz_kill_doc(48.48, 4, 12);
+        let violations = compare(&base, &regressed);
+        assert!(
+            violations.iter().any(|v| v.contains("kill_rate")),
+            "expected a kill_rate violation, got {violations:?}"
+        );
+        assert!(violations.iter().any(|v| v.contains("presets_killed")));
+        assert!(violations.iter().any(|v| v.contains("generated_killed")));
+    }
+
+    #[test]
+    fn fuzz_kill_tolerates_slack_but_not_scale_mismatch() {
+        let base = fuzz_kill_doc(87.88, 6, 23);
+        // Within the percent slack and the one-mutant generated slack.
+        assert_eq!(
+            compare(&base, &fuzz_kill_doc(84.85, 6, 22)),
+            Vec::<String>::new()
+        );
+        let smoke = parse(
+            "{\"harness\": \"fuzz_kill\", \"smoke\": true, \
+              \"mutants_total\": 6, \"kill_rate\": 100.0, \
+              \"presets_killed\": 6, \"generated_killed\": 0, \
+              \"coverage_points\": 200, \"seconds\": 9.0}",
+        )
+        .unwrap();
+        let violations = compare(&base, &smoke);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("smoke flag differs"));
+    }
+
+    #[test]
+    fn fuzz_diff_counters_are_exact_and_flags_required() {
+        let doc = |fuzz_points: u64, instant: bool| {
+            parse(&format!(
+                "{{\"harness\": \"fuzz_diff\", \"equivalent\": true, \
+                  \"fuzz_points\": {fuzz_points}, \"symbolic_points\": 120, \
+                  \"shared_points\": 95, \"exchange_seeds\": 2, \
+                  \"instant_kill\": {instant}, \"trace_confirmed\": true, \
+                  \"replay_confirmed\": true, \"seconds\": 4.0}}"
+            ))
+            .unwrap()
+        };
+        let base = doc(230, true);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        let drifted = doc(180, true);
+        assert!(compare(&base, &drifted)
+            .iter()
+            .any(|v| v.contains("fuzz_points")));
+        let unconfirmed = doc(230, false);
+        assert!(compare(&base, &unconfirmed)
+            .iter()
+            .any(|v| v.contains("instant_kill")));
     }
 
     #[test]

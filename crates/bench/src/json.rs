@@ -303,6 +303,9 @@ mod tests {
             "../../BENCH_solver_stack.json",
             "../../BENCH_mutation_kill.json",
             "../../BENCH_incremental_solve.json",
+            "../../BENCH_fuzz_kill.json",
+            "../../BENCH_fuzz_smoke.json",
+            "../../BENCH_fuzz_diff.json",
         ] {
             if let Ok(text) = std::fs::read_to_string(name) {
                 parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));

@@ -1,0 +1,127 @@
+//! The deterministic seed dictionary: canonical stimulus programs derived
+//! from the PLIC protocol, replayed as round 0 of every campaign.
+//!
+//! Raw havoc has to assemble `arm → enable → trigger → step → observe`
+//! chains by chance; the dictionary encodes that protocol knowledge once,
+//! parameterized over every source id and priority level. Each operand
+//! value is pinned by its own enumerate-chain decide in the harness, so
+//! every dictionary entry contributes distinct `(fork-site, direction)`
+//! coverage points and survives corpus minimization.
+
+use symsc_plic::PlicConfig;
+
+use crate::grammar::{Program, RawOp};
+use crate::harness::op;
+
+fn raw(kind: u32, a: u32, b: u8) -> RawOp {
+    RawOp {
+        kind: kind as u8,
+        a,
+        b,
+    }
+}
+
+/// The full dictionary for `config`: arm-and-fire for every source (with
+/// cycling priorities, covering every priority level), threshold boundary
+/// probes for every level, masked-arm probes, a two-source retrigger
+/// chain, and gateway bound probes.
+pub fn dictionary(config: &PlicConfig) -> Vec<Vec<u8>> {
+    let sources = config.sources;
+    let maxp = config.max_priority;
+    let mut out: Vec<Program> = Vec::new();
+
+    // Arm one source, fire it, observe delivery, claim, complete, observe
+    // the retrigger window and the pending bitmap. Kills notify-drop,
+    // late-notify, early-clear, claim/complete and priority-datapath
+    // mutants for the specific id/priority they are seeded on.
+    for irq in 1..=sources {
+        let prio = 1 + ((irq - 1) % maxp);
+        let word = (irq / 32) as u8;
+        out.push(Program::from_ops(vec![
+            raw(op::SET_PRIORITY, irq, prio as u8),
+            raw(op::WRITE_ENABLE, u32::MAX, word),
+            raw(op::TRIGGER, irq, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::CLAIM, 0, 0),
+            raw(op::COMPLETE, irq, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::READ_PENDING, 0, word),
+        ]));
+    }
+
+    // Threshold boundary: priority == threshold must be masked; kills
+    // threshold-compare mutants at every level.
+    for p in 1..=maxp {
+        out.push(Program::from_ops(vec![
+            raw(op::SET_PRIORITY, 1, p as u8),
+            raw(op::WRITE_ENABLE, u32::MAX, 0),
+            raw(op::SET_THRESHOLD, p, 0),
+            raw(op::TRIGGER, 1, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::CLAIM, 0, 0),
+        ]));
+    }
+
+    // Armed but *disabled* source: nothing may be delivered; kills
+    // stuck-enable mutants.
+    for irq in 1..=sources.min(2) {
+        out.push(Program::from_ops(vec![
+            raw(op::SET_PRIORITY, irq, 1 + (maxp as u8 / 2)),
+            raw(op::TRIGGER, irq, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::READ_PENDING, 0, 0),
+        ]));
+    }
+
+    // Two equal-priority sources, claim and complete the first: the
+    // second must be delivered afterwards. Kills skip-retrigger and
+    // tie-break mutants.
+    if sources >= 2 {
+        out.push(Program::from_ops(vec![
+            raw(op::SET_PRIORITY, 1, 3.min(maxp as u8)),
+            raw(op::SET_PRIORITY, 2, 3.min(maxp as u8)),
+            raw(op::WRITE_ENABLE, u32::MAX, 0),
+            raw(op::TRIGGER, 1, 0),
+            raw(op::TRIGGER, 2, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::CLAIM, 0, 0),
+            raw(op::COMPLETE, 1, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::CLAIM, 0, 0),
+        ]));
+    }
+
+    // Gateway bound probes: id 0 and id sources+1 must both be ignored.
+    for bad in [0, sources + 1] {
+        out.push(Program::from_ops(vec![
+            raw(op::TRIGGER, bad, 0),
+            raw(op::STEP, 0, 0),
+            raw(op::READ_PENDING, 0, 0),
+        ]));
+    }
+
+    out.into_iter().map(|p| p.encode()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_input;
+    use symsc_plic::PlicVariant;
+
+    #[test]
+    fn dictionary_is_clean_on_the_fixed_model() {
+        let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+        for entry in dictionary(&config) {
+            let outcome = run_input(config, &entry);
+            assert_eq!(outcome.errors, Vec::new(), "entry {entry:?} diverged");
+        }
+    }
+
+    #[test]
+    fn dictionary_scales_with_the_configuration() {
+        let scaled = dictionary(&PlicConfig::fe310_scaled());
+        let full = dictionary(&PlicConfig::fe310());
+        assert!(full.len() > scaled.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! The byte-string ↔ transaction-program grammar.
+//!
+//! A fuzz input is a flat byte string. It decodes into a bounded sequence
+//! of *operations*, each occupying one fixed-size slot, and every decoded
+//! operation maps onto exactly three symbolic input variables of the
+//! differential harness (`op{i}_kind`, `op{i}_a`, `op{i}_b`). Because the
+//! mapping is exact in both directions — every operand byte is carried
+//! verbatim into a variable and back — a fuzz input, a concolic trace
+//! assignment and a symbolic counterexample model are three encodings of
+//! the same point in the input space. That is what makes the two-way seed
+//! exchange of [`crate::exchange`] lossless.
+
+use symsc_symex::Counterexample;
+
+/// Bytes per operation slot: `[kind, a0, a1, a2, a3, b]` with `a` stored
+/// little-endian.
+pub const OP_BYTES: usize = 6;
+
+/// Hard cap on decoded operations per input (keeps executions bounded no
+/// matter what the mutator produces).
+pub const MAX_OPS: usize = 12;
+
+/// Number of operation kinds understood by the harness (`kind % OP_KINDS`
+/// selects the arm).
+pub const OP_KINDS: u8 = 8;
+
+/// One decoded operation slot. The raw fields are interpreted by the
+/// harness (`kind` modulo [`OP_KINDS`], operands modulo their arm-specific
+/// ranges), so *every* byte string decodes into a valid program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RawOp {
+    /// Operation selector (used modulo [`OP_KINDS`]).
+    pub kind: u8,
+    /// Primary 32-bit operand.
+    pub a: u32,
+    /// Secondary 8-bit operand.
+    pub b: u8,
+}
+
+/// A decoded fuzz input: a bounded sequence of raw operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Program {
+    ops: Vec<RawOp>,
+}
+
+impl Program {
+    /// Decodes a byte string: consecutive [`OP_BYTES`]-sized slots, a
+    /// trailing partial slot is ignored, at most [`MAX_OPS`] operations.
+    pub fn decode(bytes: &[u8]) -> Program {
+        let ops = bytes
+            .chunks_exact(OP_BYTES)
+            .take(MAX_OPS)
+            .map(|s| RawOp {
+                kind: s[0],
+                a: u32::from_le_bytes([s[1], s[2], s[3], s[4]]),
+                b: s[5],
+            })
+            .collect();
+        Program { ops }
+    }
+
+    /// Builds a program directly from operations (truncated to
+    /// [`MAX_OPS`]).
+    pub fn from_ops(ops: Vec<RawOp>) -> Program {
+        let mut ops = ops;
+        ops.truncate(MAX_OPS);
+        Program { ops }
+    }
+
+    /// Re-encodes the program as the canonical byte string.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.ops.len() * OP_BYTES);
+        for op in &self.ops {
+            out.push(op.kind);
+            out.extend_from_slice(&op.a.to_le_bytes());
+            out.push(op.b);
+        }
+        out
+    }
+
+    /// The decoded operations.
+    pub fn ops(&self) -> &[RawOp] {
+        &self.ops
+    }
+
+    /// Number of decoded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program decodes to no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The program as a concolic trace assignment: the variable
+    /// environment consumed by `Explorer::trace` over the differential
+    /// harness of matching length.
+    pub fn to_assignment(&self) -> Counterexample {
+        let mut pairs: Vec<(String, u64)> = Vec::with_capacity(self.ops.len() * 3);
+        for (i, op) in self.ops.iter().enumerate() {
+            pairs.push((format!("op{i}_kind"), u64::from(op.kind)));
+            pairs.push((format!("op{i}_a"), u64::from(op.a)));
+            pairs.push((format!("op{i}_b"), u64::from(op.b)));
+        }
+        Counterexample::from_pairs(pairs)
+    }
+
+    /// Rebuilds a program of `len` operations from a symbolic
+    /// counterexample over the harness variables (missing variables
+    /// default to 0, mirroring the engine's treatment of unconstrained
+    /// inputs).
+    pub fn from_assignment(cex: &Counterexample, len: usize) -> Program {
+        let map = cex.to_map();
+        let len = len.min(MAX_OPS);
+        let ops = (0..len)
+            .map(|i| RawOp {
+                kind: map.get(&format!("op{i}_kind")).copied().unwrap_or(0) as u8,
+                a: map.get(&format!("op{i}_a")).copied().unwrap_or(0) as u32,
+                b: map.get(&format!("op{i}_b")).copied().unwrap_or(0) as u8,
+            })
+            .collect();
+        Program { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trips_whole_slots() {
+        let bytes: Vec<u8> = (0..OP_BYTES as u8 * 3).collect();
+        let p = Program::decode(&bytes);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.encode(), bytes);
+    }
+
+    #[test]
+    fn trailing_partial_slot_is_ignored() {
+        let bytes = vec![7u8; OP_BYTES + 2];
+        let p = Program::decode(&bytes);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.encode(), vec![7u8; OP_BYTES]);
+    }
+
+    #[test]
+    fn decode_caps_at_max_ops() {
+        let bytes = vec![1u8; OP_BYTES * (MAX_OPS + 5)];
+        assert_eq!(Program::decode(&bytes).len(), MAX_OPS);
+    }
+
+    #[test]
+    fn operand_a_is_little_endian() {
+        let p = Program::decode(&[0, 0x78, 0x56, 0x34, 0x12, 9]);
+        assert_eq!(p.ops()[0].a, 0x1234_5678);
+        assert_eq!(p.ops()[0].b, 9);
+    }
+
+    #[test]
+    fn assignment_round_trips_through_counterexample() {
+        let bytes = vec![3, 0xAA, 0xBB, 0xCC, 0xDD, 0x44, 250, 1, 2, 3, 4, 5];
+        let p = Program::decode(&bytes);
+        let cex = p.to_assignment();
+        assert_eq!(cex.value("op0_kind"), 3);
+        assert_eq!(cex.value("op1_b"), 5);
+        let back = Program::from_assignment(&cex, p.len());
+        assert_eq!(back, p);
+        assert_eq!(back.encode(), bytes);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic corpus minimization: a greedy set cover over the
+//! corpus entries' coverage sets. The minimized corpus covers exactly the
+//! same `(fork-site, direction)` points with (usually far) fewer inputs —
+//! the kill matrix replays it at the start of every per-mutant campaign.
+
+use std::collections::BTreeSet;
+
+use symsc_plic::PlicConfig;
+
+use crate::engine::{run_input, CoveragePoint};
+
+/// Greedily selects a subset of `corpus` with the same total coverage.
+///
+/// Entries are re-executed to obtain their coverage sets, then picked
+/// largest-marginal-gain first (ties resolved toward the earlier entry),
+/// so the result is a pure function of `(config, corpus)`.
+pub fn minimize(config: PlicConfig, corpus: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let sets: Vec<BTreeSet<CoveragePoint>> = corpus
+        .iter()
+        .map(|c| run_input(config, c).coverage)
+        .collect();
+    let mut covered: BTreeSet<CoveragePoint> = BTreeSet::new();
+    let mut taken = vec![false; corpus.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, set) in sets.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let gain = set.difference(&covered).count();
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        taken[i] = true;
+        covered.extend(sets[i].iter().copied());
+        out.push(corpus[i].clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Fuzzer;
+    use symsc_plic::PlicVariant;
+
+    #[test]
+    fn minimized_corpus_preserves_total_coverage() {
+        let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+        let report = Fuzzer::new(config).seed(5).max_execs(64).batch(16).run();
+        let minimized = minimize(config, &report.corpus);
+        assert!(minimized.len() <= report.corpus.len());
+        let mut covered = BTreeSet::new();
+        for entry in &minimized {
+            covered.extend(run_input(config, entry).coverage);
+        }
+        assert_eq!(covered, report.coverage);
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+        let entry = vec![3u8, 2, 0, 0, 0, 0];
+        let corpus = vec![entry.clone(), entry.clone(), entry.clone()];
+        assert_eq!(minimize(config, &corpus), vec![entry]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Edge cases of the integer simulation time and the scheduler's
+//! zero-time semantics: saturation and overflow next to `u64::MAX`, and
+//! the ordering rules of immediate / delta / zero-delay notifications at
+//! a single simulated instant.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Kernel, NotifyKind, ProcessCtx, SimTime, Suspend};
+
+#[test]
+fn saturating_add_clamps_at_the_maximum() {
+    let one = SimTime::from_ps(1);
+    assert_eq!(SimTime::MAX.saturating_add(one), SimTime::MAX);
+    assert_eq!(SimTime::MAX.saturating_add(SimTime::MAX), SimTime::MAX);
+    assert_eq!(SimTime::ZERO.saturating_add(SimTime::MAX), SimTime::MAX);
+    // The last representable step reaches MAX exactly; one more clamps.
+    let near = SimTime::from_ps(u64::MAX - 3);
+    assert_eq!(near.saturating_add(SimTime::from_ps(3)), SimTime::MAX);
+    assert_eq!(near.saturating_add(SimTime::from_ps(4)), SimTime::MAX);
+    // Saturation never reorders: the clamped sum still compares correctly.
+    assert!(near < SimTime::MAX);
+    assert!(near.saturating_add(one) <= SimTime::MAX);
+}
+
+#[test]
+fn checked_sub_reports_underflow_instead_of_wrapping() {
+    let one = SimTime::from_ps(1);
+    assert_eq!(SimTime::MAX.checked_sub(SimTime::MAX), Some(SimTime::ZERO));
+    assert_eq!(SimTime::MAX.checked_sub(SimTime::ZERO), Some(SimTime::MAX));
+    assert_eq!(SimTime::ZERO.checked_sub(one), None);
+    assert_eq!(
+        SimTime::from_ps(5).checked_sub(SimTime::from_ps(6)),
+        None,
+        "a one-ps deficit must not wrap to ~u64::MAX"
+    );
+    // Round trip at the top of the range.
+    let below = SimTime::MAX.checked_sub(one).unwrap();
+    assert_eq!(below.saturating_add(one), SimTime::MAX);
+    // checked_sub succeeds exactly when the order allows it.
+    for (a, b) in [(3u64, 7u64), (7, 3), (7, 7)] {
+        let (a, b) = (SimTime::from_ps(a), SimTime::from_ps(b));
+        assert_eq!(a.checked_sub(b).is_some(), a >= b);
+    }
+}
+
+/// Spawns a process that waits on a fresh event and logs the simulation
+/// time of every wake-up. Returns the event and the shared log.
+fn waiter(kernel: &mut Kernel) -> (symsc_pk::Event, Rc<RefCell<Vec<SimTime>>>) {
+    let event = kernel.create_event("edge");
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let sink = log.clone();
+    let mut started = false;
+    kernel.spawn("waiter", move |ctx: &mut ProcessCtx<'_>| {
+        if started {
+            sink.borrow_mut().push(ctx.time());
+        }
+        started = true;
+        Suspend::WaitEvent(event)
+    });
+    // The initial activation only registers the wait.
+    assert!(kernel.step());
+    (event, log)
+}
+
+#[test]
+fn zero_delay_timed_notify_is_a_delta_notification() {
+    let mut kernel = Kernel::new();
+    let (event, log) = waiter(&mut kernel);
+    kernel.notify(event, NotifyKind::Timed(SimTime::ZERO));
+    assert!(kernel.has_pending_activity());
+    assert!(kernel.step());
+    // The wake happens in the next delta cycle of the *same* instant:
+    // simulated time must not advance.
+    assert_eq!(log.borrow().as_slice(), &[SimTime::ZERO]);
+    assert_eq!(kernel.time(), SimTime::ZERO);
+    assert!(!kernel.has_pending_activity());
+}
+
+#[test]
+fn pending_delta_is_never_overridden_by_a_timed_notify() {
+    let mut kernel = Kernel::new();
+    let (event, log) = waiter(&mut kernel);
+    kernel.notify(event, NotifyKind::Delta);
+    kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(5)));
+    assert!(kernel.step());
+    assert_eq!(
+        log.borrow().as_slice(),
+        &[SimTime::ZERO],
+        "the delta notification must win over the later timed one"
+    );
+    // The superseded timed entry is stale, not a future wake-up.
+    assert!(!kernel.has_pending_activity());
+}
+
+#[test]
+fn a_delta_notify_overrides_a_pending_timed_one() {
+    let mut kernel = Kernel::new();
+    let (event, log) = waiter(&mut kernel);
+    kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(5)));
+    kernel.notify(event, NotifyKind::Delta);
+    assert!(kernel.step());
+    assert_eq!(log.borrow().as_slice(), &[SimTime::ZERO]);
+    assert_eq!(kernel.time(), SimTime::ZERO);
+    assert!(!kernel.has_pending_activity());
+}
+
+#[test]
+fn of_two_timed_notifies_the_earlier_wins_either_way_round() {
+    for (first, second) in [(10u64, 2u64), (2, 10)] {
+        let mut kernel = Kernel::new();
+        let (event, log) = waiter(&mut kernel);
+        kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(first)));
+        kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(second)));
+        assert!(kernel.step());
+        assert_eq!(
+            log.borrow().as_slice(),
+            &[SimTime::from_ns(2)],
+            "order {first},{second}: the event fires at the earlier time"
+        );
+        assert!(!kernel.has_pending_activity());
+    }
+}
+
+#[test]
+fn immediate_notify_cancels_a_pending_timed_one() {
+    let mut kernel = Kernel::new();
+    let (event, log) = waiter(&mut kernel);
+    kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(5)));
+    kernel.notify(event, NotifyKind::Immediate);
+    assert!(kernel.step());
+    assert_eq!(log.borrow().as_slice(), &[SimTime::ZERO]);
+    // The cancelled timed notification must not fire a second time.
+    assert!(!kernel.has_pending_activity());
+    assert!(!kernel.step(), "simulation must be starved");
+}
+
+#[test]
+fn far_future_notifications_near_the_maximum_are_schedulable_and_cancellable() {
+    let mut kernel = Kernel::new();
+    let (event, log) = waiter(&mut kernel);
+    // An almost-u64::MAX deadline: representable, ordered, never reached.
+    kernel.notify(event, NotifyKind::Timed(SimTime::from_ps(u64::MAX - 1)));
+    assert!(kernel.has_pending_activity());
+    assert_eq!(kernel.run_until(SimTime::from_ms(1)), SimTime::from_ms(1));
+    assert!(
+        log.borrow().is_empty(),
+        "the far-future event must not fire"
+    );
+    assert!(kernel.has_pending_activity());
+    kernel.cancel(event);
+    assert!(!kernel.has_pending_activity());
+    assert!(
+        !kernel.step(),
+        "a cancelled far-future wake must not starve-loop"
+    );
+    assert_eq!(kernel.time(), SimTime::from_ms(1));
+}

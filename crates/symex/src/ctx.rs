@@ -41,6 +41,12 @@ pub(crate) struct EngineState {
     pub(crate) budget_exhausted: bool,
     /// Concrete replay mode: symbolic inputs resolve to these values.
     pub(crate) replay: Option<std::collections::HashMap<String, u64>>,
+    /// Concolic trace mode: inputs stay symbolic (so fork-site
+    /// fingerprints are the ones exploration would see) but every
+    /// decision is *evaluated* under this assignment instead of solved —
+    /// a single concrete path with real branch coverage and no solver
+    /// work. This is the fuzzer's execution mode.
+    pub(crate) trace: Option<std::collections::HashMap<String, u64>>,
     /// Functional-coverage bins: label -> number of paths that hit it.
     pub(crate) coverage: std::collections::BTreeMap<String, u64>,
     /// Bins hit on the current path (merged into `coverage` per path).
@@ -82,6 +88,7 @@ impl EngineState {
             max_path_decisions,
             budget_exhausted: false,
             replay: None,
+            trace: None,
             coverage: std::collections::BTreeMap::new(),
             path_coverage: std::collections::BTreeSet::new(),
             branches: std::collections::BTreeMap::new(),
@@ -198,9 +205,12 @@ impl EngineState {
     }
 
     fn record_error(&mut self, kind: ErrorKind, message: String, model: &Model) {
-        let counterexample = match &self.replay {
-            Some(values) => Counterexample::from_values(values, &self.inputs),
-            None => Counterexample::from_model(model, &self.inputs),
+        let counterexample = if let Some(values) = &self.replay {
+            Counterexample::from_values(values, &self.inputs)
+        } else if let Some(values) = &self.trace {
+            Counterexample::from_values(values, &self.inputs)
+        } else {
+            Counterexample::from_model(model, &self.inputs)
         };
         self.errors.push(SymError {
             kind,
@@ -259,6 +269,13 @@ impl EngineState {
         // Recorded for forced (replayed) and free decisions alike — a
         // path's covered set is independent of how it was reached.
         let site = self.pool.fingerprint(cond);
+
+        if let Some(env) = &self.trace {
+            let dir = symsc_smt::eval::evaluate(&self.pool, cond, env) == 1;
+            self.taken.push(dir);
+            self.path_branches.insert((site, dir));
+            return dir;
+        }
 
         if self.cursor < self.forced.len() {
             let dir = self.forced[self.cursor];
@@ -343,6 +360,12 @@ impl EngineState {
             self.kill_path();
         }
         self.count_decision();
+        if let Some(env) = &self.trace {
+            if symsc_smt::eval::evaluate(&self.pool, cond, env) != 1 {
+                self.kill_path();
+            }
+            return;
+        }
         if self.env_value(cond) != Some(true) {
             match self.check(Some(cond)) {
                 SatResult::Sat(model) => self.adopt_model(&model),
@@ -370,6 +393,16 @@ impl EngineState {
             return;
         }
         self.count_decision();
+        if let Some(env) = &self.trace {
+            // Concolic: the check either holds under the traced input or
+            // it is a finding — there is no "other fork" to continue on,
+            // exactly like replay mode.
+            if symsc_smt::eval::evaluate(&self.pool, cond, env) != 1 {
+                self.record_error_here(kind, message.to_string());
+                self.kill_path();
+            }
+            return;
+        }
         let not_cond = self.pool.not(cond);
         // The cached model may already witness the violation.
         let violated = if self.env_value(not_cond) == Some(true) {
@@ -415,6 +448,10 @@ impl EngineState {
     /// KLEE-style concretization: pick a satisfying value for `id`, pin the
     /// path to it, and return it.
     pub(crate) fn concretize(&mut self, id: TermId, width: Width) -> u64 {
+        if let Some(env) = &self.trace {
+            // Concolic: the traced assignment already fixes every input.
+            return symsc_smt::eval::evaluate(&self.pool, id, env);
+        }
         if self.cur_env.is_none() {
             match self.check(None) {
                 SatResult::Sat(model) => self.adopt_model(&model),

@@ -569,6 +569,65 @@ impl Explorer {
             completed: true,
         }
     }
+
+    /// Runs a testbench *concolically* on a concrete assignment: inputs
+    /// stay symbolic (so fork sites keep the structural fingerprints the
+    /// exploration would compute), but every decision is evaluated under
+    /// the assignment instead of solved. Exactly one path executes, no
+    /// solver is involved, and — unlike [`replay`](Self::replay), which
+    /// constant-folds the inputs and therefore records no fork sites —
+    /// the report's `stats.branches` holds real branch coverage, keyed by
+    /// the *same* fingerprints symbolic exploration uses.
+    ///
+    /// This is the coverage-guided fuzzer's execution mode: it makes a
+    /// concrete run's coverage directly comparable (and mergeable) with a
+    /// symbolic exploration's.
+    pub fn trace<F: FnMut(&SymCtx)>(
+        &self,
+        assignment: &crate::error::Counterexample,
+        mut testbench: F,
+    ) -> Report {
+        install_quiet_hook();
+        let state = Arc::new(Mutex::new(EngineState::new(
+            self.max_path_decisions,
+            self.solver_setup().build(),
+        )));
+        lock_state(&state).trace = Some(assignment.to_map());
+        let start = Instant::now();
+
+        let ctx = SymCtx::new(state.clone());
+        ctx.engine().begin_path(Vec::new());
+        IN_EXPLORATION.with(|f| f.set(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
+        IN_EXPLORATION.with(|f| f.set(false));
+        if let Err(payload) = outcome {
+            if payload.downcast_ref::<PathTerm>().is_none() {
+                let message = panic_message(payload.as_ref());
+                ctx.engine()
+                    .record_error_here(ErrorKind::ModelPanic, message);
+            }
+        }
+
+        let mut st = lock_state(&state);
+        st.end_path_coverage();
+        st.end_path_branches();
+        let st = &*st;
+        let time = start.elapsed();
+        Report {
+            errors: st.errors.clone(),
+            coverage: st.coverage.clone(),
+            stats: ExplorationStats {
+                paths: 1,
+                instructions: st.pool.ops_created() + st.decisions,
+                decisions: st.decisions,
+                time,
+                solver_time: st.solver_time,
+                solver: st.solver.stats(),
+                branches: st.branches.clone(),
+            },
+            completed: true,
+        }
+    }
 }
 
 impl Explorer {
@@ -1060,6 +1119,86 @@ mod replay_tests {
         let replayed = explorer.replay(&cex, bench);
         assert_eq!(replayed.errors.len(), 1);
         assert!(replayed.errors[0].message.contains("boom"));
+    }
+
+    #[test]
+    fn trace_records_the_same_fork_sites_as_exploration() {
+        // Replay constant-folds the inputs, so `decide` never sees a
+        // symbolic condition and the branch map stays empty; trace keeps
+        // the inputs symbolic and must record exactly the fork sites the
+        // symbolic exploration fingerprints.
+        let bench = |ctx: &SymCtx| {
+            let x = ctx.symbolic("x", Width::W8);
+            let ten = ctx.word(10, Width::W8);
+            if ctx.decide(&x.ult(&ten)) {
+                ctx.cover("small");
+            }
+        };
+        let explorer = Explorer::new();
+        let explored = explorer.explore(bench);
+        assert_eq!(explored.stats.paths, 2);
+        let sites: Vec<u128> = explored.stats.branches.keys().copied().collect();
+        assert_eq!(sites.len(), 1);
+
+        let small = crate::error::Counterexample::from_pairs([("x", 3u64)]);
+        let traced = explorer.trace(&small, bench);
+        assert!(traced.passed());
+        assert_eq!(traced.stats.paths, 1);
+        let traced_sites: Vec<u128> = traced.stats.branches.keys().copied().collect();
+        assert_eq!(traced_sites, sites, "same structural fingerprints");
+        assert_eq!(traced.stats.branches[&sites[0]].taken, 1);
+        assert_eq!(traced.stats.branches[&sites[0]].not_taken, 0);
+        assert_eq!(traced.coverage.get("small"), Some(&1));
+        assert_eq!(
+            traced.stats.solver.queries, 0,
+            "trace mode never consults the solver"
+        );
+
+        let big = crate::error::Counterexample::from_pairs([("x", 200u64)]);
+        let traced = explorer.trace(&big, bench);
+        assert_eq!(traced.stats.branches[&sites[0]].not_taken, 1);
+        assert!(traced.coverage.is_empty());
+
+        // Replay of the same input records no fork sites at all.
+        let replayed = explorer.replay(&small, bench);
+        assert!(replayed.stats.branches.is_empty());
+    }
+
+    #[test]
+    fn trace_reports_violations_with_the_traced_inputs() {
+        let explorer = Explorer::new();
+        let bad = crate::error::Counterexample::from_pairs([("x", 42u64)]);
+        let traced = explorer.trace(&bad, buggy_bench);
+        assert_eq!(traced.errors.len(), 1);
+        assert_eq!(traced.errors[0].counterexample.value("x"), 42);
+        assert_eq!(traced.stats.paths, 1);
+
+        let good = crate::error::Counterexample::from_pairs([("x", 3u64)]);
+        assert!(explorer.trace(&good, buggy_bench).passed());
+    }
+
+    #[test]
+    fn trace_handles_assume_concretize_and_panics() {
+        let bench = |ctx: &SymCtx| {
+            let x = ctx.symbolic("x", Width::W8);
+            ctx.assume(&x.ult(&ctx.word(100, Width::W8)));
+            let v = x.concretize();
+            if v == 7 {
+                panic!("boom on 7");
+            }
+        };
+        let explorer = Explorer::new();
+        let boom = crate::error::Counterexample::from_pairs([("x", 7u64)]);
+        let traced = explorer.trace(&boom, bench);
+        assert_eq!(traced.errors.len(), 1);
+        assert_eq!(traced.errors[0].kind, ErrorKind::ModelPanic);
+        assert_eq!(traced.errors[0].counterexample.value("x"), 7);
+
+        // A traced input violating an assumption ends the path silently.
+        let outside = crate::error::Counterexample::from_pairs([("x", 200u64)]);
+        let traced = explorer.trace(&outside, bench);
+        assert!(traced.passed());
+        assert_eq!(traced.stats.paths, 1);
     }
 }
 

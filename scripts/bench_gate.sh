@@ -23,7 +23,8 @@ for arg in "$@"; do
 done
 
 cargo build --offline --release -p symsc-bench \
-  --bin solver_stack --bin incremental_speedup --bin mutation_kill --bin bench_gate
+  --bin solver_stack --bin incremental_speedup --bin mutation_kill \
+  --bin fuzz_diff --bin bench_gate
 
 out=target/bench_gate
 mkdir -p "$out"
@@ -36,9 +37,13 @@ echo "==> solver-stack ablation (sources=32)"
 echo "==> incremental-core ablation (sources=32)"
 ./target/release/incremental_speedup 32 --emit "$out/incremental_solve.json"
 
+echo "==> fuzz-vs-symbolic coverage diff + seed exchange"
+./target/release/fuzz_diff --emit "$out/fuzz_diff.json"
+
 pairs=(
   BENCH_solver_stack.json "$out/solver_stack.json"
   BENCH_incremental_solve.json "$out/incremental_solve.json"
+  BENCH_fuzz_diff.json "$out/fuzz_diff.json"
 )
 
 if [[ "$skip_mutation" -eq 0 ]]; then

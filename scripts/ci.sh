@@ -45,6 +45,9 @@ fi
 echo "==> parallel exploration determinism + cache smoke"
 ./target/release/parallel_speedup 32 4
 
+echo "==> differential fuzzing smoke (IF presets must die)"
+scripts/fuzz_smoke.sh
+
 echo "==> bench gate (ablation harnesses + baseline comparison)"
 # Runs the solver-stack and incremental-core ablations at the committed
 # baselines' scales plus the reduced mutation kill matrix, and compares

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The differential-fuzzing smoke: the presets-only fuzz kill matrix at a
+# fixed seed and a small execution budget. The harness itself fails
+# unless every one of the paper's IF1-IF6 fault presets is killed
+# (--floor 100), and the emission is then gated against the committed
+# BENCH_fuzz_smoke.json baseline (exact mutant count, kill-rate floor,
+# deterministic coverage of the corpus-building campaign).
+#
+# Everything runs offline; the release binaries are built if missing.
+#
+# Usage: scripts/fuzz_smoke.sh [--skip-gate]
+#   --skip-gate  only run the harness, don't compare against the
+#                committed baseline (used when the baseline is being
+#                regenerated)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_gate=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-gate) skip_gate=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --offline --release -p symsc-bench --bin fuzz_kill --bin bench_gate
+
+out=target/bench_gate
+mkdir -p "$out"
+
+echo "==> fuzz smoke matrix (IF presets, fixed seed)"
+./target/release/fuzz_kill --smoke --floor 100 --emit "$out/fuzz_smoke.json"
+
+if [[ "$skip_gate" -eq 0 ]]; then
+  echo "==> comparing against the committed baseline"
+  ./target/release/bench_gate BENCH_fuzz_smoke.json "$out/fuzz_smoke.json"
+fi
+
+echo "Fuzz smoke passed."

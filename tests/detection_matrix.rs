@@ -5,8 +5,16 @@
 //! the shape-preserving scaled configuration (T2's solver work at full
 //! scale is minutes-long; the detection logic is identical).
 
-use symsc_plic::{InjectedFault, PlicConfig, PlicVariant};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Kernel, SimTime};
+use symsc_plic::clint::{MSIP_BASE, MTIMECMP_BASE};
+use symsc_plic::uart::{IP, TXCTRL, TXDATA};
+use symsc_plic::{Clint, InjectedFault, InterruptTarget, PlicConfig, PlicVariant, Uart};
+use symsc_symex::{Explorer, SymCtx, SymWord, Width};
 use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsc_tlm::{BlockingTransport, Command, GenericPayload, ResponseStatus};
 use symsysc_core::Verifier;
 
 fn fixed_full() -> PlicConfig {
@@ -307,4 +315,246 @@ fn if_counterexamples_pinpoint_the_fault() {
         &Verifier::new("T1"),
     );
     assert_eq!(o.report.errors[0].counterexample.value("i_interrupt"), 7);
+}
+
+// ---------------------------------------------------------------------------
+// UART and CLINT rows: the same Table 2 pattern applied to the other two
+// IP blocks. Neither peripheral carries built-in fault presets, so the
+// bugs are injected on the bus instead: a saboteur transport wrapper
+// corrupts selected write transactions on their way in — the TLM-level
+// analogue of the PLIC's IF presets (a dropped notification, an
+// off-by-one comparison, a late deadline).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BusFault {
+    /// The faithful column: every transaction passes through untouched.
+    None,
+    /// `txdata` writes of byte 0x13 are silently swallowed (the UART
+    /// cousin of IF2's dropped notification for one id).
+    UartDropByte13,
+    /// The programmed watermark lands one too high (the UART cousin of
+    /// the IF1/IF6 off-by-one comparisons).
+    UartWatermarkOffByOne,
+    /// The timer compare point lands one tick late (the CLINT cousin of
+    /// IF4's stretched latency).
+    ClintLateCompare,
+    /// `msip` writes are silently swallowed (the CLINT cousin of IF2).
+    ClintDropMsip,
+}
+
+/// Wraps a peripheral and corrupts selected writes before forwarding.
+struct Saboteur<T> {
+    inner: T,
+    fault: BusFault,
+}
+
+impl<T: BlockingTransport> BlockingTransport for Saboteur<T> {
+    fn b_transport(&mut self, ctx: &SymCtx, kernel: &mut Kernel, payload: &mut GenericPayload) {
+        if payload.command == Command::Write {
+            let addr = payload.address.as_const();
+            let value = payload.word(0).as_const();
+            match self.fault {
+                BusFault::UartDropByte13
+                    if addr == Some(TXDATA) && value.map(|v| v & 0xFF) == Some(0x13) =>
+                {
+                    // Swallowed on the bus; the initiator sees success.
+                    payload.response = ResponseStatus::Ok;
+                    return;
+                }
+                BusFault::ClintDropMsip if addr == Some(MSIP_BASE) => {
+                    payload.response = ResponseStatus::Ok;
+                    return;
+                }
+                BusFault::UartWatermarkOffByOne if addr == Some(TXCTRL) => {
+                    // Bump bits 18:16 by one (works symbolically too).
+                    let bumped = payload.word(0).add(&ctx.word32(1 << 16));
+                    payload.set_word(0, bumped);
+                }
+                BusFault::ClintLateCompare if addr == Some(MTIMECMP_BASE) => {
+                    let bumped = payload.word(0).add(&ctx.word32(1));
+                    payload.set_word(0, bumped);
+                }
+                _ => {}
+            }
+        }
+        self.inner.b_transport(ctx, kernel, payload);
+    }
+}
+
+struct IrqCounter {
+    fired: u32,
+}
+
+impl InterruptTarget for IrqCounter {
+    fn trigger_external_interrupt(&mut self) {
+        self.fired += 1;
+    }
+}
+
+fn write32(
+    ctx: &SymCtx,
+    kernel: &mut Kernel,
+    dev: &mut impl BlockingTransport,
+    addr: u64,
+    value: u32,
+) {
+    let mut p = GenericPayload::write(ctx, ctx.word32(addr as u32), 4);
+    p.set_word(0, ctx.word32(value));
+    dev.b_transport(ctx, kernel, &mut p);
+    assert!(p.response.is_ok(), "write {addr:#x}");
+}
+
+fn read32(
+    ctx: &SymCtx,
+    kernel: &mut Kernel,
+    dev: &mut impl BlockingTransport,
+    addr: u64,
+) -> SymWord {
+    let mut p = GenericPayload::read(ctx, ctx.word32(addr as u32), 4);
+    dev.b_transport(ctx, kernel, &mut p);
+    assert!(p.response.is_ok(), "read {addr:#x}");
+    p.word(0).clone()
+}
+
+/// UA — "every queued byte is transmitted, in order": the UART cousin of
+/// T1's delivery property. All failures are recorded as path errors
+/// (`check_concrete`), so detection is `!report.passed()`.
+fn uart_order_detects(fault: BusFault, workers: usize) -> bool {
+    let report = Explorer::new().workers(workers).explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let mut dev = Saboteur {
+            inner: Uart::new(ctx, &mut kernel),
+            fault,
+        };
+        kernel.step();
+        write32(ctx, &mut kernel, &mut dev, TXCTRL, 1);
+        let bytes = [0x10u32, 0x11, 0x12, 0x13, 0x14, 0x15];
+        for b in bytes {
+            write32(ctx, &mut kernel, &mut dev, TXDATA, b);
+        }
+        kernel.run_until(SimTime::from_ns(1000));
+        let sent = dev.inner.sent_count();
+        ctx.check_concrete(sent == bytes.len(), "every queued byte is transmitted");
+        for (i, b) in bytes.iter().enumerate().take(sent) {
+            ctx.check(
+                &dev.inner.sent_byte(i).eq(&ctx.word32(*b)),
+                "bytes leave in FIFO order",
+            );
+        }
+    });
+    !report.passed()
+}
+
+/// UB — the symbolic watermark property: for every watermark w in 0..=6,
+/// with the FIFO drained empty, `ip` must equal `0 < w`.
+fn uart_watermark_detects(fault: BusFault, workers: usize) -> bool {
+    let report = Explorer::new().workers(workers).explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let mut dev = Saboteur {
+            inner: Uart::new(ctx, &mut kernel),
+            fault,
+        };
+        kernel.step();
+        let w = ctx.symbolic("watermark", Width::W32);
+        ctx.assume(&w.ule(&ctx.word32(6)));
+        let mut p = GenericPayload::write(ctx, ctx.word32(TXCTRL as u32), 4);
+        p.set_word(0, w.shl(&ctx.word32(16)).or(&ctx.word32(1)));
+        dev.b_transport(ctx, &mut kernel, &mut p);
+        assert!(p.response.is_ok());
+        write32(ctx, &mut kernel, &mut dev, TXDATA, 0x41);
+        kernel.run_until(SimTime::from_ns(200));
+        let ip = read32(ctx, &mut kernel, &mut dev, IP);
+        let got = ip.eq(&ctx.word32(1));
+        let want = ctx.word32(0).ult(&w);
+        ctx.check(
+            &want.implies(&got).and(&got.implies(&want)),
+            "ip == (level < watermark) for every watermark",
+        );
+    });
+    !report.passed()
+}
+
+/// CA — "the timer fires exactly at the compare point, not before and
+/// not after". The 64-bit compare is programmed over the bus: hi word
+/// first (clearing the reset value's high half), then lo.
+fn clint_deadline_detects(fault: BusFault, workers: usize) -> bool {
+    let report = Explorer::new().workers(workers).explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let clint = Clint::new(ctx, &mut kernel);
+        let hart = Rc::new(RefCell::new(IrqCounter { fired: 0 }));
+        clint.connect_timer(hart.clone());
+        let mut dev = Saboteur {
+            inner: clint,
+            fault,
+        };
+        kernel.step();
+        write32(ctx, &mut kernel, &mut dev, MTIMECMP_BASE + 4, 0);
+        write32(ctx, &mut kernel, &mut dev, MTIMECMP_BASE, 50);
+        kernel.run_until(SimTime::from_ns(49));
+        ctx.check_concrete(hart.borrow().fired == 0, "not before the deadline");
+        kernel.run_until(SimTime::from_ns(50));
+        ctx.check_concrete(hart.borrow().fired == 1, "exactly at the deadline");
+    });
+    !report.passed()
+}
+
+/// CB — "an msip write raises the software interrupt".
+fn clint_msip_detects(fault: BusFault, workers: usize) -> bool {
+    let report = Explorer::new().workers(workers).explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let clint = Clint::new(ctx, &mut kernel);
+        let hart = Rc::new(RefCell::new(IrqCounter { fired: 0 }));
+        clint.connect_software(hart.clone());
+        let mut dev = Saboteur {
+            inner: clint,
+            fault,
+        };
+        kernel.step();
+        write32(ctx, &mut kernel, &mut dev, MSIP_BASE, 1);
+        ctx.check_concrete(hart.borrow().fired == 1, "msip raises the line");
+    });
+    !report.passed()
+}
+
+#[test]
+fn uart_rows() {
+    // Faithful column: both UART tests pass on the untouched bus.
+    assert!(!uart_order_detects(BusFault::None, 1));
+    assert!(!uart_watermark_detects(BusFault::None, 1));
+    // UA sees the dropped byte but not the watermark bump (it never
+    // looks at the interrupt side).
+    assert!(uart_order_detects(BusFault::UartDropByte13, 1));
+    assert!(!uart_order_detects(BusFault::UartWatermarkOffByOne, 1));
+    // UB is the mirror image: the transmitted byte is 0x41, so the
+    // dropper never triggers, while the off-by-one watermark breaks the
+    // w = 0 case of the symbolic property.
+    assert!(uart_watermark_detects(BusFault::UartWatermarkOffByOne, 1));
+    assert!(!uart_watermark_detects(BusFault::UartDropByte13, 1));
+}
+
+#[test]
+fn clint_rows() {
+    // Faithful column: both CLINT tests pass on the untouched bus.
+    assert!(!clint_deadline_detects(BusFault::None, 1));
+    assert!(!clint_msip_detects(BusFault::None, 1));
+    // CA pins the one-tick-late compare; msip is off its path.
+    assert!(clint_deadline_detects(BusFault::ClintLateCompare, 1));
+    assert!(!clint_deadline_detects(BusFault::ClintDropMsip, 1));
+    // CB pins the swallowed msip write; the timer is off its path.
+    assert!(clint_msip_detects(BusFault::ClintDropMsip, 1));
+    assert!(!clint_msip_detects(BusFault::ClintLateCompare, 1));
+}
+
+#[test]
+fn uart_and_clint_detection_survives_parallel_exploration() {
+    // The diagonal of the new rows at 4 workers, mirroring
+    // `multi_worker_explorer_detects_every_injected_fault`.
+    assert!(uart_order_detects(BusFault::UartDropByte13, 4));
+    assert!(uart_watermark_detects(BusFault::UartWatermarkOffByOne, 4));
+    assert!(clint_deadline_detects(BusFault::ClintLateCompare, 4));
+    assert!(clint_msip_detects(BusFault::ClintDropMsip, 4));
+    // And the clean column stays clean in parallel.
+    assert!(!uart_watermark_detects(BusFault::None, 4));
+    assert!(!clint_deadline_detects(BusFault::None, 4));
 }

@@ -1,6 +1,9 @@
 //! Integration: every counterexample found symbolically must reproduce
 //! its error when replayed concretely (the paper's point ⑥ — compiling to
-//! a native executable and debugging the concrete run).
+//! a native executable and debugging the concrete run). The round trip is
+//! exact: the replayed error re-emits a counterexample that is
+//! byte-identical to the one that drove the replay, and the whole loop
+//! holds at 1 and at 8 exploration workers.
 
 use symsc_plic::{InjectedFault, PlicConfig, PlicVariant};
 use symsc_testbench::{run_test, test_bench, SuiteParams, TestId};
@@ -8,22 +11,40 @@ use symsysc_core::Verifier;
 
 fn replay_all_distinct(test: TestId, config: PlicConfig) {
     let params = SuiteParams::default();
-    let v = Verifier::new(test.name());
-    let outcome = run_test(test, config, &params, &v);
-    let distinct = outcome.report.distinct_errors();
-    assert!(!distinct.is_empty(), "{test} must find something to replay");
-    for error in distinct {
-        let replayed = v.replay(&error.counterexample, test_bench(test, config, params));
+    for workers in [1usize, 8] {
+        let v = Verifier::new(test.name()).workers(workers);
+        let outcome = run_test(test, config, &params, &v);
+        let distinct = outcome.report.distinct_errors();
         assert!(
-            !replayed.passed(),
-            "{test}: counterexample {} for '{}' must reproduce",
-            error.counterexample,
-            error.message
+            !distinct.is_empty(),
+            "{test} must find something to replay at {workers} workers"
         );
-        assert_eq!(
-            replayed.report.stats.paths, 1,
-            "replay is one concrete path"
-        );
+        for error in distinct {
+            let replayed = v.replay(&error.counterexample, test_bench(test, config, params));
+            assert!(
+                !replayed.passed(),
+                "{test}: counterexample {} for '{}' must reproduce at {workers} workers",
+                error.counterexample,
+                error.message
+            );
+            assert_eq!(
+                replayed.report.stats.paths, 1,
+                "replay is one concrete path"
+            );
+            // The round trip is lossless: the replayed path's error
+            // carries the same inputs with the same values, re-emitted
+            // byte-for-byte.
+            let re_emitted = &replayed.report.errors[0];
+            assert_eq!(
+                re_emitted.message, error.message,
+                "{test}: replay at {workers} workers hit a different error"
+            );
+            assert_eq!(
+                re_emitted.counterexample.to_string().into_bytes(),
+                error.counterexample.to_string().into_bytes(),
+                "{test}: re-emitted counterexample must be byte-identical"
+            );
+        }
     }
 }
 
@@ -62,8 +83,10 @@ fn replay_with_benign_inputs_passes() {
     // not trip anything (the bugs need the corner cases).
     let params = SuiteParams::default();
     let config = PlicConfig::fe310();
-    let v = Verifier::new("T1");
     let benign = symsc_symex::Counterexample::from_pairs([("i_interrupt", 5u64)]);
-    let replayed = v.replay(&benign, test_bench(TestId::T1, config, params));
-    assert!(replayed.passed(), "{}", replayed);
+    for workers in [1usize, 8] {
+        let v = Verifier::new("T1").workers(workers);
+        let replayed = v.replay(&benign, test_bench(TestId::T1, config, params));
+        assert!(replayed.passed(), "{}", replayed);
+    }
 }

@@ -8,11 +8,16 @@
 //!
 //! The same exploration runs with 1 worker and with N workers (default 4).
 //! The binary verifies that both produce identical path counts, verdicts,
-//! error reports and counterexamples and that the shared query cache shows
-//! a nonzero hit rate, then reports the wall-clock speedup. On a
-//! single-hardware-thread host the speedup is reported but not expected to
-//! exceed 1x (there is nothing to run the workers on); with >= 4 hardware
-//! threads the expected speedup at 4 workers is >= 2x.
+//! error reports and counterexamples, then reports the wall-clock speedup.
+//! On a single-hardware-thread host the speedup is reported but not
+//! expected to exceed 1x (there is nothing to run the workers on); with
+//! >= 4 hardware threads the expected speedup at 4 workers is >= 2x.
+//!
+//! The shared-query-cache liveness check runs under the re-execution
+//! fork strategy: under the default copy-on-write forks, a resumed path
+//! never re-issues its prefix probes, so there is no cross-path query
+//! redundancy for the cache to absorb on this workload — re-execution is
+//! where cross-worker cache sharing is observable.
 //!
 //! Usage: `parallel_speedup [sources] [workers]` (defaults: 32, 4).
 
@@ -20,7 +25,7 @@ use std::time::Instant;
 
 use symsc_bench::workloads::{bench_config, t1_pattern};
 use symsc_plic::PlicConfig;
-use symsc_symex::{Explorer, Report};
+use symsc_symex::{Explorer, ForkStrategy, Report};
 
 fn explore(cfg: PlicConfig, workers: usize) -> (Report, f64) {
     let start = Instant::now();
@@ -117,10 +122,26 @@ fn main() {
         100.0 * solver.above_core_rate(),
     );
 
-    // A single-path exploration never repeats a query, so only demand
-    // cache hits when there was cross-path work to share.
-    if solver.cache_hits == 0 && seq.stats.paths > 1 {
-        println!("MISMATCH: expected a nonzero shared-cache hit rate");
+    // Cache-sharing liveness check, under re-execution forks: COW forks
+    // fast-forward their prefixes without re-issuing the probes that
+    // used to populate the shared cache, so redundant cross-path queries
+    // only exist when prefixes are re-solved. A single-path exploration
+    // never repeats a query, so only demand hits with cross-path work.
+    let reexec = Explorer::new()
+        .workers(workers)
+        .fork_strategy(ForkStrategy::Reexec)
+        .explore(t1_pattern(cfg));
+    let reexec_solver = &reexec.stats.solver;
+    println!(
+        "  reexec cache sharing ({workers} workers): {} hits / {} misses",
+        reexec_solver.cache_hits, reexec_solver.cache_misses
+    );
+    if error_view(&reexec) != error_view(&seq) || reexec.stats.paths != seq.stats.paths {
+        println!("MISMATCH: re-execution report differs from the COW default");
+        ok = false;
+    }
+    if reexec_solver.cache_hits == 0 && reexec.stats.paths > 1 {
+        println!("MISMATCH: expected a nonzero shared-cache hit rate under re-execution");
         ok = false;
     }
     if hw_threads < 2 {

@@ -263,6 +263,44 @@ fn compare_incremental(g: &mut Gate, base: &Json, cur: &Json) {
     }
 }
 
+fn compare_cow_fork(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "cow_fork";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.equivalence_holds(cur, ctx);
+    let floor = base
+        .get("speedup_floor")
+        .and_then(Json::as_f64)
+        .unwrap_or(2.0);
+    for (name, bw, cw) in g.workload_pairs(base, cur) {
+        let ctx = format!("cow_fork/{name}");
+        // Accelerator-free runs make every counter a pure function of the
+        // explored path set — any drift is a behavior change, not noise.
+        g.counter_exact(bw, cw, &ctx, "paths");
+        g.counter_exact(bw, cw, &ctx, "fork_snapshots");
+        g.counter_exact(bw, cw, &ctx, "fast_forward_decisions");
+        g.counter_exact(bw, cw, &ctx, "cow_queries");
+        g.counter_exact(bw, cw, &ctx, "reexec_queries");
+        // The fork-cost ceiling: resuming snapshots must stay cheap.
+        g.seconds_within(bw, cw, &ctx, "cow_seconds");
+        // The headline claim on the fork-cost stress workload at the
+        // largest measured scale: COW still at least halves sequential
+        // wall-clock vs. re-execution.
+        if name == "claim_ladder@32" {
+            let speedup = cw.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+            if speedup < floor {
+                g.fail(format!(
+                    "{ctx}: COW speedup {speedup:.2}x fell below the {floor:.1}x floor"
+                ));
+            }
+        }
+    }
+}
+
 /// Compares a current harness emission against its committed baseline and
 /// returns the violation list (empty = gate passes). The harness kind is
 /// taken from the baseline's `"harness"` field; a current document from a
@@ -289,6 +327,7 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
         "fuzz_kill" => compare_fuzz_kill(&mut g, baseline, current),
         "fuzz_diff" => compare_fuzz_diff(&mut g, baseline, current),
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
+        "cow_fork" => compare_cow_fork(&mut g, baseline, current),
         other => g.fail(format!("unknown harness kind \"{other}\"")),
     }
     g.violations
@@ -450,6 +489,41 @@ mod tests {
         let violations = compare(&base, &other);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("harness mismatch"));
+    }
+
+    #[test]
+    fn cow_fork_gate_checks_counters_and_the_speedup_floor() {
+        let doc = |snapshots: u64, speedup: f64, equivalent: bool| {
+            parse(&format!(
+                "{{\"harness\": \"cow_fork\", \"smoke\": false, \
+                  \"equivalent\": {equivalent}, \"speedup_floor\": 2.0, \
+                  \"workloads\": [\
+                  {{\"name\": \"claim_ladder@32\", \"sources\": 32, \
+                    \"paths\": 32, \"fork_snapshots\": {snapshots}, \
+                    \"fast_forward_decisions\": 1023, \
+                    \"cow_queries\": 95, \"reexec_queries\": 746, \
+                    \"cow_seconds\": 1.0, \"reexec_seconds\": 5.0, \
+                    \"speedup\": {speedup:.2}}}]}}"
+            ))
+            .unwrap()
+        };
+        let base = doc(31, 5.37, true);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        // Snapshot-counter drift means the fork engine changed behavior.
+        let drifted = doc(17, 5.37, true);
+        assert!(compare(&base, &drifted)
+            .iter()
+            .any(|v| v.contains("fork_snapshots")));
+        // Losing the wall-clock win trips the headline-claim check.
+        let slowed = doc(31, 1.20, true);
+        assert!(compare(&base, &slowed)
+            .iter()
+            .any(|v| v.contains("below the 2.0x floor")));
+        // A report mismatch anywhere is fatal regardless of timing.
+        let diverged = doc(31, 5.37, false);
+        assert!(compare(&base, &diverged)
+            .iter()
+            .any(|v| v.contains("equivalent")));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * `baseline_compare` — symbolic execution vs. random testing
 //!   time-to-bug (the reproduction's substitute for the paper's
 //!   unreproducible KLEE-on-SystemC-kernel baseline).
-//! * `solver_stack` / `incremental_speedup` — ablation harnesses for the
-//!   cache layers and the incremental per-path SAT context.
+//! * `solver_stack` / `incremental_speedup` / `cow_fork` — ablation
+//!   harnesses for the cache layers, the incremental per-path SAT
+//!   context, and the copy-on-write snapshot fork engine (vs. the
+//!   re-execution oracle).
 //! * `mutation_kill` — the mutation-testing kill matrix.
 //! * `bench_gate` — compares fresh harness emissions against the
 //!   committed `BENCH_*.json` baselines and fails on regressions.

@@ -89,3 +89,32 @@ pub fn t1_cross_pattern(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
         t1(ctx);
     }
 }
+
+/// A probe-dense claim ladder: the fork-cost stress workload for the
+/// `cow_fork` ablation. It keeps the decision shape of T1 — a symbolic
+/// claim id enumerated with one `decide` per source — but replaces the
+/// peripheral model with a per-step multiplicative bound check
+/// (`x * (x + i) < n * (n + i)`, provably true for `x < n`). Every step
+/// of every path's shared prefix therefore carries an assertion probe
+/// the solver must refute through a bit-blasted multiplier, while the
+/// native per-path work stays negligible: the wall-clock difference
+/// between fork strategies is almost entirely the re-solved prefix work
+/// that copy-on-write snapshot resumption eliminates. (The `sources`
+/// field of `cfg` sets the ladder depth; the peripheral itself is not
+/// instantiated.)
+pub fn claim_ladder(cfg: PlicConfig) -> impl Fn(&SymCtx) + Send + Sync {
+    let n = cfg.sources;
+    move |ctx: &SymCtx| {
+        let x = ctx.symbolic("claim", Width::W16);
+        ctx.assume(&x.ult(&ctx.word(u64::from(n), Width::W16)));
+        for i in 0..n {
+            let xi = x.add(&ctx.word(u64::from(i), Width::W16));
+            let bound = ctx.word(u64::from(n * (n + i)), Width::W16);
+            ctx.check(&x.mul(&xi).ult(&bound), "claim product bound");
+            if ctx.decide(&x.eq(&ctx.word(u64::from(i), Width::W16))) {
+                ctx.cover(&format!("claimed_{i}"));
+                return;
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use symsc_symex::{Counterexample, Explorer, Report, SearchStrategy, SymCtx};
+use symsc_symex::{Counterexample, Explorer, ForkStrategy, Report, SearchStrategy, SymCtx};
 
 /// The result of running one named symbolic test.
 #[derive(Clone, Debug)]
@@ -116,6 +116,16 @@ impl Verifier {
     /// Selects the path-selection strategy (default: depth-first).
     pub fn strategy(mut self, strategy: SearchStrategy) -> Verifier {
         self.explorer = self.explorer.strategy(strategy);
+        self
+    }
+
+    /// Selects how branch forks are materialized (default: copy-on-write
+    /// snapshots; [`ForkStrategy::Reexec`] re-solves forked prefixes from
+    /// scratch and serves as the differential oracle). Reports are
+    /// identical either way — only fork cost and the snapshot statistics
+    /// change.
+    pub fn fork_strategy(mut self, fork: ForkStrategy) -> Verifier {
+        self.explorer = self.explorer.fork_strategy(fork);
         self
     }
 

@@ -1,5 +1,7 @@
 //! The kernel façade: process spawning, event creation, simulation control.
 
+use std::sync::Arc;
+
 use crate::event::{Event, NotifyKind};
 use crate::process::{Process, ProcessCtx, ProcessId};
 use crate::sched::{ProcStatus, SchedCore};
@@ -192,6 +194,50 @@ impl Kernel {
         self.core.has_pending_activity()
     }
 
+    /// Captures the scheduler state — simulation time, event states,
+    /// process statuses and sensitivities, the runnable queue, pending
+    /// delta notifications, the timed wakelist, counters and trace — as a
+    /// cheap-to-fork snapshot: cloning a [`KernelSnapshot`] is one Arc
+    /// bump, so a path engine can hold one per pending fork.
+    ///
+    /// Process *bodies* are not captured (they are opaque `dyn Process`
+    /// closures); restore is only sound when process-local state lives in
+    /// shared handles (`Rc<RefCell<..>>`), as the peripheral models here
+    /// do, or when the bodies are stateless between activations.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        KernelSnapshot {
+            inner: Arc::new(KernelSnapshotData {
+                core: self.core.clone(),
+                steps: self.steps,
+            }),
+        }
+    }
+
+    /// Restores the scheduler state captured by
+    /// [`snapshot`](Kernel::snapshot). Mutations made after the snapshot
+    /// — notifications delivered, time advanced, processes suspended —
+    /// are discarded; sibling snapshots are never affected (the snapshot
+    /// holds its own deep copy of the scheduler core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if processes or events were created since the snapshot was
+    /// taken: the snapshot does not capture process bodies, so the
+    /// topology must match.
+    pub fn restore(&mut self, snapshot: &KernelSnapshot) {
+        assert_eq!(
+            snapshot.inner.core.procs.len(),
+            self.bodies.len(),
+            "snapshot topology mismatch: processes were created since capture"
+        );
+        assert!(
+            snapshot.inner.core.events.len() <= self.core.events.len(),
+            "snapshot topology mismatch: snapshot has unknown events"
+        );
+        self.core = snapshot.inner.core.clone();
+        self.steps = snapshot.inner.steps;
+    }
+
     /// Enables VCD tracing: from now on, every event firing and process
     /// activation is recorded (see [`write_vcd`](Kernel::write_vcd)).
     pub fn enable_tracing(&mut self) {
@@ -232,6 +278,23 @@ impl Kernel {
             steps: self.steps,
         }
     }
+}
+
+/// An immutable capture of a [`Kernel`]'s scheduler state.
+///
+/// Produced by [`Kernel::snapshot`]; consumed by [`Kernel::restore`].
+/// Cloning is one `Arc` bump, so a fork queue can hold thousands of
+/// snapshots; the deep copy is paid once per *restore*, and only for the
+/// scheduler core (event states, process statuses, queues, counters).
+#[derive(Clone, Debug)]
+pub struct KernelSnapshot {
+    inner: Arc<KernelSnapshotData>,
+}
+
+#[derive(Debug)]
+struct KernelSnapshotData {
+    core: SchedCore,
+    steps: u64,
 }
 
 #[cfg(test)]

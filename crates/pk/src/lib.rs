@@ -57,6 +57,6 @@ pub mod time;
 pub mod trace;
 
 pub use event::{Event, NotifyKind};
-pub use kernel::{Kernel, KernelStats};
+pub use kernel::{Kernel, KernelSnapshot, KernelStats};
 pub use process::{Process, ProcessCtx, ProcessId, Suspend};
 pub use time::SimTime;

@@ -24,7 +24,7 @@ pub(crate) enum ProcStatus {
     Terminated,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct ProcMeta {
     pub(crate) status: ProcStatus,
     /// Events the process is currently registered with (one for a dynamic
@@ -56,7 +56,7 @@ pub(crate) struct CoreStats {
 }
 
 /// All scheduler state except the process bodies.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct SchedCore {
     pub(crate) time: SimTime,
     pub(crate) events: Vec<EventState>,

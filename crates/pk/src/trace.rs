@@ -21,7 +21,7 @@ pub(crate) enum TraceRecord {
 }
 
 /// The in-memory trace log.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct TraceLog {
     pub(crate) records: Vec<(SimTime, TraceRecord)>,
 }

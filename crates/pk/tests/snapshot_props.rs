@@ -1,0 +1,192 @@
+//! Property tests for [`Kernel::snapshot`] / [`Kernel::restore`].
+//!
+//! Two invariants, exercised with seeded random notify/step sequences:
+//!
+//! 1. **Round trip is identity**: snapshot → arbitrary mutation →
+//!    restore leaves the kernel observationally identical — the same
+//!    time, the same counters, and byte-identical behavior when the same
+//!    stimulus suffix is replayed.
+//! 2. **Siblings never leak**: a snapshot is an immutable capture.
+//!    Mutating the live kernel (or restoring and mutating again) never
+//!    changes what an earlier snapshot restores to, even when the
+//!    snapshots share storage via `clone` (an Arc bump).
+//!
+//! Process bodies keep their state in shared `Rc<RefCell<..>>` handles —
+//! the contract under which kernel restore is sound (the scheduler core
+//! is captured; opaque closures are not).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Event, Kernel, KernelSnapshot, NotifyKind, ProcessCtx, SimTime, Suspend};
+use symsc_rng::Rng;
+
+/// A deterministic workload: `n` waiter processes, each logging
+/// `(process, activation time)` and re-arming on its event forever.
+/// All observable behavior flows through the shared log.
+struct Rig {
+    kernel: Kernel,
+    events: Vec<Event>,
+    log: Rc<RefCell<Vec<(usize, u64)>>>,
+}
+
+fn build_rig(n: usize) -> Rig {
+    let mut kernel = Kernel::new();
+    let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+    let events: Vec<Event> = (0..n)
+        .map(|i| kernel.create_event(&format!("e{i}")))
+        .collect();
+    for (i, &event) in events.iter().enumerate() {
+        let log = log.clone();
+        kernel.spawn(&format!("waiter{i}"), move |ctx: &mut ProcessCtx<'_>| {
+            log.borrow_mut().push((i, ctx.time().as_ns()));
+            let _ = ctx;
+            Suspend::WaitEvent(event)
+        });
+    }
+    // Run initialization: every process activates once and parks.
+    while kernel.step() {}
+    Rig {
+        kernel,
+        events,
+        log,
+    }
+}
+
+/// One random stimulus action against the rig.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    NotifyDelta(usize),
+    NotifyTimed(usize, u64),
+    RunUntil(u64),
+    Drain,
+}
+
+fn gen_actions(rng: &mut Rng, n_events: usize, len: u64) -> Vec<Action> {
+    let n = rng.gen_range_inclusive(1, len);
+    (0..n)
+        .map(|_| {
+            let ev = rng.gen_range_inclusive(0, n_events as u64 - 1) as usize;
+            match rng.gen_range_inclusive(0, 9) {
+                0..=2 => Action::NotifyDelta(ev),
+                3..=6 => Action::NotifyTimed(ev, rng.gen_range_inclusive(1, 50)),
+                7..=8 => Action::RunUntil(rng.gen_range_inclusive(1, 60)),
+                _ => Action::Drain,
+            }
+        })
+        .collect()
+}
+
+fn apply(rig: &mut Rig, actions: &[Action]) {
+    for &action in actions {
+        match action {
+            Action::NotifyDelta(ev) => {
+                rig.kernel.notify(rig.events[ev], NotifyKind::Delta);
+            }
+            Action::NotifyTimed(ev, ns) => {
+                rig.kernel
+                    .notify(rig.events[ev], NotifyKind::Timed(SimTime::from_ns(ns)));
+            }
+            Action::RunUntil(ns) => {
+                let deadline = rig.kernel.time() + SimTime::from_ns(ns);
+                rig.kernel.run_until(deadline);
+            }
+            Action::Drain => while rig.kernel.step() {},
+        }
+    }
+}
+
+/// The full observable state: time, counters, and the log suffix past
+/// `log_base` (entries produced since the reference point).
+fn observe(rig: &Rig, log_base: usize) -> (u64, symsc_pk::KernelStats, Vec<(usize, u64)>) {
+    (
+        rig.kernel.time().as_ns(),
+        rig.kernel.stats(),
+        rig.log.borrow()[log_base..].to_vec(),
+    )
+}
+
+#[test]
+fn snapshot_mutate_restore_is_identity() {
+    let mut rng = Rng::seed_from_u64(0x5EED_C0DE);
+    for case in 0..64 {
+        let mut rig = build_rig(4);
+        // Random prefix to land in a non-trivial scheduler state (pending
+        // timed notifications, parked processes, advanced clock).
+        let prefix = gen_actions(&mut rng, 4, 12);
+        apply(&mut rig, &prefix);
+
+        let snap = rig.kernel.snapshot();
+        let log_base = rig.log.borrow().len();
+        let at_capture = observe(&rig, log_base);
+
+        // First run of the suffix: the reference behavior.
+        let suffix = gen_actions(&mut rng, 4, 12);
+        apply(&mut rig, &suffix);
+        let reference = observe(&rig, log_base);
+
+        // Restore: the kernel must be back at the capture point...
+        rig.kernel.restore(&snap);
+        rig.log.borrow_mut().truncate(log_base);
+        assert_eq!(
+            observe(&rig, log_base),
+            at_capture,
+            "case {case}: restore did not return to the capture point"
+        );
+
+        // ...and replaying the same suffix must reproduce the reference
+        // byte for byte.
+        apply(&mut rig, &suffix);
+        assert_eq!(
+            observe(&rig, log_base),
+            reference,
+            "case {case}: replay after restore diverged"
+        );
+    }
+}
+
+#[test]
+fn sibling_snapshots_are_isolated_from_later_mutation() {
+    let mut rng = Rng::seed_from_u64(0xF0_4B1D);
+    for case in 0..64 {
+        let mut rig = build_rig(3);
+        apply(&mut rig, &gen_actions(&mut rng, 3, 10));
+
+        // Two snapshots of the same state: `left` is the original, and
+        // `right` shares its storage via the cheap clone.
+        let left: KernelSnapshot = rig.kernel.snapshot();
+        let right: KernelSnapshot = left.clone();
+        let log_base = rig.log.borrow().len();
+        let probe = gen_actions(&mut rng, 3, 10);
+
+        // Mutate the live kernel heavily, then restore `left` and run the
+        // probe: this is the reference behavior from the capture point.
+        apply(&mut rig, &gen_actions(&mut rng, 3, 10));
+        rig.kernel.restore(&left);
+        rig.log.borrow_mut().truncate(log_base);
+        apply(&mut rig, &probe);
+        let reference = observe(&rig, log_base);
+
+        // Mutate again (this run included the probe and more), then
+        // restore the *sibling* and run the probe: if any post-fork
+        // mutation leaked through the shared storage, this diverges.
+        apply(&mut rig, &gen_actions(&mut rng, 3, 10));
+        rig.kernel.restore(&right);
+        rig.log.borrow_mut().truncate(log_base);
+        apply(&mut rig, &probe);
+        assert_eq!(
+            observe(&rig, log_base),
+            reference,
+            "case {case}: sibling snapshot observed a later mutation"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "topology mismatch")]
+fn restore_rejects_foreign_topology() {
+    let rig_a = build_rig(2);
+    let snap = rig_a.kernel.snapshot();
+    let mut rig_b = build_rig(5);
+    rig_b.kernel.restore(&snap);
+}

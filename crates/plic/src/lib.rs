@@ -48,6 +48,6 @@ pub mod uart;
 pub use clint::Clint;
 pub use config::{InjectedFault, PlicConfig, PlicVariant};
 pub use mutation::{Mutation, MutationOp, ThresholdCmp};
-pub use plic::{InterruptTarget, Plic};
+pub use plic::{InterruptTarget, Plic, PlicSnapshot};
 pub use reference::ReferencePlic;
 pub use uart::Uart;

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use symsc_pk::Kernel;
-use symsc_symex::{SymCtx, SymWord, Width};
+use symsc_symex::{SymArray, SymCtx, SymWord, Width};
 use symsc_tlm::{
     Access, BlockingTransport, CheckMode, GenericPayload, RegisterBank, RegisterModel,
 };
@@ -236,6 +236,65 @@ impl Plic {
     pub fn next_deliverable_n(&self, hart: usize) -> SymWord {
         self.state.borrow().next_pending_interrupt(hart, true)
     }
+
+    /// Captures the register state — priorities, pending and enable
+    /// bitmaps, thresholds, `hart_eip` lines — as a cheap snapshot. The
+    /// bitmaps are [`SymArray`]s backed by copy-on-write chunked storage,
+    /// so the capture (and any clone of it) is a handful of Arc bumps; a
+    /// post-snapshot register write copies only the chunk it lands in.
+    pub fn snapshot(&self) -> PlicSnapshot {
+        let st = self.state.borrow();
+        PlicSnapshot {
+            priorities: st.priorities.clone(),
+            pending: st.pending.clone(),
+            enabled: st.enabled.clone(),
+            threshold: st.threshold.clone(),
+            hart_eip: st.hart_eip.clone(),
+        }
+    }
+
+    /// Restores the register state captured by
+    /// [`snapshot`](Plic::snapshot). Writes made after the snapshot are
+    /// discarded; sibling snapshots taken from the same state are never
+    /// affected (each holds its own copy-on-write view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot comes from a PLIC with a different
+    /// source/HART topology.
+    pub fn restore(&self, snapshot: &PlicSnapshot) {
+        let mut st = self.state.borrow_mut();
+        assert_eq!(
+            snapshot.priorities.len(),
+            st.priorities.len(),
+            "snapshot topology mismatch: source count differs"
+        );
+        assert_eq!(
+            snapshot.threshold.len(),
+            st.threshold.len(),
+            "snapshot topology mismatch: HART count differs"
+        );
+        st.priorities = snapshot.priorities.clone();
+        st.pending = snapshot.pending.clone();
+        st.enabled = snapshot.enabled.clone();
+        st.threshold = snapshot.threshold.clone();
+        st.hart_eip = snapshot.hart_eip.clone();
+    }
+}
+
+/// An immutable capture of a [`Plic`]'s register state.
+///
+/// Produced by [`Plic::snapshot`]; consumed by [`Plic::restore`]. Both
+/// the capture and `clone` cost O(chunks) Arc bumps — the symbolic
+/// register words themselves are never deep-copied — so a path engine
+/// can hold one snapshot per pending fork.
+#[derive(Clone, Debug)]
+pub struct PlicSnapshot {
+    priorities: SymArray,
+    pending: SymArray,
+    enabled: Vec<SymArray>,
+    threshold: Vec<SymWord>,
+    hart_eip: Vec<bool>,
 }
 
 /// The word-level register backend: routes decoded accesses to the PLIC

@@ -9,10 +9,15 @@
 
 use symsc_smt::Width;
 
+use crate::cow::CowVec;
 use crate::ctx::SymCtx;
 use crate::value::SymWord;
 
 /// A fixed-size array of words supporting symbolic indices.
+///
+/// The words live in a [`CowVec`], so cloning an array — as the
+/// peripheral snapshot/restore APIs do at every fork — costs a handful of
+/// Arc bumps, and a post-fork write copies only the chunk it lands in.
 ///
 /// # Example
 ///
@@ -34,14 +39,14 @@ use crate::value::SymWord;
 #[derive(Clone, Debug)]
 pub struct SymArray {
     ctx: SymCtx,
-    words: Vec<SymWord>,
+    words: CowVec<SymWord>,
     width: Width,
 }
 
 impl SymArray {
     /// An array of `len` words, all holding the concrete `fill` value.
     pub fn filled(ctx: &SymCtx, len: usize, fill: u64, width: Width) -> SymArray {
-        let words = (0..len).map(|_| ctx.word(fill, width)).collect();
+        let words: CowVec<SymWord> = (0..len).map(|_| ctx.word(fill, width)).collect();
         SymArray {
             ctx: ctx.clone(),
             words,
@@ -63,7 +68,7 @@ impl SymArray {
         );
         SymArray {
             ctx: ctx.clone(),
-            words,
+            words: words.into_iter().collect(),
             width,
         }
     }
@@ -89,7 +94,7 @@ impl SymArray {
     ///
     /// Panics if `index` is out of range.
     pub fn get(&self, index: usize) -> &SymWord {
-        &self.words[index]
+        self.words.get(index).expect("SymArray index out of range")
     }
 
     /// Writes at a *concrete* index.
@@ -99,7 +104,7 @@ impl SymArray {
     /// Panics if `index` is out of range.
     pub fn set(&mut self, index: usize, value: SymWord) {
         assert_eq!(value.width(), self.width, "width mismatch");
-        self.words[index] = value;
+        self.words.set(index, value);
     }
 
     /// Reads at a symbolic index without forking (ite chain). Out-of-range
@@ -119,15 +124,16 @@ impl SymArray {
     /// entry). Out-of-range indices write nowhere.
     pub fn store(&mut self, index: &SymWord, value: &SymWord) {
         assert_eq!(value.width(), self.width, "width mismatch");
-        for (i, w) in self.words.iter_mut().enumerate() {
+        for i in 0..self.words.len() {
             let k = self.ctx.word(i as u64, index.width());
             let here = index.eq(&k);
-            *w = value.select(&here, w);
+            let merged = value.select(&here, self.words.get(i).expect("in range"));
+            self.words.set(i, merged);
         }
     }
 
     /// Iterates over the words (concrete order).
-    pub fn iter(&self) -> std::slice::Iter<'_, SymWord> {
+    pub fn iter(&self) -> impl Iterator<Item = &SymWord> + '_ {
         self.words.iter()
     }
 

@@ -6,7 +6,9 @@ use std::time::{Duration, Instant};
 
 use symsc_smt::{Model, SatResult, Solver, TermId, TermPool, Width};
 
+use crate::cow::CowVec;
 use crate::error::{Counterexample, ErrorKind, SymError};
+use crate::snapshot::PathSnapshot;
 use crate::value::{SymBool, SymWord};
 
 /// Internal marker unwound through the testbench to terminate a path.
@@ -34,8 +36,29 @@ pub(crate) struct EngineState {
     forced: Vec<bool>,
     cursor: usize,
     taken: Vec<bool>,
-    pub(crate) pending: Vec<Vec<bool>>,
+    pub(crate) pending: Vec<PathSnapshot>,
     pub(crate) inputs: Vec<String>,
+    /// Copy-on-write fork strategy: a fork captures a [`PathSnapshot`] of
+    /// the live path state, and resuming one *fast-forwards* through the
+    /// forced prefix without any solver work. When `false`, forks record
+    /// a bare decision prefix that is re-solved from scratch — the
+    /// original engine, kept as the differential oracle.
+    cow: bool,
+    /// Values pinned by `concretize` on the current path, in call order.
+    /// Restored from the resumed snapshot; consumed during fast-forward,
+    /// appended to in the free region.
+    journal: CowVec<u64>,
+    journal_cursor: usize,
+    /// `errors.len()` at path start: errors at or past this index belong
+    /// to the current path and travel with snapshots forked from it.
+    path_error_base: usize,
+    /// Snapshots captured across the whole exploration (stats).
+    pub(crate) fork_snapshots: u64,
+    /// Decisions replayed solver-free during fast-forward (stats).
+    pub(crate) ff_decisions: u64,
+    /// Reusable constraint buffer for [`check`](Self::check); avoids a
+    /// per-query allocation on the hot path.
+    scratch: Vec<TermId>,
     path_decisions: u64,
     max_path_decisions: u64,
     pub(crate) budget_exhausted: bool,
@@ -69,7 +92,7 @@ impl EngineState {
     /// workers receive solvers built over clones of one shared cache
     /// stack, so a query or slice solved on any worker is a hit on every
     /// other.
-    pub(crate) fn new(max_path_decisions: u64, solver: Solver) -> EngineState {
+    pub(crate) fn new(max_path_decisions: u64, solver: Solver, cow: bool) -> EngineState {
         EngineState {
             pool: TermPool::new(),
             solver,
@@ -84,6 +107,13 @@ impl EngineState {
             taken: Vec::new(),
             pending: Vec::new(),
             inputs: Vec::new(),
+            cow,
+            journal: CowVec::new(),
+            journal_cursor: 0,
+            path_error_base: 0,
+            fork_snapshots: 0,
+            ff_decisions: 0,
+            scratch: Vec::new(),
             path_decisions: 0,
             max_path_decisions,
             budget_exhausted: false,
@@ -97,20 +127,52 @@ impl EngineState {
         }
     }
 
-    pub(crate) fn begin_path(&mut self, forced: Vec<bool>) {
+    pub(crate) fn begin_path(&mut self, snapshot: PathSnapshot) {
+        // Replay and trace execute exactly one path on a fresh engine;
+        // resuming a forked snapshot in those modes would silently replay
+        // stale state, so it is a hard error. Callers holding a snapshot
+        // must explore it, not replay it.
+        assert!(
+            (self.replay.is_none() && self.trace.is_none()) || snapshot.is_root(),
+            "replay/trace require a fresh engine per path: \
+             cannot resume a forked snapshot"
+        );
         // A new path invalidates the solver's per-path incremental
         // context: its asserted prefix belongs to the path just ended.
         self.solver.begin_path();
         self.constraints.clear();
-        self.forced = forced;
+        self.forced = snapshot.prefix;
         self.cursor = 0;
         self.taken.clear();
         self.inputs.clear();
         self.path_decisions = 0;
         self.path_coverage.clear();
         self.path_branches.clear();
-        // The empty assignment satisfies the (empty) constraint set.
-        self.cur_env = Some(std::collections::HashMap::new());
+        self.journal = snapshot.journal;
+        self.journal_cursor = 0;
+        // Errors already recorded on the shared prefix resume with this
+        // path, re-indexed to it. (Only check-style guards record and
+        // continue; killing errors never precede a fork.)
+        self.path_error_base = self.errors.len();
+        for mut error in snapshot.errors {
+            error.path = self.path_index;
+            self.errors.push(error);
+        }
+        if self.cow && !self.forced.is_empty() {
+            // Fast-forward holds no cached model: the prefix needs no
+            // feasibility answers (the parent already solved them), and
+            // the free region re-establishes a model on first use.
+            self.cur_env = None;
+        } else {
+            // The empty assignment satisfies the (empty) constraint set.
+            self.cur_env = Some(std::collections::HashMap::new());
+        }
+    }
+
+    /// Whether the engine is solver-free fast-forwarding a resumed
+    /// snapshot's forced prefix (copy-on-write strategy only).
+    fn in_fast_forward(&self) -> bool {
+        self.cow && self.cursor < self.forced.len()
     }
 
     /// Marks a coverage bin as hit on the current path.
@@ -167,25 +229,18 @@ impl EngineState {
         self.cur_env = Some(model.to_env());
     }
 
-    fn model_from_env(&self) -> Model {
-        let mut m = Model::new();
-        if let Some(env) = &self.cur_env {
-            for (k, v) in env {
-                m.insert(k.clone(), *v);
-            }
-        }
-        m
-    }
-
     fn check(&mut self, extra: Option<TermId>) -> SatResult {
         let start = Instant::now();
-        let mut cs = self.constraints.clone();
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.constraints);
         if let Some(e) = extra {
-            cs.push(e);
+            self.scratch.push(e);
         }
         // The freshly-pushed constraint is the focus hint: the solver
         // solves its slice first so an infeasible branch short-circuits.
-        let result = self.solver.check_with_focus(&self.pool, &cs, extra);
+        let result = self
+            .solver
+            .check_with_focus(&self.pool, &self.scratch, extra);
         self.solver_time += start.elapsed();
         result
     }
@@ -223,10 +278,20 @@ impl EngineState {
 
     /// Records an error against the current path's own feasibility model
     /// (used when the erring condition is already part of the path).
+    ///
+    /// The model always comes from a *canonical* solve of the path
+    /// constraints — never from the cached feasibility witness — so the
+    /// counterexample is a pure function of the structural constraint
+    /// set. That is what makes a copy-on-write resume and a forced
+    /// re-execution of the same path report byte-identical errors even
+    /// though their cached-model histories differ.
     pub(crate) fn record_error_here(&mut self, kind: ErrorKind, message: String) {
-        if self.cur_env.is_some() {
-            let witness = self.model_from_env();
-            self.record_error(kind, message, &witness);
+        if self.replay.is_some() || self.trace.is_some() {
+            // The concrete inputs are recorded directly ([`record_error`]
+            // reads the replay/trace map); no solver call is needed, and
+            // trace mode must stay solver-free.
+            let unused = Model::new();
+            self.record_error(kind, message, &unused);
             return;
         }
         match self.check(None) {
@@ -247,6 +312,9 @@ impl EngineState {
     }
 
     fn count_decision(&mut self) {
+        if self.in_fast_forward() {
+            self.ff_decisions += 1;
+        }
         self.decisions += 1;
         self.path_decisions += 1;
         if self.path_decisions > self.max_path_decisions {
@@ -255,6 +323,27 @@ impl EngineState {
             self.budget_exhausted = true;
             self.kill_path();
         }
+    }
+
+    /// Captures the opposite fork of the current decision as a pending
+    /// unit of work. Under the copy-on-write strategy this snapshots the
+    /// live path state (journal, prefix errors) so the fork resumes
+    /// without re-solving the prefix; under the re-execution oracle it
+    /// records only the decision prefix, exactly as the original engine.
+    fn push_fork(&mut self) {
+        let mut prefix = self.taken.clone();
+        prefix.push(false);
+        let snapshot = if self.cow {
+            self.fork_snapshots += 1;
+            PathSnapshot {
+                prefix,
+                journal: self.journal.clone(),
+                errors: self.errors[self.path_error_base..].to_vec(),
+            }
+        } else {
+            PathSnapshot::from_prefix(prefix)
+        };
+        self.pending.push(snapshot);
     }
 
     /// Resolves a symbolic condition to a concrete branch direction,
@@ -297,9 +386,7 @@ impl EngineState {
                 // True branch witnessed by the cached model: only the
                 // forking check needs the solver, and only as a verdict.
                 if self.check_feasible(not_cond) {
-                    let mut other = self.taken.clone();
-                    other.push(false);
-                    self.pending.push(other);
+                    self.push_fork();
                 }
                 self.constraints.push(cond);
                 self.taken.push(true);
@@ -310,9 +397,7 @@ impl EngineState {
                 // False branch witnessed; prefer true if it is feasible.
                 match self.check(Some(cond)) {
                     SatResult::Sat(model) => {
-                        let mut other = self.taken.clone();
-                        other.push(false);
-                        self.pending.push(other);
+                        self.push_fork();
                         self.adopt_model(&model);
                         self.constraints.push(cond);
                         self.taken.push(true);
@@ -330,9 +415,7 @@ impl EngineState {
             None => match self.check(Some(cond)) {
                 SatResult::Sat(model) => {
                     if self.check_feasible(not_cond) {
-                        let mut other = self.taken.clone();
-                        other.push(false);
-                        self.pending.push(other);
+                        self.push_fork();
                     }
                     self.adopt_model(&model);
                     self.constraints.push(cond);
@@ -364,6 +447,12 @@ impl EngineState {
             if symsc_smt::eval::evaluate(&self.pool, cond, env) != 1 {
                 self.kill_path();
             }
+            return;
+        }
+        if self.in_fast_forward() {
+            // The forking path already survived this assumption, so the
+            // prefix stays feasible with `cond`: push it without solving.
+            self.constraints.push(cond);
             return;
         }
         if self.env_value(cond) != Some(true) {
@@ -403,13 +492,25 @@ impl EngineState {
             }
             return;
         }
+        if self.in_fast_forward() {
+            // The forking path already ran this guard: a violation it
+            // found travels in the snapshot's restored errors, and the
+            // path continued under `cond` either way. Re-recording (or
+            // re-solving) here would duplicate work the parent did.
+            self.constraints.push(cond);
+            return;
+        }
         let not_cond = self.pool.not(cond);
-        // The cached model may already witness the violation.
-        let violated = if self.env_value(not_cond) == Some(true) {
-            let witness = self.model_from_env();
-            self.record_error(kind, message.to_string(), &witness);
-            true
-        } else if self.solver.incremental_enabled() && !self.check_feasible(not_cond) {
+        // The cached model may witness the violation (skipping the
+        // feasibility probe), but the recorded counterexample always
+        // comes from the canonical full solve below: the cached model
+        // depends on how the path was reached (resumed or re-executed),
+        // the canonical model only on the structural constraint set —
+        // which is what keeps COW and re-exec reports byte-identical.
+        let violated = if self.env_value(not_cond) != Some(true)
+            && self.solver.incremental_enabled()
+            && !self.check_feasible(not_cond)
+        {
             // Verdict-only fast path: a passing check is an UNSAT verdict
             // and needs no model, so the incremental per-path context can
             // answer it as an assumption solve on the retained prefix. A
@@ -447,26 +548,58 @@ impl EngineState {
 
     /// KLEE-style concretization: pick a satisfying value for `id`, pin the
     /// path to it, and return it.
+    ///
+    /// The value comes from a *canonical* solve of the path constraints
+    /// (not the cached witness model), so it is a pure function of the
+    /// structural constraint set — a resumed snapshot replays the same
+    /// value from its journal that a forced re-execution would recompute.
     pub(crate) fn concretize(&mut self, id: TermId, width: Width) -> u64 {
         if let Some(env) = &self.trace {
             // Concolic: the traced assignment already fixes every input.
             return symsc_smt::eval::evaluate(&self.pool, id, env);
         }
-        if self.cur_env.is_none() {
-            match self.check(None) {
-                SatResult::Sat(model) => self.adopt_model(&model),
-                SatResult::Unsat => {
-                    debug_assert!(false, "concretize on infeasible path");
-                    self.kill_path()
+        if let Some(value) = self.pool.const_value(id) {
+            // Already concrete (always the case in replay mode, which
+            // constant-folds the inputs): nothing to pin, nothing to solve.
+            return value;
+        }
+        if self.in_fast_forward() {
+            // The forking path already pinned this value; consume it from
+            // the journal and rebuild the pin constraint solver-free.
+            let value = *self
+                .journal
+                .get(self.journal_cursor)
+                .expect("concretization journal underran the forced prefix");
+            self.journal_cursor += 1;
+            let k = self.pool.constant(value, width);
+            let pin = self.pool.eq(id, k);
+            self.constraints.push(pin);
+            return value;
+        }
+        match self.check(None) {
+            SatResult::Sat(model) => {
+                self.adopt_model(&model);
+                let env = self.cur_env.as_ref().expect("model adopted above");
+                let value = symsc_smt::eval::evaluate(&self.pool, id, env);
+                let k = self.pool.constant(value, width);
+                let pin = self.pool.eq(id, k);
+                self.constraints.push(pin);
+                if self.cow {
+                    debug_assert_eq!(
+                        self.journal_cursor,
+                        self.journal.len(),
+                        "free-region journal appends follow the replayed entries"
+                    );
+                    self.journal.push(value);
+                    self.journal_cursor += 1;
                 }
+                value
+            }
+            SatResult::Unsat => {
+                debug_assert!(false, "concretize on infeasible path");
+                self.kill_path()
             }
         }
-        let env = self.cur_env.as_ref().expect("model cached above");
-        let value = symsc_smt::eval::evaluate(&self.pool, id, env);
-        let k = self.pool.constant(value, width);
-        let pin = self.pool.eq(id, k);
-        self.constraints.push(pin);
-        value
     }
 
     /// Records a non-assertion error (out-of-bounds, division by zero, …)

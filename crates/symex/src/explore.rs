@@ -1,13 +1,21 @@
-//! The path explorer: forked re-execution over recorded decision prefixes.
+//! The path explorer: copy-on-write snapshot forking over a worklist of
+//! suspended engine snapshots.
 //!
 //! Exploration runs on a pool of worker threads (see
-//! [`Explorer::workers`]). Every pending decision prefix is an independent
-//! unit of work: a worker pops one, re-executes the testbench with the
-//! prefix forced, and pushes the newly discovered prefixes back. Workers
-//! keep private term pools and solvers but share one whole-query solver
-//! cache, so a feasibility query solved on any worker is a cache hit on
-//! every other. Per-worker results are merged into canonical (sequential
-//! depth-first) order, so the report is independent of scheduling.
+//! [`Explorer::workers`]). Every pending [`PathSnapshot`] is an
+//! independent unit of work: a worker pops one, *fast-forwards* the
+//! testbench through its forced prefix — solver-free, replaying the
+//! pinned concretizations from the snapshot's journal — and resumes live
+//! execution at the fork point, pushing newly captured snapshots back for
+//! any worker to steal. Workers keep private term pools and solvers but
+//! share one whole-query solver cache, so a feasibility query solved on
+//! any worker is a cache hit on every other. Per-worker results are
+//! merged into canonical (sequential depth-first) order, so the report is
+//! independent of scheduling.
+//!
+//! The original forked *re-execution* engine — prefixes re-solved from
+//! scratch — remains available via [`ForkStrategy::Reexec`] as the
+//! differential oracle the snapshot engine is verified against.
 
 use std::cell::Cell;
 use std::cmp::Ordering;
@@ -21,6 +29,7 @@ use symsc_smt::{CexCache, QueryCache, Solver};
 
 use crate::ctx::{EngineState, PathTerm, SymCtx};
 use crate::error::{ErrorKind, Report, SymError};
+use crate::snapshot::PathSnapshot;
 use crate::stats::ExplorationStats;
 
 thread_local! {
@@ -68,6 +77,27 @@ pub enum SearchStrategy {
     RandomPath(u64),
 }
 
+/// How a fork materializes the other branch — the engine's state-capture
+/// strategy.
+///
+/// Both strategies explore the same path tree and produce byte-identical
+/// reports (every report-relevant value is a pure function of the
+/// structural constraint set); they differ only in how much work resuming
+/// a pending path costs. The differential harness in `crates/bench`
+/// (`cow_fork`) holds them to that equivalence bar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForkStrategy {
+    /// Copy-on-write snapshots (the default): a fork captures the live
+    /// path state — concretization journal, prefix errors — in O(changed
+    /// state), and resuming fast-forwards the prefix without any solver
+    /// work. The KLEE-style state-forking analogue.
+    CowSnapshot,
+    /// Forked re-execution: a fork records only the decision prefix and
+    /// the resume re-solves it from scratch — O(depth) solver work per
+    /// path. The original engine, kept as the differential oracle.
+    Reexec,
+}
+
 /// Drives the symbolic exploration of a testbench closure.
 ///
 /// The closure is executed once per path. With one worker, all paths share
@@ -101,6 +131,7 @@ pub struct Explorer {
     solver_stack: bool,
     incremental: bool,
     strategy: SearchStrategy,
+    fork: ForkStrategy,
     workers: usize,
 }
 
@@ -142,6 +173,7 @@ impl Explorer {
             solver_stack: true,
             incremental: true,
             strategy: SearchStrategy::DepthFirst,
+            fork: ForkStrategy::CowSnapshot,
             workers: 0,
         }
     }
@@ -201,6 +233,20 @@ impl Explorer {
     pub fn strategy(mut self, strategy: SearchStrategy) -> Explorer {
         self.strategy = strategy;
         self
+    }
+
+    /// Selects the fork strategy (default: copy-on-write snapshots).
+    /// [`ForkStrategy::Reexec`] restores the original forked
+    /// re-execution engine, the differential oracle — both produce
+    /// byte-identical reports; see [`ForkStrategy`].
+    pub fn fork_strategy(mut self, fork: ForkStrategy) -> Explorer {
+        self.fork = fork;
+        self
+    }
+
+    /// Whether the copy-on-write snapshot strategy is active.
+    fn cow_enabled(&self) -> bool {
+        self.fork == ForkStrategy::CowSnapshot
     }
 
     /// Sets the number of worker threads. `0` (the default) uses
@@ -270,8 +316,9 @@ impl Explorer {
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
             self.solver_setup().build(),
+            self.cow_enabled(),
         )));
-        let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
+        let mut worklist: Vec<PathSnapshot> = vec![PathSnapshot::root()];
         let start = Instant::now();
         let mut completed = true;
         let mut paths = 0u64;
@@ -281,7 +328,7 @@ impl Explorer {
             _ => 0,
         };
 
-        while let Some(prefix) = self.pick_next(&mut worklist, &mut rng_state) {
+        while let Some(snapshot) = self.pick_next(&mut worklist, &mut rng_state) {
             if paths >= self.max_paths {
                 completed = false;
                 break;
@@ -294,7 +341,7 @@ impl Explorer {
             }
 
             let ctx = SymCtx::new(state.clone());
-            ctx.engine().begin_path(prefix);
+            ctx.engine().begin_path(snapshot);
             IN_EXPLORATION.with(|f| f.set(true));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
             IN_EXPLORATION.with(|f| f.set(false));
@@ -337,6 +384,8 @@ impl Explorer {
                 time,
                 solver_time: st.solver_time,
                 solver: st.solver.stats(),
+                fork_snapshots: st.fork_snapshots,
+                fast_forward_decisions: st.ff_decisions,
                 branches: st.branches.clone(),
             },
             completed,
@@ -355,7 +404,7 @@ impl Explorer {
         install_quiet_hook();
         let start = Instant::now();
         let setup = self.solver_setup();
-        let queue = WorkQueue::new(vec![Vec::new()]);
+        let queue = WorkQueue::new(vec![PathSnapshot::root()]);
         let limits = SharedLimits {
             paths_started: AtomicU64::new(0),
             max_paths: self.max_paths,
@@ -395,10 +444,11 @@ impl Explorer {
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
             setup.build(),
+            self.cow_enabled(),
         )));
         let mut records = Vec::new();
 
-        while let Some(prefix) = queue.pop() {
+        while let Some(snapshot) = queue.pop() {
             let over_budget =
                 limits.paths_started.fetch_add(1, AtomicOrdering::SeqCst) >= limits.max_paths;
             let past_deadline = limits
@@ -412,7 +462,7 @@ impl Explorer {
             }
 
             let ctx = SymCtx::new(state.clone());
-            ctx.engine().begin_path(prefix);
+            ctx.engine().begin_path(snapshot);
             IN_EXPLORATION.with(|f| f.set(true));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
             IN_EXPLORATION.with(|f| f.set(false));
@@ -446,6 +496,8 @@ impl Explorer {
             pool_ops: st.pool.ops_created(),
             solver_time: st.solver_time,
             solver: st.solver.stats(),
+            fork_snapshots: st.fork_snapshots,
+            ff_decisions: st.ff_decisions,
             budget_exhausted: st.budget_exhausted,
         }
     }
@@ -474,6 +526,8 @@ impl Explorer {
             stats.instructions += output.pool_ops;
             stats.solver_time += output.solver_time;
             stats.solver.merge(&output.solver);
+            stats.fork_snapshots += output.fork_snapshots;
+            stats.fast_forward_decisions += output.ff_decisions;
             if output.budget_exhausted {
                 completed = false;
             }
@@ -532,12 +586,13 @@ impl Explorer {
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
             self.solver_setup().build(),
+            false,
         )));
         lock_state(&state).replay = Some(counterexample.to_map());
         let start = Instant::now();
 
         let ctx = SymCtx::new(state.clone());
-        ctx.engine().begin_path(Vec::new());
+        ctx.engine().begin_path(PathSnapshot::root());
         IN_EXPLORATION.with(|f| f.set(true));
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
         IN_EXPLORATION.with(|f| f.set(false));
@@ -564,6 +619,8 @@ impl Explorer {
                 time,
                 solver_time: st.solver_time,
                 solver: st.solver.stats(),
+                fork_snapshots: 0,
+                fast_forward_decisions: 0,
                 branches: st.branches.clone(),
             },
             completed: true,
@@ -591,12 +648,13 @@ impl Explorer {
         let state = Arc::new(Mutex::new(EngineState::new(
             self.max_path_decisions,
             self.solver_setup().build(),
+            false,
         )));
         lock_state(&state).trace = Some(assignment.to_map());
         let start = Instant::now();
 
         let ctx = SymCtx::new(state.clone());
-        ctx.engine().begin_path(Vec::new());
+        ctx.engine().begin_path(PathSnapshot::root());
         IN_EXPLORATION.with(|f| f.set(true));
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
         IN_EXPLORATION.with(|f| f.set(false));
@@ -623,6 +681,8 @@ impl Explorer {
                 time,
                 solver_time: st.solver_time,
                 solver: st.solver.stats(),
+                fork_snapshots: 0,
+                fast_forward_decisions: 0,
                 branches: st.branches.clone(),
             },
             completed: true,
@@ -631,8 +691,12 @@ impl Explorer {
 }
 
 impl Explorer {
-    /// Removes and returns the next prefix to explore, per the strategy.
-    fn pick_next(&self, worklist: &mut Vec<Vec<bool>>, rng_state: &mut u64) -> Option<Vec<bool>> {
+    /// Removes and returns the next snapshot to explore, per the strategy.
+    fn pick_next(
+        &self,
+        worklist: &mut Vec<PathSnapshot>,
+        rng_state: &mut u64,
+    ) -> Option<PathSnapshot> {
         if worklist.is_empty() {
             return None;
         }
@@ -685,14 +749,18 @@ struct WorkerOutput {
     pool_ops: u64,
     solver_time: Duration,
     solver: symsc_smt::SolverStats,
+    fork_snapshots: u64,
+    ff_decisions: u64,
     budget_exhausted: bool,
 }
 
-/// The shared work queue of pending decision prefixes.
+/// The shared work queue of pending path snapshots — the work-stealing
+/// point of the pool: any worker may resume a snapshot forked on any
+/// other (snapshots are pool-independent by construction).
 ///
-/// `in_flight` counts prefixes popped but not yet completed: the queue is
+/// `in_flight` counts snapshots popped but not yet completed: the queue is
 /// only *drained* when it is empty **and** nothing is in flight, because a
-/// running path may still fork new prefixes. `halt` wakes everyone up for
+/// running path may still fork new snapshots. `halt` wakes everyone up for
 /// an early exit (path budget or timeout).
 struct WorkQueue {
     state: Mutex<QueueState>,
@@ -700,13 +768,13 @@ struct WorkQueue {
 }
 
 struct QueueState {
-    queue: Vec<Vec<bool>>,
+    queue: Vec<PathSnapshot>,
     in_flight: usize,
     halted: bool,
 }
 
 impl WorkQueue {
-    fn new(initial: Vec<Vec<bool>>) -> WorkQueue {
+    fn new(initial: Vec<PathSnapshot>) -> WorkQueue {
         WorkQueue {
             state: Mutex::new(QueueState {
                 queue: initial,
@@ -721,18 +789,18 @@ impl WorkQueue {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Claims the next prefix, blocking while other workers might still
+    /// Claims the next snapshot, blocking while other workers might still
     /// fork new ones. Returns `None` once the queue has fully drained (or
     /// was halted).
-    fn pop(&self) -> Option<Vec<bool>> {
+    fn pop(&self) -> Option<PathSnapshot> {
         let mut st = self.lock();
         loop {
             if st.halted {
                 return None;
             }
-            if let Some(prefix) = st.queue.pop() {
+            if let Some(snapshot) = st.queue.pop() {
                 st.in_flight += 1;
-                return Some(prefix);
+                return Some(snapshot);
             }
             if st.in_flight == 0 {
                 return None;
@@ -741,8 +809,8 @@ impl WorkQueue {
         }
     }
 
-    /// Marks one claimed prefix as done, adding the prefixes it forked.
-    fn complete(&self, forked: Vec<Vec<bool>>) {
+    /// Marks one claimed snapshot as done, adding the snapshots it forked.
+    fn complete(&self, forked: Vec<PathSnapshot>) {
         let mut st = self.lock();
         st.queue.extend(forked);
         st.in_flight -= 1;
@@ -989,14 +1057,57 @@ mod parallel_tests {
 
     #[test]
     fn parallel_workers_share_the_query_cache() {
-        let report = Explorer::new().workers(4).explore(ladder);
-        // Every worker re-solves structurally identical prefix queries;
-        // with a shared cache at least some must hit.
+        // Under the re-execution oracle every worker re-solves
+        // structurally identical prefix queries; with a shared cache at
+        // least some must hit. (The copy-on-write engine eliminates those
+        // repeated prefix queries altogether — that is its entire point —
+        // so the premise of this test only holds for re-execution.)
+        let report = Explorer::new()
+            .workers(4)
+            .fork_strategy(ForkStrategy::Reexec)
+            .explore(ladder);
         assert!(
             report.stats.solver.cache_hits > 0,
             "shared cache shows no hits: {:?}",
             report.stats.solver
         );
+    }
+
+    #[test]
+    fn cow_matches_reexec_on_the_ladder() {
+        // The differential bar at unit scale: both fork strategies, at
+        // several worker counts, produce identical reports on the ladder
+        // (errors, counterexamples, coverage, branch maps) — and the COW
+        // runs actually snapshot and fast-forward.
+        let oracle = Explorer::new()
+            .workers(1)
+            .fork_strategy(ForkStrategy::Reexec)
+            .explore(ladder);
+        assert_eq!(oracle.stats.fork_snapshots, 0, "re-exec never snapshots");
+        assert_eq!(oracle.stats.fast_forward_decisions, 0);
+        for workers in [1, 2, 8] {
+            let cow = Explorer::new()
+                .workers(workers)
+                .fork_strategy(ForkStrategy::CowSnapshot)
+                .explore(ladder);
+            assert_eq!(cow.stats.paths, oracle.stats.paths, "{workers} workers");
+            assert_eq!(cow.stats.decisions, oracle.stats.decisions);
+            assert_eq!(cow.errors.len(), oracle.errors.len());
+            for (c, o) in cow.errors.iter().zip(oracle.errors.iter()) {
+                assert_eq!(c.kind, o.kind);
+                assert_eq!(c.message, o.message);
+                assert_eq!(c.path, o.path);
+                assert_eq!(c.counterexample, o.counterexample);
+            }
+            assert_eq!(cow.coverage, oracle.coverage);
+            assert_eq!(cow.stats.branches, oracle.stats.branches);
+            assert_eq!(
+                cow.stats.fork_snapshots,
+                cow.stats.paths - 1,
+                "every non-root path resumes a snapshot"
+            );
+            assert!(cow.stats.fast_forward_decisions > 0);
+        }
     }
 
     #[test]

@@ -5,17 +5,25 @@
 //! explores every feasible control path, checks assertions, and produces a
 //! concrete counterexample for every error it finds.
 //!
-//! ## Execution model: forked re-execution
+//! ## Execution model: copy-on-write snapshot forking
 //!
-//! KLEE forks interpreter states at symbolic branches. A native-code engine
-//! cannot snapshot a running Rust program, so we use the re-execution
-//! analogue: the [`Explorer`] runs the testbench from the
-//! start once per path, forcing a recorded prefix of branch decisions and
-//! letting the remainder default to the first feasible direction. Every
-//! novel two-feasible branch enqueues the opposite prefix. Because the term
-//! pool is hash-consed and shared across runs, replayed prefixes rebuild
-//! identical terms and the whole-query solver cache absorbs the repeated
-//! feasibility checks.
+//! KLEE forks interpreter states at symbolic branches. A native-code
+//! engine cannot suspend a running Rust closure, so a fork captures a
+//! snapshot of the live *solver-relevant* path state — the concretization
+//! journal and the errors recorded on the
+//! shared prefix — in copy-on-write structures ([`cow::CowVec`]) whose
+//! fork cost is O(changed state). Resuming a snapshot re-runs the native
+//! code over the forced decision prefix, but *fast-forwards* it: no
+//! solver call, no feasibility probe, no counterexample model is ever
+//! recomputed on the prefix, because the forking path already did that
+//! work. Live execution (and solving) picks up exactly at the fork point.
+//! The original forked re-execution engine — prefixes re-solved from
+//! scratch — remains available as
+//! [`ForkStrategy::Reexec`](explore::ForkStrategy), the differential
+//! oracle: both strategies produce byte-identical reports, because every
+//! report-relevant value (branch verdicts, counterexample models,
+//! concretized values) is a pure function of the structural constraint
+//! set rather than of the path's cached-model history.
 //!
 //! ## Error classes (matching the paper's Section 4.1)
 //!
@@ -50,16 +58,19 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod cow;
 pub mod ctx;
 pub mod error;
 pub mod explore;
+mod snapshot;
 pub mod stats;
 pub mod value;
 
 pub use array::SymArray;
+pub use cow::{CowEnv, CowVec};
 pub use ctx::SymCtx;
 pub use error::{Counterexample, ErrorKind, Report, SymError};
-pub use explore::{Explorer, SearchStrategy};
+pub use explore::{Explorer, ForkStrategy, SearchStrategy};
 pub use stats::{BranchCoverage, ExplorationStats};
 pub use symsc_smt::Width;
 pub use value::{SymBool, SymWord};

@@ -54,6 +54,14 @@ pub struct ExplorationStats {
     pub solver_time: Duration,
     /// Raw statistics from the SMT layer.
     pub solver: SolverStats,
+    /// Copy-on-write path snapshots captured at fork sites (zero under
+    /// the re-execution strategy). Scheduling-independent: a snapshot is
+    /// captured per feasible fork, a pure function of the path set.
+    pub fork_snapshots: u64,
+    /// Decisions replayed solver-free while fast-forwarding resumed
+    /// snapshots' forced prefixes (included in `decisions`; zero under
+    /// the re-execution strategy, which re-solves its prefixes).
+    pub fast_forward_decisions: u64,
     /// Symbolic branch coverage: fork-site fingerprint -> per-direction
     /// path counts. Deterministic across worker counts — the map is a pure
     /// function of the explored path set.
@@ -109,6 +117,7 @@ impl fmt::Display for ExplorationStats {
              {} model reuse, {} focus skips, {} core calls, {} evictions | \
              incremental: {} contexts, {} assumption solves, \
              {} clauses retained, {} restarts | \
+             cow: {} snapshots, {} fast-forward decisions | \
              branch sites: {} ({}/{} directions)",
             self.paths,
             self.instructions,
@@ -128,6 +137,8 @@ impl fmt::Display for ExplorationStats {
             self.solver.incremental.assumption_solves,
             self.solver.incremental.clauses_retained,
             self.solver.incremental.restarts,
+            self.fork_snapshots,
+            self.fast_forward_decisions,
             self.branch_sites(),
             self.branches_covered(),
             2 * self.branch_sites(),

@@ -244,6 +244,12 @@ impl SymWord {
     /// otherwise asks the solver for a satisfying value and *constrains the
     /// path* to that value (KLEE-style concretization).
     ///
+    /// The pinned value is canonical — a pure function of the path's
+    /// structural constraint set, never of solver-cache state or query
+    /// history — and the pin is journaled, so a path resumed from a
+    /// copy-on-write fork snapshot fast-forwards to the identical value
+    /// the original run pinned (see `ForkStrategy`).
+    ///
     /// Prefer symbolic assertions; use this only where the model genuinely
     /// needs a native integer (e.g. a loop bound).
     pub fn concretize(&self) -> u64 {

@@ -1,0 +1,229 @@
+//! Property test for the copy-on-write state containers.
+//!
+//! Drives [`CowEnv`]/[`CowVec`] with seeded random operation sequences —
+//! bind, assign, push, set, truncate, fork, restore — mirrored against a
+//! naive full-clone reference model (`HashMap` / `Vec` deep-copied at
+//! every fork). After *every* fork and restore, every binding and every
+//! slot is compared against the reference. Any sharing bug — a write
+//! leaking through a shared chunk into a sibling, a restore observing a
+//! later mutation — shows up as a lookup disagreement.
+
+use std::collections::HashMap;
+
+use symsc_symex::{CowEnv, CowVec};
+
+/// Deterministic xorshift64* PRNG so failures replay from a seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The naive reference: a full deep copy at every fork.
+#[derive(Clone)]
+struct RefEnv(HashMap<String, u64>);
+
+fn check_env(cow: &CowEnv, reference: &RefEnv, what: &str) {
+    assert_eq!(cow.len(), reference.0.len(), "{what}: length diverged");
+    for (name, &value) in &reference.0 {
+        assert_eq!(
+            cow.get(name),
+            Some(value),
+            "{what}: binding {name} diverged"
+        );
+    }
+    assert_eq!(cow.to_map(), reference.0, "{what}: full map diverged");
+}
+
+#[test]
+fn env_random_ops_agree_with_full_clone_reference() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng::new(seed * 0x9e37_79b9);
+        // A stack of (cow, reference) pairs: fork pushes, restore pops
+        // back to an ancestor and resumes mutation there.
+        let mut stack: Vec<(CowEnv, RefEnv)> = vec![(CowEnv::new(), RefEnv(HashMap::new()))];
+        for step in 0..400 {
+            let op = rng.below(100);
+            let depth = stack.len();
+            match op {
+                // bind: a fresh or existing name
+                0..=39 => {
+                    let name = format!("v{}", rng.below(48));
+                    let value = rng.next();
+                    let (cow, reference) = stack.last_mut().expect("stack never empties");
+                    cow.bind(&name, value);
+                    reference.0.insert(name, value);
+                }
+                // assign: must agree on whether the name exists
+                40..=69 => {
+                    let name = format!("v{}", rng.below(64));
+                    let value = rng.next();
+                    let (cow, reference) = stack.last_mut().expect("stack never empties");
+                    let did = cow.assign(&name, value);
+                    let expected = reference.0.contains_key(&name);
+                    assert_eq!(
+                        did, expected,
+                        "seed {seed} step {step}: assign hit diverged"
+                    );
+                    if expected {
+                        reference.0.insert(name, value);
+                    }
+                }
+                // fork: push a COW child and a deep-copied reference
+                70..=84 => {
+                    if depth < 12 {
+                        let (cow, reference) = stack.last().expect("stack never empties");
+                        let child = (cow.fork(), reference.clone());
+                        check_env(&child.0, &child.1, "fresh fork");
+                        stack.push(child);
+                    }
+                }
+                // restore: drop back to the parent; its state must be
+                // exactly what it was before the child ran (no leaks).
+                _ => {
+                    if depth > 1 {
+                        stack.pop();
+                        let (cow, reference) = stack.last().expect("parent");
+                        check_env(cow, reference, "restored parent");
+                    }
+                }
+            }
+            let (cow, reference) = stack.last().expect("stack never empties");
+            check_env(cow, reference, &format!("seed {seed} step {step}"));
+        }
+        // Every live generation must still agree at the end.
+        for (depth, (cow, reference)) in stack.iter().enumerate() {
+            check_env(cow, reference, &format!("seed {seed} final depth {depth}"));
+        }
+    }
+}
+
+fn check_vec(cow: &CowVec<u64>, reference: &[u64], what: &str) {
+    assert_eq!(cow.len(), reference.len(), "{what}: length diverged");
+    for (i, &value) in reference.iter().enumerate() {
+        assert_eq!(cow.get(i), Some(&value), "{what}: slot {i} diverged");
+    }
+    assert_eq!(cow.get(reference.len()), None, "{what}: phantom tail slot");
+    let collected: Vec<u64> = cow.iter().copied().collect();
+    assert_eq!(collected, reference, "{what}: iteration order diverged");
+}
+
+#[test]
+fn vec_random_ops_agree_with_full_clone_reference() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng::new(seed * 0x51_7cc1_b727);
+        let mut stack: Vec<(CowVec<u64>, Vec<u64>)> = vec![(CowVec::new(), Vec::new())];
+        for step in 0..400 {
+            let op = rng.below(100);
+            let depth = stack.len();
+            match op {
+                // push
+                0..=39 => {
+                    let value = rng.next();
+                    let (cow, reference) = stack.last_mut().expect("stack never empties");
+                    cow.push(value);
+                    reference.push(value);
+                }
+                // set at a random in-range slot
+                40..=64 => {
+                    let (cow, reference) = stack.last_mut().expect("stack never empties");
+                    if !reference.is_empty() {
+                        let i = rng.below(reference.len() as u64) as usize;
+                        let value = rng.next();
+                        cow.set(i, value);
+                        reference[i] = value;
+                    }
+                }
+                // truncate (sometimes past the end: must be a no-op)
+                65..=74 => {
+                    let (cow, reference) = stack.last_mut().expect("stack never empties");
+                    let new_len = rng.below(reference.len() as u64 + 8) as usize;
+                    cow.truncate(new_len);
+                    reference.truncate(new_len);
+                }
+                // fork
+                75..=89 => {
+                    if depth < 12 {
+                        let (cow, reference) = stack.last().expect("stack never empties");
+                        let child = (cow.clone(), reference.clone());
+                        check_vec(&child.0, &child.1, "fresh fork");
+                        stack.push(child);
+                    }
+                }
+                // restore to the parent
+                _ => {
+                    if depth > 1 {
+                        stack.pop();
+                        let (cow, reference) = stack.last().expect("parent");
+                        check_vec(cow, reference, "restored parent");
+                    }
+                }
+            }
+            let (cow, reference) = stack.last().expect("stack never empties");
+            check_vec(cow, reference, &format!("seed {seed} step {step}"));
+        }
+        for (depth, (cow, reference)) in stack.iter().enumerate() {
+            check_vec(cow, reference, &format!("seed {seed} final depth {depth}"));
+        }
+    }
+}
+
+/// Sibling isolation under *simultaneous* mutation: fork the same parent
+/// many times, mutate every child differently, and verify no child (or
+/// the parent) sees another's writes.
+#[test]
+fn sibling_forks_never_observe_each_other() {
+    let mut rng = Rng::new(0xdead_beef);
+    let mut parent = CowEnv::new();
+    let mut parent_ref: HashMap<String, u64> = HashMap::new();
+    for i in 0..70u64 {
+        let name = format!("slot{i}");
+        let value = rng.next();
+        parent.bind(&name, value);
+        parent_ref.insert(name, value);
+    }
+
+    let mut children: Vec<(CowEnv, HashMap<String, u64>)> = (0..8)
+        .map(|_| (parent.fork(), parent_ref.clone()))
+        .collect();
+    for (k, (child, child_ref)) in children.iter_mut().enumerate() {
+        for _ in 0..30 {
+            let name = format!("slot{}", rng.below(70));
+            let value = (k as u64) << 32 | rng.below(1 << 20);
+            child.bind(&name, value);
+            child_ref.insert(name, value);
+        }
+        let fresh = format!("child{k}_private");
+        child.bind(&fresh, k as u64);
+        child_ref.insert(fresh, k as u64);
+    }
+
+    check_env(&parent, &RefEnv(parent_ref), "parent after child mutation");
+    for (k, (child, child_ref)) in children.iter().enumerate() {
+        check_env(child, &RefEnv(child_ref.clone()), &format!("child {k}"));
+        for other in 0..8 {
+            if other != k {
+                assert_eq!(
+                    child.get(&format!("child{other}_private")),
+                    None,
+                    "child {k} sees child {other}'s private binding"
+                );
+            }
+        }
+    }
+}

@@ -24,7 +24,7 @@ done
 
 cargo build --offline --release -p symsc-bench \
   --bin solver_stack --bin incremental_speedup --bin mutation_kill \
-  --bin fuzz_diff --bin bench_gate
+  --bin fuzz_diff --bin cow_fork --bin bench_gate
 
 out=target/bench_gate
 mkdir -p "$out"
@@ -40,10 +40,14 @@ echo "==> incremental-core ablation (sources=32)"
 echo "==> fuzz-vs-symbolic coverage diff + seed exchange"
 ./target/release/fuzz_diff --emit "$out/fuzz_diff.json"
 
+echo "==> COW fork-engine ablation (sources=8/16/32, workers=1/2/8)"
+./target/release/cow_fork --emit "$out/cow_fork.json"
+
 pairs=(
   BENCH_solver_stack.json "$out/solver_stack.json"
   BENCH_incremental_solve.json "$out/incremental_solve.json"
   BENCH_fuzz_diff.json "$out/fuzz_diff.json"
+  BENCH_cow_fork.json "$out/cow_fork.json"
 )
 
 if [[ "$skip_mutation" -eq 0 ]]; then

@@ -48,6 +48,9 @@ echo "==> parallel exploration determinism + cache smoke"
 echo "==> differential fuzzing smoke (IF presets must die)"
 scripts/fuzz_smoke.sh
 
+echo "==> COW fork-engine differential smoke"
+scripts/cow_smoke.sh
+
 echo "==> bench gate (ablation harnesses + baseline comparison)"
 # Runs the solver-stack and incremental-core ablations at the committed
 # baselines' scales plus the reduced mutation kill matrix, and compares

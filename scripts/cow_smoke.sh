@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The copy-on-write fork-engine smoke: the cow_fork differential harness
+# at its smallest scale. The harness itself fails unless every strategy x
+# worker-count combination (COW vs. the re-execution oracle at 1/2/8
+# workers) produces a byte-identical report and the snapshot counters are
+# live; the timing floor only applies to the full ablation, which
+# scripts/bench_gate.sh runs and gates against BENCH_cow_fork.json.
+#
+# Everything runs offline; the release binary is built if missing.
+#
+# Usage: scripts/cow_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p symsc-bench --bin cow_fork
+
+echo "==> COW fork-engine differential smoke (sources=8, workers=1/2/8)"
+./target/release/cow_fork --smoke
+
+echo "COW smoke passed."

@@ -13,6 +13,7 @@
 use symsc_mutate::{run_kill_matrix, Mutant};
 use symsc_plic::{InjectedFault, MutationOp, PlicConfig, PlicVariant, ThresholdCmp};
 use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsysc_core::prelude::ForkStrategy;
 use symsysc_core::{TestOutcome, Verifier};
 
 /// Everything in a report that must not depend on scheduling.
@@ -176,6 +177,144 @@ fn kill_matrix_is_byte_identical_across_worker_counts() {
     assert!(one.mutants[1].killed(), "IF6 killed by T3");
     assert!(one.mutants[2].killed(), "dead delivery killed");
     assert!(!one.mutants[3].killed(), "duplicate notify survives");
+}
+
+#[test]
+fn cow_forking_never_changes_a_report() {
+    // The copy-on-write snapshot fork engine is a pure optimization: for
+    // every suite test, the COW report at 1, 2 and 8 workers must equal
+    // the re-execution oracle (prefixes re-solved from scratch) byte for
+    // byte. This is the differential bar the cow_fork benchmark enforces
+    // at scale; here it runs on the scaled suite as a regression.
+    for test in TestId::ALL {
+        let oracle = stable_view(&run_test(
+            test,
+            PlicConfig::fe310_scaled(),
+            &SuiteParams::default(),
+            &Verifier::new(test.name())
+                .workers(1)
+                .fork_strategy(ForkStrategy::Reexec),
+        ));
+        for workers in [1, 2, 8] {
+            let cow = stable_view(&run_test(
+                test,
+                PlicConfig::fe310_scaled(),
+                &SuiteParams::default(),
+                &Verifier::new(test.name())
+                    .workers(workers)
+                    .fork_strategy(ForkStrategy::CowSnapshot),
+            ));
+            assert_eq!(
+                oracle,
+                cow,
+                "{} report changed between the re-execution oracle and \
+                 the {workers}-worker COW run",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cow_forking_never_changes_a_mutation_verdict() {
+    // Kill-matrix smoke row: for each mutant of the reduced matrix, the
+    // killing (or surviving) verdict — and the full stable report behind
+    // it — must be identical under COW snapshots and under the
+    // re-execution oracle.
+    let mutants = [
+        (
+            "if5",
+            Some(MutationOp::EarlyClearReturnForId(7)),
+            /* killed = */ true,
+        ),
+        (
+            "cmp_never",
+            Some(MutationOp::ThresholdCompare(ThresholdCmp::NeverPass)),
+            true,
+        ),
+        ("dup_notify", Some(MutationOp::DuplicateNotify), false),
+        ("baseline", None, false),
+    ];
+    let tests = [TestId::T1, TestId::T3];
+    for (name, mutation, expect_killed) in mutants {
+        let mut config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+        if let Some(op) = mutation {
+            config = config.mutate(op);
+        }
+        let mut killed_by_cow = false;
+        for test in tests {
+            let oracle = run_test(
+                test,
+                config,
+                &SuiteParams::default(),
+                &Verifier::new(test.name())
+                    .workers(1)
+                    .fork_strategy(ForkStrategy::Reexec),
+            );
+            let cow = run_test(
+                test,
+                config,
+                &SuiteParams::default(),
+                &Verifier::new(test.name())
+                    .workers(1)
+                    .fork_strategy(ForkStrategy::CowSnapshot),
+            );
+            assert_eq!(
+                stable_view(&oracle),
+                stable_view(&cow),
+                "mutant {name}: {} report changed between fork strategies",
+                test.name()
+            );
+            killed_by_cow |= !cow.passed();
+        }
+        assert_eq!(
+            killed_by_cow, expect_killed,
+            "mutant {name}: COW verdict diverged from the known matrix"
+        );
+    }
+}
+
+#[test]
+fn replay_reproduces_a_cow_forked_counterexample() {
+    // T4 under the default COW engine reports errors on deeply forked
+    // paths (path indices well past the root). Replaying such a
+    // counterexample must still work: replay always starts from a fresh
+    // root engine — resuming a forked snapshot in replay mode is a loud
+    // assert — and must reproduce the same error on a single path.
+    let outcome = run_test(
+        TestId::T4,
+        PlicConfig::fe310_scaled(),
+        &SuiteParams::default(),
+        &Verifier::new(TestId::T4.name())
+            .workers(1)
+            .fork_strategy(ForkStrategy::CowSnapshot),
+    );
+    assert!(!outcome.passed(), "T4 finds register-interface errors");
+    let error = outcome
+        .report
+        .errors
+        .iter()
+        .max_by_key(|e| e.path)
+        .expect("T4 reports errors");
+    assert!(
+        error.path > 0,
+        "the counterexample must come from a COW-forked path for this \
+         regression to bite (path {})",
+        error.path
+    );
+    let verifier = Verifier::new(TestId::T4.name()).fork_strategy(ForkStrategy::CowSnapshot);
+    let replayed = verifier.replay(
+        &error.counterexample,
+        symsc_testbench::test_bench(
+            TestId::T4,
+            PlicConfig::fe310_scaled(),
+            SuiteParams::default(),
+        ),
+    );
+    assert_eq!(replayed.report.stats.paths, 1, "replay is single-path");
+    assert_eq!(replayed.report.errors.len(), 1);
+    assert_eq!(replayed.report.errors[0].kind, error.kind);
+    assert_eq!(replayed.report.errors[0].message, error.message);
 }
 
 #[test]

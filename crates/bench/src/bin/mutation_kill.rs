@@ -18,16 +18,22 @@
 //! datapoint). `--smoke` runs a reduced matrix (T1–T3, presets plus six
 //! generated mutants) for CI; `--workers N` pins the explorer's worker
 //! count (default: one per hardware thread — the matrix is identical
-//! either way).
+//! either way); `--order eager|guided|exhaustive` picks the exploration
+//! order (merging and scheduling are pure optimizations, so the matrix
+//! content must be identical for any choice — the nightly full matrix
+//! runs `--order eager` as the at-scale differential check).
 //!
-//! Usage: `mutation_kill [--smoke] [--floor PCT] [--workers N] [--emit FILE]`
+//! Usage: `mutation_kill [--smoke] [--floor PCT] [--workers N]
+//!                       [--order ORDER] [--emit FILE]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use symsc_mutate::{generate, presets, run_kill_matrix, Mutant};
+use symsc_mutate::{generate, presets, run_kill_matrix_with, Mutant};
 use symsc_plic::{PlicConfig, PlicVariant};
+use symsc_symex::ExploreOrder;
 use symsc_testbench::TestId;
+use symsysc_core::Verifier;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -37,6 +43,8 @@ fn main() {
     let mut smoke = false;
     let mut floor: f64 = 80.0;
     let mut workers: usize = 0;
+    let mut order = ExploreOrder::Exhaustive;
+    let mut order_name = "exhaustive";
     let mut emit: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +52,15 @@ fn main() {
             "--smoke" => smoke = true,
             "--floor" => floor = args.next().and_then(|v| v.parse().ok()).unwrap_or(floor),
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--order" => match args.next().as_deref() {
+                Some("eager") => (order, order_name) = (ExploreOrder::MergeEager, "eager"),
+                Some("guided") => (order, order_name) = (ExploreOrder::CoverageGuided, "guided"),
+                Some("exhaustive") => {}
+                other => {
+                    eprintln!("unknown exploration order: {other:?}");
+                    std::process::exit(2);
+                }
+            },
             "--emit" => emit = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -66,7 +83,7 @@ fn main() {
 
     println!(
         "mutation_kill: {} tests x {} mutants ({} presets + {} generated), \
-         sources={}, floor={floor}%{}",
+         sources={}, floor={floor}%, order={order_name}{}",
         tests.len(),
         mutants.len(),
         preset_total,
@@ -76,7 +93,9 @@ fn main() {
     );
 
     let start = Instant::now();
-    let matrix = run_kill_matrix(config, &mutants, &tests, workers);
+    let matrix = run_kill_matrix_with(config, &mutants, &tests, |name| {
+        Verifier::new(name).workers(workers).explore_order(order)
+    });
     let seconds = start.elapsed().as_secs_f64();
 
     let mut ok = true;
@@ -158,6 +177,7 @@ fn main() {
     if let Some(path) = emit {
         let mut json = String::from("{\n  \"harness\": \"mutation_kill\",\n");
         let _ = writeln!(json, "  \"smoke\": {smoke},");
+        let _ = writeln!(json, "  \"order\": \"{order_name}\",");
         let _ = writeln!(
             json,
             "  \"config\": {{\"sources\": {}, \"max_priority\": {}}},",

@@ -1,0 +1,327 @@
+//! The state-merging / path-scheduling ablation harness.
+//!
+//! Runs fenced workloads on the *full* 51-source FE310 (and its two-HART
+//! variant) under every exploration order — the exhaustive oracle,
+//! `MergeEager` subtree adoption, and `CoverageGuided` scheduling — at
+//! 1, 2 and 8 workers, and verifies:
+//!
+//! 1. **Equivalence** (the hard bar): every order × worker-count
+//!    combination produces a byte-identical report on the merge
+//!    projection — represented paths, verdicts, errors with
+//!    counterexamples, coverage bins, branch fingerprints. Merging and
+//!    scheduling are pure optimizations; the exhaustive sequential drain
+//!    is the differential oracle. (The projection excludes `decisions`
+//!    and the other work counters: adopted subtrees legitimately skip
+//!    re-executing their decides.)
+//! 2. **Effectiveness**: on the fenced cross-product workloads the
+//!    merging engine executes at least [`REDUCTION_FLOOR`]× fewer paths
+//!    than it represents (`paths / executed_paths`). The ratio is
+//!    structural — a pure function of the workload shape — so it is
+//!    enforced at every scale, smoke included.
+//! 3. **Observability**: the merge counters are live — join sites are
+//!    registered, subtrees are adopted (`merged_paths`), the subsumption
+//!    workload exercises the incremental-SAT implication path
+//!    (`subsumed_paths`), and the coverage-guided scheduler promotes
+//!    pending snapshots (`sched_promotions`). The exhaustive oracle
+//!    reports none of this.
+//!
+//! Exits nonzero on any violation. With `--emit FILE`, writes the
+//! measured counters as JSON (the `BENCH_path_merge.json` trajectory
+//! datapoint).
+//!
+//! Usage: `path_merge [--smoke] [--emit FILE]`
+//! (`--smoke` runs the 16-source scaled shape instead of the full
+//! FE310; the reduction floor still applies.)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use symsc_bench::workloads::{
+    bench_config, fe310_2hart_config, fe310_full_config, merge_pattern, subsumption_pattern,
+};
+use symsc_symex::{ExploreOrder, Explorer, Report, SymCtx};
+
+/// The factor by which merged exploration must cut executed paths on the
+/// fenced cross-product workloads (`paths / executed_paths`).
+const REDUCTION_FLOOR: f64 = 3.0;
+
+/// The order-independent projection of a report: everything the
+/// equivalence check compares, as one canonical string. `decisions` and
+/// the other work counters are excluded — adopted subtrees never
+/// re-execute their decides, which is the whole point.
+fn merge_view(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "paths={} completed={} passed={}",
+        report.stats.paths,
+        report.completed,
+        report.passed()
+    );
+    for e in &report.errors {
+        let _ = writeln!(
+            out,
+            "error kind={:?} path={} msg={} cex={}",
+            e.kind, e.path, e.message, e.counterexample
+        );
+    }
+    for (bin, count) in &report.coverage {
+        let _ = writeln!(out, "cover {bin}={count}");
+    }
+    for (site, bc) in &report.stats.branches {
+        let _ = writeln!(out, "branch {site:032x}={}/{}", bc.taken, bc.not_taken);
+    }
+    out
+}
+
+struct RunResult {
+    view: String,
+    paths: u64,
+    executed_paths: u64,
+    merged_paths: u64,
+    subsumed_paths: u64,
+    join_sites: u64,
+    sched_promotions: u64,
+    seconds: f64,
+}
+
+fn run<F: Fn(&SymCtx) + Sync>(bench: &F, order: ExploreOrder, workers: usize) -> RunResult {
+    let start = Instant::now();
+    let report = Explorer::new()
+        .explore_order(order)
+        .workers(workers)
+        .explore(bench);
+    RunResult {
+        view: merge_view(&report),
+        paths: report.stats.paths,
+        executed_paths: report.stats.executed_paths,
+        merged_paths: report.stats.merged_paths,
+        subsumed_paths: report.stats.subsumed_paths,
+        join_sites: report.stats.join_sites,
+        sched_promotions: report.stats.sched_promotions,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+struct WorkloadOutcome {
+    name: String,
+    sources: u32,
+    paths: u64,
+    executed_paths: u64,
+    merged_paths: u64,
+    subsumed_paths: u64,
+    join_sites: u64,
+    sched_promotions: u64,
+    reduction: f64,
+    merged_seconds: f64,
+    exhaustive_seconds: f64,
+    ok: bool,
+}
+
+/// Runs one workload under every order/worker combination and collects
+/// the sequential merged-run counters (the deterministic datapoint the
+/// gate compares). `floored` selects the reduction-floor check; the
+/// subsumption workload instead asserts implication-query liveness.
+fn run_workload<F: Fn(&SymCtx) + Sync>(
+    name: &str,
+    sources: u32,
+    bench: F,
+    floored: bool,
+) -> WorkloadOutcome {
+    let mut ok = true;
+
+    // The exhaustive sequential drain is the reference everything else
+    // must match byte for byte on the merge projection.
+    let oracle = run(&bench, ExploreOrder::Exhaustive, 1);
+    let merged = run(&bench, ExploreOrder::MergeEager, 1);
+    if merged.view != oracle.view {
+        println!("MISMATCH [{name}]: merged vs exhaustive reports differ at 1 worker");
+        ok = false;
+    }
+    let guided = run(&bench, ExploreOrder::CoverageGuided, 1);
+    if guided.view != oracle.view {
+        println!("MISMATCH [{name}]: coverage-guided vs exhaustive reports differ");
+        ok = false;
+    }
+    for workers in [2usize, 8] {
+        let r = run(&bench, ExploreOrder::MergeEager, workers);
+        if r.view != oracle.view {
+            println!("MISMATCH [{name}]: merged report differs at {workers} workers");
+            ok = false;
+        }
+    }
+
+    // Counter liveness. The oracle executes every represented path and
+    // never touches the merge machinery.
+    if oracle.executed_paths != oracle.paths
+        || oracle.merged_paths != 0
+        || oracle.subsumed_paths != 0
+    {
+        println!("MISMATCH [{name}]: exhaustive oracle reports merge activity");
+        ok = false;
+    }
+    if merged.join_sites == 0 {
+        println!("MISMATCH [{name}]: no join sites registered under MergeEager");
+        ok = false;
+    }
+    if merged.merged_paths + merged.subsumed_paths == 0 {
+        println!("MISMATCH [{name}]: no subtree adoptions under MergeEager");
+        ok = false;
+    }
+    if floored && merged.subsumed_paths > 0 {
+        // The fenced cross-product arrivals are closure-disjoint; seeing
+        // the implication query fire here means the cheap check broke.
+        println!("MISMATCH [{name}]: disjoint-prefix adoption took the implication path");
+        ok = false;
+    }
+    if !floored && merged.subsumed_paths == 0 {
+        println!("MISMATCH [{name}]: subsumption workload never used the implication query");
+        ok = false;
+    }
+    // Scheduler liveness is a cross-product property: the delay ladder
+    // leaves unvisited fork sites behind the first completed path. The
+    // single-ladder subsumption shape legitimately promotes nothing.
+    if floored && guided.sched_promotions == 0 {
+        println!("MISMATCH [{name}]: coverage-guided scheduler promoted nothing");
+        ok = false;
+    }
+
+    let reduction = if merged.executed_paths > 0 {
+        merged.paths as f64 / merged.executed_paths as f64
+    } else {
+        f64::INFINITY
+    };
+    if floored && reduction < REDUCTION_FLOOR {
+        println!(
+            "MISMATCH [{name}]: path reduction {reduction:.2}x below the \
+             {REDUCTION_FLOOR:.1}x floor ({} executed / {} represented)",
+            merged.executed_paths, merged.paths
+        );
+        ok = false;
+    }
+
+    println!(
+        "[{name}] {} represented paths | {} executed ({reduction:.2}x) | \
+         {} merged | {} subsumed | {} join sites | {} promotions",
+        merged.paths,
+        merged.executed_paths,
+        merged.merged_paths,
+        merged.subsumed_paths,
+        merged.join_sites,
+        guided.sched_promotions,
+    );
+    println!(
+        "  merged: {:.3}s | exhaustive: {:.3}s",
+        merged.seconds, oracle.seconds
+    );
+
+    WorkloadOutcome {
+        name: name.to_string(),
+        sources,
+        paths: merged.paths,
+        executed_paths: merged.executed_paths,
+        merged_paths: merged.merged_paths,
+        subsumed_paths: merged.subsumed_paths,
+        join_sites: merged.join_sites,
+        sched_promotions: guided.sched_promotions,
+        reduction,
+        merged_seconds: merged.seconds,
+        exhaustive_seconds: oracle.seconds,
+        ok,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut emit: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--emit" {
+            emit = args.next();
+        } else if arg == "--smoke" {
+            smoke = true;
+        }
+    }
+
+    println!(
+        "path merge ablation: orders=[exhaustive, merge_eager, coverage_guided], \
+         workers=[1, 2, 8]{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut outcomes: Vec<WorkloadOutcome> = Vec::new();
+    if smoke {
+        let cfg = bench_config(16);
+        outcomes.push(run_workload("merge@16", 16, merge_pattern(cfg), true));
+        outcomes.push(run_workload(
+            "subsumption@16",
+            16,
+            subsumption_pattern(cfg),
+            false,
+        ));
+    } else {
+        let full = fe310_full_config();
+        let two_hart = fe310_2hart_config();
+        outcomes.push(run_workload(
+            "merge@51",
+            full.sources,
+            merge_pattern(full),
+            true,
+        ));
+        outcomes.push(run_workload(
+            "merge_2hart@51",
+            two_hart.sources,
+            merge_pattern(two_hart),
+            true,
+        ));
+        outcomes.push(run_workload(
+            "subsumption@51",
+            full.sources,
+            subsumption_pattern(full),
+            false,
+        ));
+    }
+
+    let ok = outcomes.iter().all(|o| o.ok);
+
+    if let Some(path) = emit {
+        let mut json = String::from("{\n  \"harness\": \"path_merge\",\n");
+        let _ = writeln!(json, "  \"smoke\": {smoke},");
+        let _ = writeln!(json, "  \"worker_counts_checked\": [1, 2, 8],");
+        let _ = writeln!(json, "  \"equivalent\": {ok},");
+        let _ = writeln!(json, "  \"reduction_floor\": {REDUCTION_FLOOR:.1},");
+        let _ = writeln!(json, "  \"workloads\": [");
+        for (i, w) in outcomes.iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(json, "      \"sources\": {},", w.sources);
+            let _ = writeln!(json, "      \"paths\": {},", w.paths);
+            let _ = writeln!(json, "      \"executed_paths\": {},", w.executed_paths);
+            let _ = writeln!(json, "      \"merged_paths\": {},", w.merged_paths);
+            let _ = writeln!(json, "      \"subsumed_paths\": {},", w.subsumed_paths);
+            let _ = writeln!(json, "      \"join_sites\": {},", w.join_sites);
+            let _ = writeln!(json, "      \"sched_promotions\": {},", w.sched_promotions);
+            let _ = writeln!(json, "      \"reduction\": {:.2},", w.reduction);
+            let _ = writeln!(json, "      \"merged_seconds\": {:.3},", w.merged_seconds);
+            let _ = writeln!(
+                json,
+                "      \"exhaustive_seconds\": {:.3}",
+                w.exhaustive_seconds
+            );
+            let _ = writeln!(
+                json,
+                "    }}{}",
+                if i + 1 == outcomes.len() { "" } else { "," }
+            );
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            println!("MISMATCH: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -10,19 +10,50 @@
 //! T3 Pass, T4 Fail(3), T5 Fail(4); solver time dominating most tests.
 //!
 //! Run: `cargo run --release -p symsc-bench --bin table1`
+//!
+//! `--harts N` runs the N-HART variant of the full FE310 (the nightly
+//! ablation uses `--harts 2`); `--order eager|guided|exhaustive` picks
+//! the exploration order — the table content is identical for any
+//! choice, only executed-path counts and wall time change.
 
 use symsc_bench::f_label;
 use symsc_plic::PlicConfig;
+use symsc_symex::ExploreOrder;
 use symsc_testbench::{run_test, SuiteParams, TestId};
 use symsysc_core::{Table, Verifier};
 
 fn main() {
-    let config = PlicConfig::fe310();
+    let mut harts: u32 = 1;
+    let mut order = ExploreOrder::Exhaustive;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--harts" => harts = args.next().and_then(|v| v.parse().ok()).unwrap_or(harts),
+            "--order" => match args.next().as_deref() {
+                Some("eager") => order = ExploreOrder::MergeEager,
+                Some("guided") => order = ExploreOrder::CoverageGuided,
+                Some("exhaustive") => {}
+                other => {
+                    eprintln!("unknown exploration order: {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let config = PlicConfig::fe310().harts(harts);
     let params = SuiteParams::default();
 
     println!(
-        "Table 1: test results for the original PLIC (FE310: {} sources, {} priority levels)",
-        config.sources, config.max_priority
+        "Table 1: test results for the original PLIC (FE310: {} sources, {} priority levels, \
+         {} HART{})",
+        config.sources,
+        config.max_priority,
+        config.harts,
+        if config.harts == 1 { "" } else { "s" }
     );
     println!();
 
@@ -38,7 +69,12 @@ fn main() {
     let mut stack_lines: Vec<String> = Vec::new();
 
     for test in TestId::ALL {
-        let outcome = run_test(test, config, &params, &Verifier::new(test.name()));
+        let outcome = run_test(
+            test,
+            config,
+            &params,
+            &Verifier::new(test.name()).explore_order(order),
+        );
         table.row(&outcome.table_row());
         let s = &outcome.report.stats.solver;
         stack_lines.push(format!(

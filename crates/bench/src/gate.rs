@@ -301,6 +301,44 @@ fn compare_cow_fork(g: &mut Gate, base: &Json, cur: &Json) {
     }
 }
 
+fn compare_path_merge(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "path_merge";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.equivalence_holds(cur, ctx);
+    let floor = base
+        .get("reduction_floor")
+        .and_then(Json::as_f64)
+        .unwrap_or(3.0);
+    for (name, bw, cw) in g.workload_pairs(base, cur) {
+        let ctx = format!("path_merge/{name}");
+        // Sequential merged exploration is deterministic: represented
+        // paths, executed paths and every merge counter are pure
+        // functions of the workload shape — any drift is a behavior
+        // change, not noise.
+        g.counter_exact(bw, cw, &ctx, "paths");
+        g.counter_exact(bw, cw, &ctx, "executed_paths");
+        g.counter_exact(bw, cw, &ctx, "merged_paths");
+        g.counter_exact(bw, cw, &ctx, "subsumed_paths");
+        g.counter_exact(bw, cw, &ctx, "join_sites");
+        g.seconds_within(bw, cw, &ctx, "merged_seconds");
+        // The headline claim on the fenced cross-product workloads: the
+        // merge engine keeps cutting executed paths by the floor factor.
+        if name.starts_with("merge") {
+            let reduction = cw.get("reduction").and_then(Json::as_f64).unwrap_or(0.0);
+            if reduction < floor {
+                g.fail(format!(
+                    "{ctx}: path reduction {reduction:.2}x fell below the {floor:.1}x floor"
+                ));
+            }
+        }
+    }
+}
+
 /// Compares a current harness emission against its committed baseline and
 /// returns the violation list (empty = gate passes). The harness kind is
 /// taken from the baseline's `"harness"` field; a current document from a
@@ -328,6 +366,7 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
         "fuzz_diff" => compare_fuzz_diff(&mut g, baseline, current),
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
         "cow_fork" => compare_cow_fork(&mut g, baseline, current),
+        "path_merge" => compare_path_merge(&mut g, baseline, current),
         other => g.fail(format!("unknown harness kind \"{other}\"")),
     }
     g.violations
@@ -524,6 +563,55 @@ mod tests {
         assert!(compare(&base, &diverged)
             .iter()
             .any(|v| v.contains("equivalent")));
+    }
+
+    #[test]
+    fn path_merge_gate_checks_counters_and_the_reduction_floor() {
+        let doc = |executed: u64, reduction: f64, equivalent: bool| {
+            parse(&format!(
+                "{{\"harness\": \"path_merge\", \"smoke\": false, \
+                  \"equivalent\": {equivalent}, \"reduction_floor\": 3.0, \
+                  \"workloads\": [\
+                  {{\"name\": \"merge@51\", \"sources\": 51, \
+                    \"paths\": 204, \"executed_paths\": {executed}, \
+                    \"merged_paths\": 153, \"subsumed_paths\": 0, \
+                    \"join_sites\": 1, \"sched_promotions\": 2, \
+                    \"reduction\": {reduction:.2}, \
+                    \"merged_seconds\": 0.3, \
+                    \"exhaustive_seconds\": 0.5}}]}}"
+            ))
+            .unwrap()
+        };
+        let base = doc(54, 3.78, true);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        // The demonstration the acceptance criteria ask for: an injected
+        // path-count regression (merging stops adopting and executes the
+        // whole cross product) must fail the gate — both as counter
+        // drift and as a reduction-floor violation.
+        let regressed = doc(204, 1.0, true);
+        let violations = compare(&base, &regressed);
+        assert!(
+            violations.iter().any(|v| v.contains("executed_paths")),
+            "expected an executed_paths violation, got {violations:?}"
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("below the 3.0x floor")));
+        // A report mismatch anywhere is fatal regardless of counters.
+        let diverged = doc(54, 3.78, false);
+        assert!(compare(&base, &diverged)
+            .iter()
+            .any(|v| v.contains("equivalent")));
+        // Scale mismatches are rejected outright.
+        let smoke = parse(
+            "{\"harness\": \"path_merge\", \"smoke\": true, \
+              \"equivalent\": true, \"reduction_floor\": 3.0, \
+              \"workloads\": []}",
+        )
+        .unwrap();
+        let violations = compare(&base, &smoke);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("smoke flag differs"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   harnesses for the cache layers, the incremental per-path SAT
 //!   context, and the copy-on-write snapshot fork engine (vs. the
 //!   re-execution oracle).
+//! * `path_merge` — ablation harness for state merging, subsumption
+//!   pruning and heuristic path scheduling on the full 51-source FE310
+//!   (every exploration order vs. the exhaustive oracle).
 //! * `mutation_kill` — the mutation-testing kill matrix.
 //! * `bench_gate` — compares fresh harness emissions against the
 //!   committed `BENCH_*.json` baselines and fails on regressions.

@@ -4,7 +4,9 @@
 use std::fmt;
 use std::time::Duration;
 
-use symsc_symex::{Counterexample, Explorer, ForkStrategy, Report, SearchStrategy, SymCtx};
+use symsc_symex::{
+    Counterexample, ExploreOrder, Explorer, ForkStrategy, Report, SearchStrategy, SymCtx,
+};
 
 /// The result of running one named symbolic test.
 #[derive(Clone, Debug)]
@@ -126,6 +128,17 @@ impl Verifier {
     /// change.
     pub fn fork_strategy(mut self, fork: ForkStrategy) -> Verifier {
         self.explorer = self.explorer.fork_strategy(fork);
+        self
+    }
+
+    /// Selects the exploration order (default: exhaustive).
+    /// [`ExploreOrder::MergeEager`] adopts finished join-point subtrees
+    /// instead of re-executing them; [`ExploreOrder::CoverageGuided`]
+    /// steers the sequential visitation toward unvisited fork
+    /// directions. Reports are identical either way — only executed-path
+    /// and merge/scheduler statistics change.
+    pub fn explore_order(mut self, order: ExploreOrder) -> Verifier {
+        self.explorer = self.explorer.explore_order(order);
         self
     }
 

@@ -395,8 +395,23 @@ pub fn run_kill_matrix(
     tests: &[TestId],
     workers: usize,
 ) -> KillMatrix {
+    run_kill_matrix_with(config, mutants, tests, |name| {
+        Verifier::new(name).workers(workers)
+    })
+}
+
+/// Like [`run_kill_matrix`], but with full control over the verifier each
+/// exploration uses (exploration order, fork strategy, budgets): `verifier`
+/// receives the cell's test name. Every verifier configuration is a pure
+/// optimization of the same exhaustive exploration, so the matrix content
+/// must be identical for any choice — the regression tests pin this.
+pub fn run_kill_matrix_with<F: Fn(&str) -> Verifier>(
+    config: PlicConfig,
+    mutants: &[Mutant],
+    tests: &[TestId],
+    verifier: F,
+) -> KillMatrix {
     let params = SuiteParams::default();
-    let verifier = |name: &str| Verifier::new(name).workers(workers);
 
     let baseline: Vec<BaselineRow> = tests
         .iter()

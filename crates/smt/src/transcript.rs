@@ -1,0 +1,453 @@
+//! Pool-independent term transcripts for cross-worker state merging.
+//!
+//! A [`TermPool`] is worker-local: its [`TermId`]s are meaningless in any
+//! other pool, and its [`Support`](crate::Support) sets speak in pool-local
+//! variable ordinals. The state-merging engine, however, must compare and
+//! transplant constraint sets *between* paths that may have been explored
+//! by different workers over different pools. The [`TranscriptStore`] is
+//! the bridge: an append-only DAG of term structure keyed by the
+//! cross-pool-stable structural fingerprint ([`TermPool::fingerprint`]).
+//!
+//! * [`encode`](TranscriptStore::encode) walks a term once and records its
+//!   structure; re-encoding a known fingerprint is O(1).
+//! * [`decode`](TranscriptStore::decode) rebuilds a recorded term in *any*
+//!   pool through the public constructors. Constructor folds are pure
+//!   structural functions of their children and commutative operands are
+//!   ordered by fingerprint, so the rebuilt term is structurally identical
+//!   to the original — `decode` debug-asserts exactly that.
+//! * [`support_names`](TranscriptStore::support_names) gives a term's free
+//!   variables *by name* — the only support representation that is stable
+//!   across pools.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use crate::term::{Term, TermId, TermPool, Width};
+
+/// Unary operator tag of a transcript node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Binary operator tag of a transcript node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BinOp {
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,
+    Udiv,
+    Urem,
+    Shl,
+    Lshr,
+    Ashr,
+    Eq,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+    Concat,
+}
+
+/// One recorded term node; children are referenced by fingerprint.
+#[derive(Clone, Debug)]
+enum TNode {
+    Const {
+        value: u64,
+        width: Width,
+    },
+    Var {
+        name: Box<str>,
+        width: Width,
+    },
+    Un(UnOp, u128),
+    Bin(BinOp, u128, u128),
+    Ite(u128, u128, u128),
+    Ext {
+        signed: bool,
+        arg: u128,
+        width: Width,
+    },
+    Extract {
+        arg: u128,
+        hi: u8,
+        lo: u8,
+    },
+}
+
+/// An append-only, pool-independent store of term structure keyed by
+/// structural fingerprint. See the module docs for the role it plays in
+/// state merging.
+#[derive(Debug, Default)]
+pub struct TranscriptStore {
+    nodes: HashMap<u128, TNode>,
+    supports: HashMap<u128, Arc<BTreeSet<String>>>,
+}
+
+impl TranscriptStore {
+    /// An empty store.
+    pub fn new() -> TranscriptStore {
+        TranscriptStore::default()
+    }
+
+    /// Whether `fp` names a recorded term.
+    pub fn contains(&self, fp: u128) -> bool {
+        self.nodes.contains_key(&fp)
+    }
+
+    /// Number of recorded nodes (across all encoded terms).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records the structure of `id` (and every sub-term not yet known)
+    /// and returns its fingerprint. A known fingerprint returns in O(1).
+    pub fn encode(&mut self, pool: &TermPool, id: TermId) -> u128 {
+        let fp = pool.fingerprint(id);
+        if self.nodes.contains_key(&fp) {
+            return fp;
+        }
+        // Explicit work stack: term DAGs can be deep (long ite chains
+        // from symbolic array selects).
+        let mut stack = vec![id];
+        while let Some(top) = stack.pop() {
+            let top_fp = pool.fingerprint(top);
+            if self.nodes.contains_key(&top_fp) {
+                continue;
+            }
+            let (node, children) = Self::capture(pool, top);
+            self.nodes.insert(top_fp, node);
+            for child in children {
+                if !self.nodes.contains_key(&pool.fingerprint(child)) {
+                    stack.push(child);
+                }
+            }
+        }
+        fp
+    }
+
+    /// Captures one term as a transcript node plus its direct children.
+    fn capture(pool: &TermPool, id: TermId) -> (TNode, Vec<TermId>) {
+        let f = |x: TermId| pool.fingerprint(x);
+        match pool.term(id) {
+            Term::Const { value, width } => (
+                TNode::Const {
+                    value: *value,
+                    width: *width,
+                },
+                vec![],
+            ),
+            Term::Var { name, width } => (
+                TNode::Var {
+                    name: name.clone(),
+                    width: *width,
+                },
+                vec![],
+            ),
+            Term::Not(a) => (TNode::Un(UnOp::Not, f(*a)), vec![*a]),
+            Term::Neg(a) => (TNode::Un(UnOp::Neg, f(*a)), vec![*a]),
+            Term::And(a, b) => (TNode::Bin(BinOp::And, f(*a), f(*b)), vec![*a, *b]),
+            Term::Or(a, b) => (TNode::Bin(BinOp::Or, f(*a), f(*b)), vec![*a, *b]),
+            Term::Xor(a, b) => (TNode::Bin(BinOp::Xor, f(*a), f(*b)), vec![*a, *b]),
+            Term::Add(a, b) => (TNode::Bin(BinOp::Add, f(*a), f(*b)), vec![*a, *b]),
+            Term::Sub(a, b) => (TNode::Bin(BinOp::Sub, f(*a), f(*b)), vec![*a, *b]),
+            Term::Mul(a, b) => (TNode::Bin(BinOp::Mul, f(*a), f(*b)), vec![*a, *b]),
+            Term::Udiv(a, b) => (TNode::Bin(BinOp::Udiv, f(*a), f(*b)), vec![*a, *b]),
+            Term::Urem(a, b) => (TNode::Bin(BinOp::Urem, f(*a), f(*b)), vec![*a, *b]),
+            Term::Shl(a, b) => (TNode::Bin(BinOp::Shl, f(*a), f(*b)), vec![*a, *b]),
+            Term::Lshr(a, b) => (TNode::Bin(BinOp::Lshr, f(*a), f(*b)), vec![*a, *b]),
+            Term::Ashr(a, b) => (TNode::Bin(BinOp::Ashr, f(*a), f(*b)), vec![*a, *b]),
+            Term::Eq(a, b) => (TNode::Bin(BinOp::Eq, f(*a), f(*b)), vec![*a, *b]),
+            Term::Ult(a, b) => (TNode::Bin(BinOp::Ult, f(*a), f(*b)), vec![*a, *b]),
+            Term::Ule(a, b) => (TNode::Bin(BinOp::Ule, f(*a), f(*b)), vec![*a, *b]),
+            Term::Slt(a, b) => (TNode::Bin(BinOp::Slt, f(*a), f(*b)), vec![*a, *b]),
+            Term::Sle(a, b) => (TNode::Bin(BinOp::Sle, f(*a), f(*b)), vec![*a, *b]),
+            Term::Concat(a, b) => (TNode::Bin(BinOp::Concat, f(*a), f(*b)), vec![*a, *b]),
+            Term::Ite(c, t, e) => (TNode::Ite(f(*c), f(*t), f(*e)), vec![*c, *t, *e]),
+            Term::ZeroExt { arg, width } => (
+                TNode::Ext {
+                    signed: false,
+                    arg: f(*arg),
+                    width: *width,
+                },
+                vec![*arg],
+            ),
+            Term::SignExt { arg, width } => (
+                TNode::Ext {
+                    signed: true,
+                    arg: f(*arg),
+                    width: *width,
+                },
+                vec![*arg],
+            ),
+            Term::Extract { arg, hi, lo } => (
+                TNode::Extract {
+                    arg: f(*arg),
+                    hi: *hi,
+                    lo: *lo,
+                },
+                vec![*arg],
+            ),
+        }
+    }
+
+    /// Rebuilds the recorded term `fp` in `pool` through the public
+    /// constructors, memoizing shared sub-terms in `memo` (callers reuse
+    /// one memo across a batch of decodes against the same pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fp` (or any node it references) was never encoded.
+    /// Debug-asserts that the rebuilt term's fingerprint equals `fp` —
+    /// the structural-identity guarantee the merging engine relies on.
+    pub fn decode(
+        &self,
+        pool: &mut TermPool,
+        fp: u128,
+        memo: &mut HashMap<u128, TermId>,
+    ) -> TermId {
+        if let Some(&id) = memo.get(&fp) {
+            return id;
+        }
+        let node = self
+            .nodes
+            .get(&fp)
+            .unwrap_or_else(|| panic!("transcript: unknown fingerprint {fp:032x}"))
+            .clone();
+        let id = match node {
+            TNode::Const { value, width } => pool.constant(value, width),
+            TNode::Var { name, width } => pool.var(&name, width),
+            TNode::Un(op, a) => {
+                let a = self.decode(pool, a, memo);
+                match op {
+                    UnOp::Not => pool.not(a),
+                    UnOp::Neg => pool.neg(a),
+                }
+            }
+            TNode::Bin(op, a, b) => {
+                let a = self.decode(pool, a, memo);
+                let b = self.decode(pool, b, memo);
+                match op {
+                    BinOp::And => pool.and(a, b),
+                    BinOp::Or => pool.or(a, b),
+                    BinOp::Xor => pool.xor(a, b),
+                    BinOp::Add => pool.add(a, b),
+                    BinOp::Sub => pool.sub(a, b),
+                    BinOp::Mul => pool.mul(a, b),
+                    BinOp::Udiv => pool.udiv(a, b),
+                    BinOp::Urem => pool.urem(a, b),
+                    BinOp::Shl => pool.shl(a, b),
+                    BinOp::Lshr => pool.lshr(a, b),
+                    BinOp::Ashr => pool.ashr(a, b),
+                    BinOp::Eq => pool.eq(a, b),
+                    BinOp::Ult => pool.ult(a, b),
+                    BinOp::Ule => pool.ule(a, b),
+                    BinOp::Slt => pool.slt(a, b),
+                    BinOp::Sle => pool.sle(a, b),
+                    BinOp::Concat => pool.concat(a, b),
+                }
+            }
+            TNode::Ite(c, t, e) => {
+                let c = self.decode(pool, c, memo);
+                let t = self.decode(pool, t, memo);
+                let e = self.decode(pool, e, memo);
+                pool.ite(c, t, e)
+            }
+            TNode::Ext { signed, arg, width } => {
+                let a = self.decode(pool, arg, memo);
+                if signed {
+                    pool.sign_ext(a, width)
+                } else {
+                    pool.zero_ext(a, width)
+                }
+            }
+            TNode::Extract { arg, hi, lo } => {
+                let a = self.decode(pool, arg, memo);
+                pool.extract(a, u32::from(hi), u32::from(lo))
+            }
+        };
+        debug_assert_eq!(
+            pool.fingerprint(id),
+            fp,
+            "transcript decode must reproduce the recorded structure"
+        );
+        memo.insert(fp, id);
+        id
+    }
+
+    /// The free variables of the recorded term `fp`, by name — the
+    /// cross-pool support representation. Memoized per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fp` was never encoded.
+    pub fn support_names(&mut self, fp: u128) -> Arc<BTreeSet<String>> {
+        if let Some(s) = self.supports.get(&fp) {
+            return s.clone();
+        }
+        let node = self
+            .nodes
+            .get(&fp)
+            .unwrap_or_else(|| panic!("transcript: unknown fingerprint {fp:032x}"))
+            .clone();
+        let set = match node {
+            TNode::Const { .. } => BTreeSet::new(),
+            TNode::Var { name, .. } => {
+                let mut s = BTreeSet::new();
+                s.insert(name.into_string());
+                s
+            }
+            TNode::Un(_, a) | TNode::Ext { arg: a, .. } | TNode::Extract { arg: a, .. } => {
+                return self.memo_support(fp, &[a]);
+            }
+            TNode::Bin(_, a, b) => return self.memo_support(fp, &[a, b]),
+            TNode::Ite(c, t, e) => return self.memo_support(fp, &[c, t, e]),
+        };
+        let arc = Arc::new(set);
+        self.supports.insert(fp, arc.clone());
+        arc
+    }
+
+    /// Unions the children's supports; reuses a child's Arc when the
+    /// others contribute nothing new.
+    fn memo_support(&mut self, fp: u128, children: &[u128]) -> Arc<BTreeSet<String>> {
+        let parts: Vec<Arc<BTreeSet<String>>> =
+            children.iter().map(|&c| self.support_names(c)).collect();
+        let widest = parts
+            .iter()
+            .max_by_key(|s| s.len())
+            .expect("at least one child")
+            .clone();
+        let arc = if parts
+            .iter()
+            .all(|p| p.iter().all(|name| widest.contains(name)))
+        {
+            widest
+        } else {
+            let mut set = BTreeSet::new();
+            for p in &parts {
+                set.extend(p.iter().cloned());
+            }
+            Arc::new(set)
+        };
+        self.supports.insert(fp, arc.clone());
+        arc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a moderately nested term exercising every node family.
+    fn build(pool: &mut TermPool) -> TermId {
+        let x = pool.var("x", Width::W32);
+        let y = pool.var("y", Width::W16);
+        let yx = pool.zero_ext(y, Width::W32);
+        let sum = pool.add(x, yx);
+        let ten = pool.constant(10, Width::W32);
+        let cmp = pool.ult(sum, ten);
+        let lo = pool.extract(x, 7, 0);
+        let hi = pool.extract(x, 15, 8);
+        let cat = pool.concat(hi, lo);
+        let sx = pool.sign_ext(cat, Width::W32);
+        let alt = pool.mul(sx, x);
+        let sel = pool.ite(cmp, sum, alt);
+        let neg = pool.neg(sel);
+        pool.eq(neg, ten)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_across_pools() {
+        let mut a = TermPool::new();
+        let t = build(&mut a);
+        let mut store = TranscriptStore::new();
+        let fp = store.encode(&a, t);
+        assert!(store.contains(fp));
+
+        // Decoding into a *fresh* pool reproduces the fingerprint.
+        let mut b = TermPool::new();
+        let mut memo = HashMap::new();
+        let rebuilt = store.decode(&mut b, fp, &mut memo);
+        assert_eq!(b.fingerprint(rebuilt), fp);
+
+        // Decoding into the source pool returns the original id.
+        let mut memo = HashMap::new();
+        let same = store.decode(&mut a, fp, &mut memo);
+        assert_eq!(a.fingerprint(same), fp);
+    }
+
+    #[test]
+    fn encode_is_idempotent_and_shares_nodes() {
+        let mut pool = TermPool::new();
+        let t = build(&mut pool);
+        let mut store = TranscriptStore::new();
+        let fp1 = store.encode(&pool, t);
+        let before = store.len();
+        let fp2 = store.encode(&pool, t);
+        assert_eq!(fp1, fp2);
+        assert_eq!(store.len(), before, "re-encode adds nothing");
+        // A sub-term shares already-recorded nodes.
+        let x = pool.var("x", Width::W32);
+        let one = pool.constant(1, Width::W32);
+        let bump = pool.add(x, one);
+        store.encode(&pool, bump);
+        assert!(store.contains(pool.fingerprint(x)));
+    }
+
+    #[test]
+    fn support_names_are_pool_independent() {
+        let mut pool = TermPool::new();
+        let t = build(&mut pool);
+        let mut store = TranscriptStore::new();
+        let fp = store.encode(&pool, t);
+        let support = store.support_names(fp);
+        let names: Vec<&str> = support.iter().map(String::as_str).collect();
+        assert_eq!(names, ["x", "y"]);
+        // Constants have empty support.
+        let ten = pool.constant(10, Width::W32);
+        let cfp = store.encode(&pool, ten);
+        assert!(store.support_names(cfp).is_empty());
+    }
+
+    #[test]
+    fn commuted_construction_orders_land_on_one_transcript() {
+        // Commutative constructors order operands by fingerprint, so the
+        // same logical term built in either order has one fingerprint —
+        // and hence one transcript node — regardless of the pool.
+        let mut a = TermPool::new();
+        let xa = a.var("x", Width::W32);
+        let ya = a.var("y", Width::W32);
+        let t1 = a.add(xa, ya);
+
+        let mut b = TermPool::new();
+        let yb = b.var("y", Width::W32);
+        let xb = b.var("x", Width::W32);
+        let t2 = b.add(yb, xb);
+
+        assert_eq!(a.fingerprint(t1), b.fingerprint(t2));
+        let mut store = TranscriptStore::new();
+        let fp = store.encode(&a, t1);
+        let mut memo = HashMap::new();
+        let rebuilt = store.decode(&mut b, fp, &mut memo);
+        assert_eq!(rebuilt, t2, "hash-consing makes the decode a lookup");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fingerprint")]
+    fn decoding_an_unknown_fingerprint_panics() {
+        let store = TranscriptStore::new();
+        let mut pool = TermPool::new();
+        let mut memo = HashMap::new();
+        store.decode(&mut pool, 0xDEAD_BEEF, &mut memo);
+    }
+}

@@ -19,7 +19,7 @@
 
 use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
@@ -28,7 +28,8 @@ use std::time::{Duration, Instant};
 use symsc_smt::{CexCache, QueryCache, Solver};
 
 use crate::ctx::{EngineState, PathTerm, SymCtx};
-use crate::error::{ErrorKind, Report, SymError};
+use crate::error::{ErrorKind, Report};
+use crate::merge::{ExploreOrder, MergeShared, PathRecord};
 use crate::snapshot::PathSnapshot;
 use crate::stats::ExplorationStats;
 
@@ -132,6 +133,7 @@ pub struct Explorer {
     incremental: bool,
     strategy: SearchStrategy,
     fork: ForkStrategy,
+    order: ExploreOrder,
     workers: usize,
 }
 
@@ -174,6 +176,7 @@ impl Explorer {
             incremental: true,
             strategy: SearchStrategy::DepthFirst,
             fork: ForkStrategy::CowSnapshot,
+            order: ExploreOrder::Exhaustive,
             workers: 0,
         }
     }
@@ -244,6 +247,17 @@ impl Explorer {
         self
     }
 
+    /// Selects the exploration order (default: exhaustive). See
+    /// [`ExploreOrder`]: `CoverageGuided` reorders the sequential
+    /// visitation toward unvisited fork-site directions, `MergeEager`
+    /// merges and subsumes paths at testbench-published join points
+    /// (`SymCtx::note_state`). Both report byte-identically to the
+    /// exhaustive oracle.
+    pub fn explore_order(mut self, order: ExploreOrder) -> Explorer {
+        self.order = order;
+        self
+    }
+
     /// Whether the copy-on-write snapshot strategy is active.
     fn cow_enabled(&self) -> bool {
         self.fork == ForkStrategy::CowSnapshot
@@ -294,7 +308,11 @@ impl Explorer {
     {
         let workers = self.resolved_workers();
         if workers <= 1 {
-            self.explore_sequential(testbench)
+            if self.order == ExploreOrder::MergeEager {
+                self.explore_merged_sequential(testbench)
+            } else {
+                self.explore_sequential(testbench)
+            }
         } else {
             self.explore_parallel(&testbench, workers)
         }
@@ -305,7 +323,11 @@ impl Explorer {
     /// cannot be shared across worker threads, so this always runs
     /// sequentially, like [`workers`](Self::workers)`(1)`.
     pub fn explore_mut<F: FnMut(&SymCtx)>(&self, testbench: F) -> Report {
-        self.explore_sequential(testbench)
+        if self.order == ExploreOrder::MergeEager {
+            self.explore_merged_sequential(testbench)
+        } else {
+            self.explore_sequential(testbench)
+        }
     }
 
     /// The single-threaded engine: one pool, one solver, strategy-ordered
@@ -327,8 +349,21 @@ impl Explorer {
             SearchStrategy::RandomPath(seed) => seed | 1,
             _ => 0,
         };
+        let mut promotions = 0u64;
+        // CoverageGuided visits paths out of canonical order, so its
+        // report is assembled from per-path records like the parallel
+        // engine's — a pure function of the explored path set. (The
+        // search strategies intentionally report in visitation order.)
+        let canonical = self.order == ExploreOrder::CoverageGuided;
+        let mut records: Vec<PathRecord> = Vec::new();
 
-        while let Some(snapshot) = self.pick_next(&mut worklist, &mut rng_state) {
+        loop {
+            let next = if self.order == ExploreOrder::CoverageGuided {
+                pick_coverage_guided(&mut worklist, &state, &mut promotions)
+            } else {
+                self.pick_next(&mut worklist, &mut rng_state)
+            };
+            let Some(snapshot) = next else { break };
             if paths >= self.max_paths {
                 completed = false;
                 break;
@@ -360,8 +395,29 @@ impl Explorer {
 
             let mut st = ctx.engine();
             st.path_index += 1;
-            st.end_path_coverage();
-            st.end_path_branches();
+            if canonical {
+                // Fold branch directions into the exploration-wide map
+                // (the scheduler's signal) while keeping the per-path
+                // record for canonical assembly.
+                let branches = st.take_path_branches();
+                for &(site, dir) in &branches {
+                    let entry = st.branches.entry(site).or_default();
+                    if dir {
+                        entry.taken += 1;
+                    } else {
+                        entry.not_taken += 1;
+                    }
+                }
+                records.push(PathRecord {
+                    taken: st.taken_so_far(),
+                    errors: std::mem::take(&mut st.errors),
+                    coverage: st.take_path_coverage(),
+                    branches,
+                });
+            } else {
+                st.end_path_coverage();
+                st.end_path_branches();
+            }
             // Push pending prefixes (discovered this run); pick_next
             // applies the search strategy on removal.
             let pending = std::mem::take(&mut st.pending);
@@ -374,6 +430,21 @@ impl Explorer {
             completed = false;
         }
         let time = start.elapsed();
+        if canonical {
+            let stats = ExplorationStats {
+                instructions: st.pool.ops_created() + st.decisions,
+                decisions: st.decisions,
+                time,
+                solver_time: st.solver_time,
+                solver: st.solver.stats(),
+                fork_snapshots: st.fork_snapshots,
+                fast_forward_decisions: st.ff_decisions,
+                executed_paths: paths,
+                sched_promotions: promotions,
+                ..ExplorationStats::default()
+            };
+            return assemble_records(records, stats, completed);
+        }
         Report {
             errors: st.errors.clone(),
             coverage: st.coverage.clone(),
@@ -387,9 +458,109 @@ impl Explorer {
                 fork_snapshots: st.fork_snapshots,
                 fast_forward_decisions: st.ff_decisions,
                 branches: st.branches.clone(),
+                executed_paths: paths,
+                sched_promotions: promotions,
+                ..ExplorationStats::default()
             },
             completed,
         }
+    }
+
+    /// The merging engine: like the sequential depth-first engine, but
+    /// paths arriving at a testbench-published join point
+    /// ([`SymCtx::note_state`]) adopt the finished subtree of the first
+    /// arrival instead of re-executing it, when the adoption soundness
+    /// checks pass (see [`crate::merge`]). Adopted subtrees contribute
+    /// *synthesized* path records, so the final report is byte-identical
+    /// to the exhaustive engine's; only `executed_paths` (and the solver
+    /// workload) shrinks.
+    ///
+    /// Visitation is forced depth-first regardless of the configured
+    /// [`SearchStrategy`]: DFS guarantees a join owner's subtree is fully
+    /// drained before any path outside it reaches the join, so every
+    /// eligible arrival finds a complete subtree to adopt.
+    fn explore_merged_sequential<F: FnMut(&SymCtx)>(&self, mut testbench: F) -> Report {
+        install_quiet_hook();
+        let shared = Arc::new(MergeShared::new());
+        let state = Arc::new(Mutex::new(EngineState::new(
+            self.max_path_decisions,
+            self.solver_setup().build(),
+            self.cow_enabled(),
+        )));
+        lock_state(&state).merge = Some(shared.clone());
+        let mut worklist: Vec<PathSnapshot> = vec![PathSnapshot::root()];
+        shared.add_unit(&[]);
+        let start = Instant::now();
+        let mut completed = true;
+        let mut executed = 0u64;
+        let mut records: Vec<PathRecord> = Vec::new();
+
+        while let Some(snapshot) = worklist.pop() {
+            if executed >= self.max_paths {
+                completed = false;
+                break;
+            }
+            if let Some(t) = self.timeout {
+                if start.elapsed() >= t {
+                    completed = false;
+                    break;
+                }
+            }
+            let unit: Vec<bool> = snapshot.unit_prefix().to_vec();
+
+            let ctx = SymCtx::new(state.clone());
+            ctx.engine().begin_path(snapshot);
+            IN_EXPLORATION.with(|f| f.set(true));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
+            IN_EXPLORATION.with(|f| f.set(false));
+            executed += 1;
+
+            if let Err(payload) = outcome {
+                if payload.downcast_ref::<PathTerm>().is_none() {
+                    let message = panic_message(payload.as_ref());
+                    ctx.engine()
+                        .record_error_here(ErrorKind::ModelPanic, message);
+                }
+            }
+
+            let mut st = ctx.engine();
+            st.path_index += 1;
+            harvest_records(&mut st, &mut records);
+            // Unit accounting order matters: pending subtrees must be
+            // visible before this unit retires, or a concurrent arrival
+            // could see the owner subtree as drained while forks of it
+            // are still queued. (Trivially safe sequentially; kept
+            // identical to the parallel discipline.)
+            let pending = std::mem::take(&mut st.pending);
+            drop(st);
+            for snapshot in &pending {
+                shared.add_unit(snapshot.unit_prefix());
+            }
+            shared.remove_unit(&unit);
+            worklist.extend(pending);
+        }
+
+        let st = lock_state(&state);
+        if st.budget_exhausted {
+            completed = false;
+        }
+        let counters = shared.counters();
+        let stats = ExplorationStats {
+            instructions: st.pool.ops_created() + st.decisions,
+            decisions: st.decisions,
+            time: start.elapsed(),
+            solver_time: st.solver_time,
+            solver: st.solver.stats(),
+            fork_snapshots: st.fork_snapshots,
+            fast_forward_decisions: st.ff_decisions,
+            executed_paths: executed,
+            merged_paths: counters.merged_paths,
+            subsumed_paths: counters.subsumed_paths,
+            join_sites: counters.join_sites,
+            merge_rejects: counters.merge_rejects,
+            ..ExplorationStats::default()
+        };
+        assemble_records(records, stats, completed)
     }
 
     /// The parallel engine: a pool of `workers` threads drains the shared
@@ -411,14 +582,26 @@ impl Explorer {
             deadline: self.timeout.map(|t| start + t),
             truncated: AtomicBool::new(false),
         };
+        // Parallel MergeEager: workers share one merge state. An arrival
+        // only adopts while the owner subtree is fully drained, so a
+        // subtree still being executed elsewhere is simply executed again
+        // here — verdicts stay byte-identical, only `executed_paths`
+        // becomes scheduling-dependent.
+        let merge = (self.order == ExploreOrder::MergeEager).then(|| Arc::new(MergeShared::new()));
+        if let Some(shared) = &merge {
+            shared.add_unit(&[]);
+        }
 
         let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 let setup = setup.clone();
+                let merge = merge.clone();
                 let queue = &queue;
                 let limits = &limits;
-                handles.push(scope.spawn(move || self.run_worker(queue, limits, testbench, setup)));
+                handles.push(
+                    scope.spawn(move || self.run_worker(queue, limits, testbench, setup, merge)),
+                );
             }
             handles
                 .into_iter()
@@ -426,7 +609,7 @@ impl Explorer {
                 .collect()
         });
 
-        self.merge_outputs(outputs, &limits, start.elapsed())
+        self.merge_outputs(outputs, &limits, start.elapsed(), merge.as_deref())
     }
 
     /// One worker's loop: pop a prefix, re-execute, harvest the path
@@ -437,6 +620,7 @@ impl Explorer {
         limits: &SharedLimits,
         testbench: &F,
         setup: SolverSetup,
+        merge: Option<Arc<MergeShared>>,
     ) -> WorkerOutput
     where
         F: Fn(&SymCtx) + Sync,
@@ -446,7 +630,9 @@ impl Explorer {
             setup.build(),
             self.cow_enabled(),
         )));
+        lock_state(&state).merge = merge.clone();
         let mut records = Vec::new();
+        let mut executed = 0u64;
 
         while let Some(snapshot) = queue.pop() {
             let over_budget =
@@ -460,12 +646,14 @@ impl Explorer {
                 queue.complete(Vec::new());
                 break;
             }
+            let unit: Vec<bool> = snapshot.unit_prefix().to_vec();
 
             let ctx = SymCtx::new(state.clone());
             ctx.engine().begin_path(snapshot);
             IN_EXPLORATION.with(|f| f.set(true));
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| testbench(&ctx)));
             IN_EXPLORATION.with(|f| f.set(false));
+            executed += 1;
 
             if let Err(payload) = outcome {
                 if payload.downcast_ref::<PathTerm>().is_none() {
@@ -477,15 +665,17 @@ impl Explorer {
 
             let mut st = ctx.engine();
             st.path_index += 1;
-            let record = PathRecord {
-                taken: st.taken_so_far(),
-                errors: std::mem::take(&mut st.errors),
-                coverage: st.take_path_coverage(),
-                branches: st.take_path_branches(),
-            };
+            harvest_records(&mut st, &mut records);
             let pending = std::mem::take(&mut st.pending);
             drop(st);
-            records.push(record);
+            if let Some(shared) = &merge {
+                // Publish the forks' units before retiring this one, so
+                // the subtree never looks drained while work remains.
+                for snapshot in &pending {
+                    shared.add_unit(snapshot.unit_prefix());
+                }
+                shared.remove_unit(&unit);
+            }
             queue.complete(pending);
         }
 
@@ -499,6 +689,7 @@ impl Explorer {
             fork_snapshots: st.fork_snapshots,
             ff_decisions: st.ff_decisions,
             budget_exhausted: st.budget_exhausted,
+            executed,
         }
     }
 
@@ -513,6 +704,7 @@ impl Explorer {
         outputs: Vec<WorkerOutput>,
         limits: &SharedLimits,
         time: Duration,
+        merge: Option<&MergeShared>,
     ) -> Report {
         let mut completed = !limits.truncated.load(AtomicOrdering::SeqCst);
         let mut records = Vec::new();
@@ -528,42 +720,116 @@ impl Explorer {
             stats.solver.merge(&output.solver);
             stats.fork_snapshots += output.fork_snapshots;
             stats.fast_forward_decisions += output.ff_decisions;
+            stats.executed_paths += output.executed;
             if output.budget_exhausted {
                 completed = false;
             }
         }
         stats.instructions += stats.decisions;
-        stats.paths = records.len() as u64;
+        if let Some(shared) = merge {
+            let counters = shared.counters();
+            stats.merged_paths = counters.merged_paths;
+            stats.subsumed_paths = counters.subsumed_paths;
+            stats.join_sites = counters.join_sites;
+            stats.merge_rejects = counters.merge_rejects;
+        }
+        assemble_records(records, stats, completed)
+    }
+}
 
-        records.sort_by(|a, b| cmp_decision_order(&a.taken, &b.taken));
-        let mut errors = Vec::new();
-        let mut coverage = BTreeMap::new();
-        for (index, record) in records.into_iter().enumerate() {
-            for mut error in record.errors {
-                error.path = index as u64;
-                errors.push(error);
-            }
-            for bin in record.coverage {
-                *coverage.entry(bin).or_insert(0) += 1;
-            }
-            // Per-direction sums are order-independent, so the merged
-            // branch map matches the sequential engine's exactly.
-            for (site, dir) in record.branches {
-                let entry = stats.branches.entry(site).or_default();
-                if dir {
-                    entry.taken += 1;
-                } else {
-                    entry.not_taken += 1;
-                }
+/// Assembles path records into the canonical report: records sort by
+/// their decision vectors (taken-true before taken-false), which is
+/// exactly the order the sequential depth-first engine visits paths in.
+/// Error path indices are renumbered to that order and coverage bins and
+/// branch maps are re-counted, so the report is a pure function of the
+/// represented path set — independent of workers, scheduling, and merge
+/// decisions.
+fn assemble_records(
+    mut records: Vec<PathRecord>,
+    mut stats: ExplorationStats,
+    completed: bool,
+) -> Report {
+    stats.paths = records.len() as u64;
+    records.sort_by(|a, b| cmp_decision_order(&a.taken, &b.taken));
+    let mut errors = Vec::new();
+    let mut coverage = BTreeMap::new();
+    for (index, record) in records.into_iter().enumerate() {
+        for mut error in record.errors {
+            error.path = index as u64;
+            errors.push(error);
+        }
+        for bin in record.coverage {
+            *coverage.entry(bin).or_insert(0) += 1;
+        }
+        // Per-direction sums are order-independent, so the merged
+        // branch map matches the sequential engine's exactly.
+        for (site, dir) in record.branches {
+            let entry = stats.branches.entry(site).or_default();
+            if dir {
+                entry.taken += 1;
+            } else {
+                entry.not_taken += 1;
             }
         }
+    }
 
-        Report {
-            errors,
-            coverage,
-            stats,
-            completed,
+    Report {
+        errors,
+        coverage,
+        stats,
+        completed,
+    }
+}
+
+/// Harvests one finished run into `records`: either the path's own record,
+/// or — if the run was absorbed at a join point — the records synthesized
+/// from the adopted subtree (the partial run's own accumulators are
+/// dropped; the adoption already folded them in).
+fn harvest_records(st: &mut EngineState, records: &mut Vec<PathRecord>) {
+    if st.adopted {
+        records.append(&mut std::mem::take(&mut st.adopted_records));
+        st.errors.clear();
+        let _ = st.take_path_coverage();
+        let _ = st.take_path_branches();
+    } else {
+        let record = PathRecord {
+            taken: st.taken_so_far(),
+            errors: std::mem::take(&mut st.errors),
+            coverage: st.take_path_coverage(),
+            branches: st.take_path_branches(),
+        };
+        st.publish_trace();
+        records.push(record);
+    }
+}
+
+/// The coverage-guided sequential pick: prefer the deepest pending
+/// snapshot whose flipped fork direction is still unvisited in the
+/// exploration-wide branch map; fall back to plain depth-first. A
+/// reordering heuristic only — the visited path *set* (and hence the
+/// report) is unchanged.
+fn pick_coverage_guided(
+    worklist: &mut Vec<PathSnapshot>,
+    state: &Arc<Mutex<EngineState>>,
+    promotions: &mut u64,
+) -> Option<PathSnapshot> {
+    if worklist.is_empty() {
+        return None;
+    }
+    let pick = {
+        let st = lock_state(state);
+        worklist.iter().rposition(|snapshot| {
+            snapshot
+                .flip_site
+                .is_some_and(|site| st.branches.get(&site).is_none_or(|cov| cov.not_taken == 0))
+        })
+    };
+    match pick {
+        Some(index) if index + 1 != worklist.len() => {
+            *promotions += 1;
+            Some(worklist.remove(index))
         }
+        _ => worklist.pop(),
     }
 }
 
@@ -622,6 +888,8 @@ impl Explorer {
                 fork_snapshots: 0,
                 fast_forward_decisions: 0,
                 branches: st.branches.clone(),
+                executed_paths: 1,
+                ..ExplorationStats::default()
             },
             completed: true,
         }
@@ -684,6 +952,8 @@ impl Explorer {
                 fork_snapshots: 0,
                 fast_forward_decisions: 0,
                 branches: st.branches.clone(),
+                executed_paths: 1,
+                ..ExplorationStats::default()
             },
             completed: true,
         }
@@ -727,20 +997,6 @@ struct SharedLimits {
     truncated: AtomicBool,
 }
 
-/// One explored path, as harvested from a worker: everything needed to
-/// reconstruct the sequential report during the merge.
-struct PathRecord {
-    /// The branch directions taken, which identify the path uniquely and
-    /// define its canonical (depth-first) position.
-    taken: Vec<bool>,
-    /// Errors recorded on this path (path indices renumbered at merge).
-    errors: Vec<SymError>,
-    /// Coverage bins hit on this path.
-    coverage: BTreeSet<String>,
-    /// `(fork-site fingerprint, direction)` pairs decided on this path.
-    branches: BTreeSet<(u128, bool)>,
-}
-
 /// A worker's complete contribution: its path records plus the counters of
 /// its private engine state.
 struct WorkerOutput {
@@ -752,6 +1008,9 @@ struct WorkerOutput {
     fork_snapshots: u64,
     ff_decisions: u64,
     budget_exhausted: bool,
+    /// Testbench runs actually performed (>= `records.len()` only when a
+    /// run was absorbed at a join point and synthesized several records).
+    executed: u64,
 }
 
 /// The shared work queue of pending path snapshots — the work-stealing

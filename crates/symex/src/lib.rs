@@ -62,6 +62,7 @@ pub mod cow;
 pub mod ctx;
 pub mod error;
 pub mod explore;
+pub mod merge;
 mod snapshot;
 pub mod stats;
 pub mod value;
@@ -71,6 +72,7 @@ pub use cow::{CowEnv, CowVec};
 pub use ctx::SymCtx;
 pub use error::{Counterexample, ErrorKind, Report, SymError};
 pub use explore::{Explorer, ForkStrategy, SearchStrategy};
+pub use merge::{ExploreOrder, StateDigest};
 pub use stats::{BranchCoverage, ExplorationStats};
 pub use symsc_smt::Width;
 pub use value::{SymBool, SymWord};

@@ -66,6 +66,25 @@ pub struct ExplorationStats {
     /// path counts. Deterministic across worker counts — the map is a pure
     /// function of the explored path set.
     pub branches: BTreeMap<u128, BranchCoverage>,
+    /// Paths physically executed by the engine, including partial runs
+    /// aborted by a join-point adoption. Equals `paths` under
+    /// `ExploreOrder::Exhaustive`; the merge benchmark's reduction
+    /// factor is `paths / executed_paths`.
+    pub executed_paths: u64,
+    /// Represented paths synthesized by structural state merging (equal
+    /// or support-disjoint prefix constraint sets at a join point).
+    pub merged_paths: u64,
+    /// Represented paths synthesized by subsumption — an incremental-SAT
+    /// implication query proved the prefixes mutually equivalent.
+    pub subsumed_paths: u64,
+    /// Join points registered (first arrivals that became subtree owners).
+    pub join_sites: u64,
+    /// Join-point arrivals that failed the soundness checks and fell
+    /// back to normal execution.
+    pub merge_rejects: u64,
+    /// Pending snapshots promoted out of depth-first order by the
+    /// coverage-guided scheduler (sequential runs only).
+    pub sched_promotions: u64,
 }
 
 impl ExplorationStats {
@@ -118,6 +137,8 @@ impl fmt::Display for ExplorationStats {
              incremental: {} contexts, {} assumption solves, \
              {} clauses retained, {} restarts | \
              cow: {} snapshots, {} fast-forward decisions | \
+             merge: {} executed, {} merged, {} subsumed, {} joins, \
+             {} rejects, {} promotions | \
              branch sites: {} ({}/{} directions)",
             self.paths,
             self.instructions,
@@ -139,6 +160,12 @@ impl fmt::Display for ExplorationStats {
             self.solver.incremental.restarts,
             self.fork_snapshots,
             self.fast_forward_decisions,
+            self.executed_paths,
+            self.merged_paths,
+            self.subsumed_paths,
+            self.join_sites,
+            self.merge_rejects,
+            self.sched_promotions,
             self.branch_sites(),
             self.branches_covered(),
             2 * self.branch_sites(),

@@ -78,6 +78,14 @@ impl SymWord {
         self.ctx.with_pool(|p| p.const_value(self.id))
     }
 
+    /// The term's structural fingerprint: a Merkle-style hash that is
+    /// identical for structurally identical terms across pools and
+    /// workers. The building block for peripheral state digests
+    /// ([`SymCtx::note_state`] join points).
+    pub fn fingerprint(&self) -> u128 {
+        self.ctx.with_pool(|p| p.fingerprint(self.id))
+    }
+
     /// A concrete word in the same context.
     pub fn constant_like(&self, value: u64) -> SymWord {
         self.ctx.word(value, self.width)
@@ -325,6 +333,11 @@ impl SymBool {
     pub fn as_const(&self) -> Option<bool> {
         self.ctx
             .with_pool(|p| p.const_value(self.id).map(|v| v == 1))
+    }
+
+    /// The term's structural fingerprint (see [`SymWord::fingerprint`]).
+    pub fn fingerprint(&self) -> u128 {
+        self.ctx.with_pool(|p| p.fingerprint(self.id))
     }
 
     /// Logical conjunction.

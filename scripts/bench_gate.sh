@@ -24,7 +24,7 @@ done
 
 cargo build --offline --release -p symsc-bench \
   --bin solver_stack --bin incremental_speedup --bin mutation_kill \
-  --bin fuzz_diff --bin cow_fork --bin bench_gate
+  --bin fuzz_diff --bin cow_fork --bin path_merge --bin bench_gate
 
 out=target/bench_gate
 mkdir -p "$out"
@@ -43,11 +43,15 @@ echo "==> fuzz-vs-symbolic coverage diff + seed exchange"
 echo "==> COW fork-engine ablation (sources=8/16/32, workers=1/2/8)"
 ./target/release/cow_fork --emit "$out/cow_fork.json"
 
+echo "==> path-merging ablation (full FE310, 51 sources + 2-HART variant)"
+./target/release/path_merge --emit "$out/path_merge.json"
+
 pairs=(
   BENCH_solver_stack.json "$out/solver_stack.json"
   BENCH_incremental_solve.json "$out/incremental_solve.json"
   BENCH_fuzz_diff.json "$out/fuzz_diff.json"
   BENCH_cow_fork.json "$out/cow_fork.json"
+  BENCH_path_merge.json "$out/path_merge.json"
 )
 
 if [[ "$skip_mutation" -eq 0 ]]; then

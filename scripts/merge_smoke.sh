@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The state-merging / path-scheduling smoke: the path_merge differential
+# harness at its smallest scale. The harness itself fails unless every
+# exploration order x worker-count combination (exhaustive oracle vs.
+# MergeEager vs. CoverageGuided at 1/2/8 workers) produces a
+# byte-identical report on the merge projection, the merge/subsumption/
+# scheduler counters are live, and the fenced cross-product workload
+# keeps its structural >=3x executed-path reduction. The full 51-source
+# FE310 ablation runs in scripts/bench_gate.sh and is gated against
+# BENCH_path_merge.json. (The byte-identity property tests over the real
+# T1-T5 suite live in tests/parallel_determinism.rs, part of tier-1.)
+#
+# Everything runs offline; the release binary is built if missing.
+#
+# Usage: scripts/merge_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p symsc-bench --bin path_merge
+
+echo "==> path-merging differential smoke (sources=16, workers=1/2/8)"
+./target/release/path_merge --smoke
+
+echo "Merge smoke passed."

@@ -10,10 +10,10 @@
 //! faithful PLIC, so the suite exercises both failing reports (T1 finds
 //! the F1 claim bug) and passing ones.
 
-use symsc_mutate::{run_kill_matrix, Mutant};
+use symsc_mutate::{run_kill_matrix, run_kill_matrix_with, Mutant};
 use symsc_plic::{InjectedFault, MutationOp, PlicConfig, PlicVariant, ThresholdCmp};
 use symsc_testbench::{run_test, SuiteParams, TestId};
-use symsysc_core::prelude::ForkStrategy;
+use symsysc_core::prelude::{ExploreOrder, ForkStrategy};
 use symsysc_core::{TestOutcome, Verifier};
 
 /// Everything in a report that must not depend on scheduling.
@@ -315,6 +315,177 @@ fn replay_reproduces_a_cow_forked_counterexample() {
     assert_eq!(replayed.report.errors.len(), 1);
     assert_eq!(replayed.report.errors[0].kind, error.kind);
     assert_eq!(replayed.report.errors[0].message, error.message);
+}
+
+/// The merge projection: like [`stable_view`] but without the decide
+/// counter. `ExploreOrder::MergeEager` adopts finished join-point
+/// subtrees instead of re-executing them, so decide/solver work
+/// legitimately shrinks; verdicts, represented paths, errors,
+/// counterexamples, coverage and branch counts must not move.
+fn merge_view(outcome: &TestOutcome) -> String {
+    use std::fmt::Write;
+    let report = &outcome.report;
+    let mut view = String::new();
+    writeln!(
+        view,
+        "paths={} completed={} passed={}",
+        report.stats.paths,
+        report.completed,
+        report.passed()
+    )
+    .unwrap();
+    for error in &report.errors {
+        writeln!(
+            view,
+            "error path={} kind={:?} msg={} cex={}",
+            error.path, error.kind, error.message, error.counterexample
+        )
+        .unwrap();
+    }
+    for (point, count) in &report.coverage {
+        writeln!(view, "cover {point}={count}").unwrap();
+    }
+    for (site, bc) in &report.stats.branches {
+        writeln!(view, "branch {site:032x}={}/{}", bc.taken, bc.not_taken).unwrap();
+    }
+    view
+}
+
+/// A tiny 4-source configuration: small enough that the full merged /
+/// exhaustive cross-product at three worker counts stays fast in debug
+/// mode, as the issue's property-suite scope asks (≤ 4 sources).
+fn tiny_config() -> PlicConfig {
+    let mut config = PlicConfig::fe310_scaled();
+    config.sources = 4;
+    config.max_priority = 4;
+    config
+}
+
+#[test]
+fn merge_eager_matches_the_exhaustive_oracle() {
+    // State merging is a pure optimization: for every suite test on the
+    // tiny config, the MergeEager report at 1, 2 and 8 workers must equal
+    // the exhaustive-drain oracle on the merge projection (everything but
+    // the work counters), byte for byte.
+    for test in TestId::ALL {
+        let oracle = merge_view(&run_test(
+            test,
+            tiny_config(),
+            &SuiteParams::default(),
+            &Verifier::new(test.name()).workers(1),
+        ));
+        for workers in [1, 2, 8] {
+            let merged = merge_view(&run_test(
+                test,
+                tiny_config(),
+                &SuiteParams::default(),
+                &Verifier::new(test.name())
+                    .workers(workers)
+                    .explore_order(ExploreOrder::MergeEager),
+            ));
+            assert_eq!(
+                oracle,
+                merged,
+                "{} report changed between the exhaustive oracle and the \
+                 {workers}-worker MergeEager run",
+                test.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_guided_order_matches_the_exhaustive_oracle() {
+    // The coverage-guided scheduler changes visitation order only; the
+    // canonical report must equal the exhaustive oracle byte for byte
+    // (including the decide counter — every path still executes).
+    for test in TestId::ALL {
+        let oracle = stable_view(&run_with_workers(test, 1));
+        let guided = stable_view(&run_test(
+            test,
+            PlicConfig::fe310_scaled(),
+            &SuiteParams::default(),
+            &Verifier::new(test.name())
+                .workers(1)
+                .explore_order(ExploreOrder::CoverageGuided),
+        ));
+        assert_eq!(
+            oracle,
+            guided,
+            "{} report changed under the coverage-guided scheduler",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn merge_eager_fences_arm_join_sites_on_the_suite() {
+    // The T1/T2 testbench fences must actually arm join points under
+    // MergeEager, so the byte-identity assertions above exercise the
+    // merge machinery rather than a silent no-op. (The scaled suite
+    // itself explores only 1–2 paths per test, so there is no second
+    // arrival to adopt here; adoption liveness — merged_paths > 0 and
+    // executed < represented — is pinned by the engine's own
+    // merge_order tests and enforced at scale by the path_merge bench.)
+    let mut join_sites = 0;
+    for test in [TestId::T1, TestId::T2, TestId::T3] {
+        let outcome = run_test(
+            test,
+            PlicConfig::fe310_scaled(),
+            &SuiteParams::default(),
+            &Verifier::new(test.name())
+                .workers(1)
+                .explore_order(ExploreOrder::MergeEager),
+        );
+        let stats = &outcome.report.stats;
+        join_sites += stats.join_sites;
+        assert_eq!(
+            stats.paths,
+            stats.executed_paths,
+            "{}: with no adoptions every represented path executes",
+            test.name()
+        );
+    }
+    assert!(join_sites > 0, "fences must register join sites");
+}
+
+#[test]
+fn kill_matrix_verdicts_are_unchanged_under_merge_eager() {
+    // Merging must not mask a detection: the reduced kill matrix under
+    // MergeEager must render byte-identically to the default exhaustive
+    // matrix (same verdicts, same distinct-error counts, same coverage).
+    // The full 33-mutant matrix runs in the nightly ablation
+    // (mutation_kill --order eager against BENCH_mutation_kill.json).
+    let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    let mutants = vec![
+        Mutant::from_preset(InjectedFault::If5EarlyClearReturn),
+        Mutant::from_preset(InjectedFault::If6ThresholdOffByOne),
+        Mutant::new(
+            "cmp_never",
+            "delivery dead",
+            MutationOp::ThresholdCompare(ThresholdCmp::NeverPass),
+        ),
+        Mutant::new("dup_notify", "double notify", MutationOp::DuplicateNotify),
+    ];
+    let tests = [TestId::T1, TestId::T3];
+    let exhaustive = run_kill_matrix(config, &mutants, &tests, 1);
+    let merged = run_kill_matrix_with(config, &mutants, &tests, |name| {
+        Verifier::new(name)
+            .workers(1)
+            .explore_order(ExploreOrder::MergeEager)
+    });
+    assert_eq!(
+        exhaustive.stable_view(),
+        merged.stable_view(),
+        "kill matrix changed under MergeEager"
+    );
+    assert!(merged.mutants[0].killed(), "IF5 still killed by T1");
+    assert!(merged.mutants[1].killed(), "IF6 still killed by T3");
+    assert!(merged.mutants[2].killed(), "dead delivery still killed");
+    assert!(
+        !merged.mutants[3].killed(),
+        "duplicate notify still survives"
+    );
 }
 
 #[test]

@@ -1,0 +1,192 @@
+//! Property tests for the structural state hashes behind the merge
+//! engine's join-point marks: under seeded random operation sequences,
+//! `PlicSnapshot::structural_hash` / `KernelSnapshot::structural_hash`
+//! must agree with the naive deep-equality comparators — equal hashes
+//! exactly when the states are structurally equal, across snapshot /
+//! restore / divergence / reconvergence.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use symsc_pk::{Kernel, NotifyKind, ProcessCtx, SimTime, Suspend};
+use symsc_plic::{InterruptTarget, Plic, PlicConfig, PlicVariant};
+use symsc_rng::Rng;
+use symsc_symex::Explorer;
+
+struct NullHart;
+impl InterruptTarget for NullHart {
+    fn trigger_external_interrupt(&mut self) {}
+}
+
+/// Applies one random concrete PLIC mutation drawn from `rng`.
+fn random_plic_op(plic: &Plic, ctx: &symsc_symex::SymCtx, kernel: &mut Kernel, rng: &mut Rng) {
+    let sources = u64::from(plic.config().sources);
+    match rng.gen_range_inclusive(0, 3) {
+        0 => {
+            let irq = rng.gen_range_inclusive(1, sources) as u32;
+            let priority = rng.gen_range_inclusive(0, 7) as u32;
+            plic.set_priority(ctx, irq, priority);
+        }
+        1 => {
+            let irq = rng.gen_range_inclusive(1, sources);
+            plic.trigger_interrupt(ctx, kernel, &ctx.word32(irq as u32));
+        }
+        2 => {
+            let threshold = rng.gen_range_inclusive(0, 7) as u32;
+            plic.set_threshold(ctx.word32(threshold));
+        }
+        _ => {
+            plic.enable_all_sources(ctx);
+        }
+    }
+}
+
+#[test]
+fn plic_hash_agrees_with_deep_equality_under_random_ops() {
+    let report = Explorer::new().explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let plic = Plic::new(
+            ctx,
+            &mut kernel,
+            PlicConfig::small().variant(PlicVariant::Fixed),
+        );
+        plic.connect_hart(Rc::new(RefCell::new(NullHart)));
+        kernel.step();
+
+        for seed in 0..16u64 {
+            let mut rng = Rng::seed_from_u64(0xC0FFEE ^ seed);
+            let base = plic.snapshot();
+            assert!(base.deep_equals(&plic.snapshot()), "snapshot is stable");
+            assert_eq!(base.structural_hash(), plic.snapshot().structural_hash());
+            assert_eq!(base.structural_hash(), plic.state_mark());
+
+            // Mutate; hash must track deep equality at every step.
+            let ops = rng.gen_range_inclusive(1, 6);
+            for _ in 0..ops {
+                random_plic_op(&plic, ctx, &mut kernel, &mut rng);
+                let now = plic.snapshot();
+                assert_eq!(
+                    now.deep_equals(&base),
+                    now.structural_hash() == base.structural_hash(),
+                    "hash must agree with deep equality after mutation (seed {seed})"
+                );
+            }
+
+            // Restoring reconverges both the comparator and the hash.
+            plic.restore(&base);
+            let back = plic.snapshot();
+            assert!(back.deep_equals(&base), "restore reconverges (seed {seed})");
+            assert_eq!(back.structural_hash(), base.structural_hash());
+            assert_eq!(plic.state_mark(), base.structural_hash());
+        }
+    });
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn plic_hash_separates_symbolic_writes() {
+    // Symbolic-valued register writes must show up in the mark too: the
+    // hash folds term structure, not just concrete values.
+    let report = Explorer::new().explore(|ctx| {
+        let mut kernel = Kernel::new();
+        let plic = Plic::new(
+            ctx,
+            &mut kernel,
+            PlicConfig::small().variant(PlicVariant::Fixed),
+        );
+        plic.connect_hart(Rc::new(RefCell::new(NullHart)));
+        kernel.step();
+
+        let base = plic.snapshot();
+        let p = ctx.symbolic("p", symsc_symex::Width::W32);
+        plic.set_priority_symbolic(&ctx.word32(1), &p);
+        let with_sym = plic.snapshot();
+        assert!(!with_sym.deep_equals(&base));
+        assert_ne!(with_sym.structural_hash(), base.structural_hash());
+
+        // The same symbolic write is structurally idempotent: re-applying
+        // the identical store yields the identical term, hence mark.
+        plic.restore(&base);
+        plic.set_priority_symbolic(&ctx.word32(1), &p);
+        let again = plic.snapshot();
+        assert!(again.deep_equals(&with_sym));
+        assert_eq!(again.structural_hash(), with_sym.structural_hash());
+    });
+    assert!(report.passed(), "{report}");
+}
+
+/// A looping process so the kernel always has wakelist activity.
+fn ticker(period_ns: u64) -> impl FnMut(&mut ProcessCtx<'_>) -> Suspend {
+    move |_ctx: &mut ProcessCtx<'_>| Suspend::WaitTime(SimTime::from_ns(period_ns))
+}
+
+#[test]
+fn kernel_hash_agrees_with_deep_equality_under_random_ops() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0xBEEF ^ seed);
+        let mut kernel = Kernel::new();
+        let e0 = kernel.create_event("e0");
+        let e1 = kernel.create_event("e1");
+        kernel.spawn("tick3", ticker(3));
+        kernel.spawn("tick7", ticker(7));
+        kernel.step(); // initialization
+
+        let base = kernel.snapshot();
+        assert!(base.deep_equals(&kernel.snapshot()), "snapshot is stable");
+        assert_eq!(base.structural_hash(), kernel.snapshot().structural_hash());
+        assert_eq!(base.structural_hash(), kernel.state_mark());
+
+        let ops = rng.gen_range_inclusive(1, 8);
+        for _ in 0..ops {
+            let event = if rng.gen_range_inclusive(0, 1) == 0 {
+                e0
+            } else {
+                e1
+            };
+            match rng.gen_range_inclusive(0, 3) {
+                0 => kernel.notify(event, NotifyKind::Delta),
+                1 => {
+                    let delay = rng.gen_range_inclusive(1, 20);
+                    kernel.notify(event, NotifyKind::Timed(SimTime::from_ns(delay)));
+                }
+                2 => kernel.cancel(event),
+                _ => {
+                    kernel.step();
+                }
+            }
+            let now = kernel.snapshot();
+            assert_eq!(
+                now.deep_equals(&base),
+                now.structural_hash() == base.structural_hash(),
+                "hash must agree with deep equality after mutation (seed {seed})"
+            );
+        }
+
+        // Restore reconverges comparator, hash, and the live mark.
+        kernel.restore(&base);
+        let back = kernel.snapshot();
+        assert!(back.deep_equals(&base), "restore reconverges (seed {seed})");
+        assert_eq!(back.structural_hash(), base.structural_hash());
+        assert_eq!(kernel.state_mark(), base.structural_hash());
+    }
+}
+
+#[test]
+fn kernel_hash_ignores_reporting_state() {
+    // Counters and the VCD trace never influence future scheduling; the
+    // mark must not fork exploration subtrees over them.
+    let build = |traced: bool| {
+        let mut kernel = Kernel::new();
+        if traced {
+            kernel.enable_tracing();
+        }
+        kernel.create_event("e");
+        kernel.spawn("tick", ticker(5));
+        kernel.step();
+        kernel
+    };
+    let plain = build(false);
+    let traced = build(true);
+    assert_eq!(plain.state_mark(), traced.state_mark());
+    assert!(plain.snapshot().deep_equals(&traced.snapshot()));
+}

@@ -23,8 +23,15 @@
 //! content must be identical for any choice — the nightly full matrix
 //! runs `--order eager` as the at-scale differential check).
 //!
+//! `--suite firmware` swaps the columns from the register-level TLM
+//! tests T1–T5 to the ISS-hosted firmware drivers F1–F5 (the
+//! [`symsc_bench::firmware_kill`] harness, also available as the
+//! `firmware_kill` binary) — same flags, `"harness": "firmware_kill"`
+//! emission.
+//!
 //! Usage: `mutation_kill [--smoke] [--floor PCT] [--workers N]
-//!                       [--order ORDER] [--emit FILE]`
+//!                       [--order ORDER] [--suite tlm|firmware]
+//!                       [--emit FILE]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,16 +48,25 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut smoke = false;
-    let mut floor: f64 = 80.0;
+    let mut floor: Option<f64> = None;
     let mut workers: usize = 0;
     let mut order = ExploreOrder::Exhaustive;
     let mut order_name = "exhaustive";
     let mut emit: Option<String> = None;
+    let mut firmware = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--floor" => floor = args.next().and_then(|v| v.parse().ok()).unwrap_or(floor),
+            "--floor" => floor = args.next().and_then(|v| v.parse().ok()).or(floor),
+            "--suite" => match args.next().as_deref() {
+                Some("firmware") => firmware = true,
+                Some("tlm") => firmware = false,
+                other => {
+                    eprintln!("unknown suite: {other:?}");
+                    std::process::exit(2);
+                }
+            },
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             "--order" => match args.next().as_deref() {
                 Some("eager") => (order, order_name) = (ExploreOrder::MergeEager, "eager"),
@@ -68,6 +84,24 @@ fn main() {
             }
         }
     }
+
+    if firmware {
+        use symsc_bench::firmware_kill::FirmwareKillOptions;
+        let defaults = FirmwareKillOptions::default();
+        let opts = FirmwareKillOptions {
+            smoke,
+            floor: floor.unwrap_or(defaults.floor),
+            workers,
+            order,
+            order_name,
+            emit,
+        };
+        if !symsc_bench::firmware_kill::run(&opts) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let floor = floor.unwrap_or(80.0);
 
     let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
     let tests: Vec<TestId> = if smoke {

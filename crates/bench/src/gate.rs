@@ -184,6 +184,28 @@ fn compare_mutation(g: &mut Gate, base: &Json, cur: &Json) {
     g.seconds_within(base, cur, ctx, "seconds");
 }
 
+fn compare_firmware_kill(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "firmware_kill";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.counter_exact(base, cur, ctx, "mutants_total");
+    g.rate_at_least(base, cur, ctx, "kill_rate", PERCENT_SLACK);
+    g.rate_at_least(base, cur, ctx, "presets_killed", 0.0);
+    g.rate_at_least(base, cur, ctx, "generated_killed", 1.0);
+    // The headline property of the firmware suite: the enable-stuck
+    // mutant no register-level test can kill must stay killed.
+    if cur.get("stuck_enable_1_killed").and_then(Json::as_bool) != Some(true) {
+        g.fail(format!(
+            "{ctx}: current run does not report \"stuck_enable_1_killed\": true"
+        ));
+    }
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
 fn compare_fuzz_kill(g: &mut Gate, base: &Json, cur: &Json) {
     let ctx = "fuzz_kill";
     if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
@@ -362,6 +384,7 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
     match kind {
         "solver_stack" => compare_solver_stack(&mut g, baseline, current),
         "mutation_kill" => compare_mutation(&mut g, baseline, current),
+        "firmware_kill" => compare_firmware_kill(&mut g, baseline, current),
         "fuzz_kill" => compare_fuzz_kill(&mut g, baseline, current),
         "fuzz_diff" => compare_fuzz_diff(&mut g, baseline, current),
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
@@ -447,6 +470,80 @@ mod tests {
         let violations = compare(&base, &collapsed);
         assert!(violations.iter().any(|v| v.contains("kill_rate")));
         assert!(violations.iter().any(|v| v.contains("presets_killed")));
+    }
+
+    fn firmware_kill_doc(kill_rate: f64, presets: u64, generated: u64, stuck: bool) -> Json {
+        parse(&format!(
+            "{{\"harness\": \"firmware_kill\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": {kill_rate:.2}, \
+              \"presets_killed\": {presets}, \"generated_killed\": {generated}, \
+              \"stuck_enable_1_killed\": {stuck}, \"seconds\": 29.7}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn firmware_kill_rate_regression_trips_the_gate() {
+        // The demonstration the acceptance criteria ask for: an injected
+        // kill-rate regression in the firmware matrix (say a driver
+        // encoding change that makes every F-test trivially pass) must
+        // fail the gate.
+        let base = firmware_kill_doc(90.91, 6, 24, true);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        let regressed = firmware_kill_doc(48.48, 4, 12, true);
+        let violations = compare(&base, &regressed);
+        assert!(
+            violations.iter().any(|v| v.contains("kill_rate")),
+            "expected a kill_rate violation, got {violations:?}"
+        );
+        assert!(violations.iter().any(|v| v.contains("presets_killed")));
+        assert!(violations.iter().any(|v| v.contains("generated_killed")));
+        // Losing only the headline kill is fatal on its own, even at an
+        // otherwise healthy rate.
+        let lost_headline = firmware_kill_doc(87.88, 6, 23, false);
+        assert!(compare(&base, &lost_headline)
+            .iter()
+            .any(|v| v.contains("stuck_enable_1_killed")));
+        // Scale mismatches are rejected outright.
+        let smoke = parse(
+            "{\"harness\": \"firmware_kill\", \"smoke\": true, \
+              \"mutants_total\": 12, \"kill_rate\": 91.67, \
+              \"presets_killed\": 5, \"generated_killed\": 6, \
+              \"stuck_enable_1_killed\": true, \"seconds\": 0.1}",
+        )
+        .unwrap();
+        let violations = compare(&base, &smoke);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("smoke flag differs"));
+    }
+
+    #[test]
+    fn the_committed_baselines_pin_the_firmware_unique_kill() {
+        // The stuck-at-1 enable mutant survives the whole register-level
+        // TLM suite (no TLM test ever disables a source) but dies to the
+        // firmware suite's F5 racy driver. Both committed baselines must
+        // keep telling that story — this is the cross-engine uniqueness
+        // claim of the firmware-in-the-loop matrix.
+        let tlm = parse(include_str!("../../../BENCH_mutation_kill.json")).unwrap();
+        let survivors = tlm.get("survivors").and_then(Json::as_arr).unwrap();
+        assert!(
+            survivors
+                .iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some("stuck_enable_1")),
+            "TLM baseline no longer lists stuck_enable_1 as a survivor"
+        );
+        let fw = parse(include_str!("../../../BENCH_firmware_kill.json")).unwrap();
+        assert_eq!(
+            fw.get("stuck_enable_1_killed").and_then(Json::as_bool),
+            Some(true),
+            "firmware baseline no longer kills stuck_enable_1"
+        );
+        let fw_survivors = fw.get("survivors").and_then(Json::as_arr).unwrap();
+        assert!(fw_survivors
+            .iter()
+            .all(|s| s.get("name").and_then(Json::as_str) != Some("stuck_enable_1")));
+        // And the committed firmware baseline passes its own gate.
+        assert_eq!(compare(&fw, &fw), Vec::<String>::new());
     }
 
     fn fuzz_kill_doc(kill_rate: f64, presets: u64, generated: u64) -> Json {

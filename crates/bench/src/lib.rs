@@ -16,7 +16,10 @@
 //! * `path_merge` — ablation harness for state merging, subsumption
 //!   pruning and heuristic path scheduling on the full 51-source FE310
 //!   (every exploration order vs. the exhaustive oracle).
-//! * `mutation_kill` — the mutation-testing kill matrix.
+//! * `mutation_kill` — the mutation-testing kill matrix (register-level
+//!   TLM suite by default; `--suite firmware` swaps in the ISS-hosted
+//!   firmware drivers).
+//! * `firmware_kill` — the firmware-in-the-loop kill matrix, standalone.
 //! * `bench_gate` — compares fresh harness emissions against the
 //!   committed `BENCH_*.json` baselines and fails on regressions.
 //!
@@ -29,6 +32,7 @@
 
 use symsc_symex::SymError;
 
+pub mod firmware_kill;
 pub mod gate;
 pub mod json;
 pub mod workloads;

@@ -105,6 +105,11 @@ impl FuzzReport {
     }
 }
 
+/// The execution engine behind a campaign: decodes one byte string and
+/// reports its coverage and errors. [`run_input`] (the TLM differential
+/// harness) is the default; the firmware lane substitutes its own.
+pub type InputRunner = fn(PlicConfig, &[u8]) -> InputOutcome;
+
 /// A configured fuzzing campaign (builder-style).
 #[derive(Clone, Debug)]
 pub struct Fuzzer {
@@ -116,6 +121,7 @@ pub struct Fuzzer {
     max_ops: usize,
     seeds: Vec<Vec<u8>>,
     stop_on_finding: bool,
+    runner: InputRunner,
 }
 
 impl Fuzzer {
@@ -130,6 +136,7 @@ impl Fuzzer {
             max_ops: MAX_OPS,
             seeds: Vec::new(),
             stop_on_finding: false,
+            runner: run_input,
         }
     }
 
@@ -177,6 +184,14 @@ impl Fuzzer {
         self
     }
 
+    /// Substitutes the input runner (default: the TLM differential
+    /// harness, [`run_input`]). The mutation/coverage machinery is
+    /// runner-agnostic — the firmware lane plugs in here.
+    pub fn runner(mut self, runner: InputRunner) -> Fuzzer {
+        self.runner = runner;
+        self
+    }
+
     /// Runs the campaign to its budget (or first finding, if configured).
     pub fn run(&self) -> FuzzReport {
         let mut report = FuzzReport::default();
@@ -196,7 +211,7 @@ impl Fuzzer {
                     })
                     .collect()
             };
-            let outcomes = run_batch(self.config, &candidates, self.workers);
+            let outcomes = run_batch(self.config, &candidates, self.workers, self.runner);
             for (slot, outcome) in outcomes.into_iter().enumerate() {
                 let exec = report.execs + 1;
                 report.execs = exec;
@@ -240,9 +255,14 @@ fn lane_seed(seed: u64, round: u64, slot: u64) -> u64 {
 }
 
 /// Executes a batch of candidates, `workers`-wide, results in slot order.
-fn run_batch(config: PlicConfig, candidates: &[Vec<u8>], workers: usize) -> Vec<InputOutcome> {
+fn run_batch(
+    config: PlicConfig,
+    candidates: &[Vec<u8>],
+    workers: usize,
+    runner: InputRunner,
+) -> Vec<InputOutcome> {
     if workers <= 1 || candidates.len() <= 1 {
-        return candidates.iter().map(|c| run_input(config, c)).collect();
+        return candidates.iter().map(|c| runner(config, c)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<InputOutcome>>> = Mutex::new(vec![None; candidates.len()]);
@@ -253,7 +273,7 @@ fn run_batch(config: PlicConfig, candidates: &[Vec<u8>], workers: usize) -> Vec<
                 if i >= candidates.len() {
                     break;
                 }
-                let outcome = run_input(config, &candidates[i]);
+                let outcome = runner(config, &candidates[i]);
                 slots.lock().expect("batch slots poisoned")[i] = Some(outcome);
             });
         }

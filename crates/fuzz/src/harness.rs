@@ -124,7 +124,7 @@ pub fn scripted_bench(
 /// Reduces `w` modulo `range` and pins a concrete value with an
 /// enumerate chain. Returns the *term* (for the model) and the *value*
 /// (for the oracle); on any single path the two agree.
-fn pin_mod(ctx: &SymCtx, w: &SymWord, range: u32) -> (SymWord, u32) {
+pub(crate) fn pin_mod(ctx: &SymCtx, w: &SymWord, range: u32) -> (SymWord, u32) {
     debug_assert!(range >= 1);
     let m = w.urem(&ctx.word32(range));
     for k in 0..range.saturating_sub(1) {

@@ -14,14 +14,18 @@
 pub mod corpus;
 pub mod engine;
 pub mod exchange;
+pub mod firmware;
 pub mod grammar;
 pub mod harness;
 pub mod matrix;
 pub mod minimize;
 
 pub use corpus::dictionary;
-pub use engine::{run_input, Finding, FuzzReport, Fuzzer, InputOutcome};
+pub use engine::{run_input, Finding, FuzzReport, Fuzzer, InputOutcome, InputRunner};
 pub use exchange::{confirm_by_replay, confirm_by_trace, seeds_from_symbolic};
+pub use firmware::{
+    firmware_dictionary, firmware_differential_bench, run_firmware_fuzz_matrix, run_firmware_input,
+};
 pub use grammar::{Program, RawOp};
 pub use harness::{differential_bench, scripted_bench, OpPin};
 pub use matrix::{run_fuzz_matrix, FuzzMatrix, FuzzMatrixParams, FuzzMutantRow};

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use symsc_pk::Kernel;
-use symsc_symex::{SymCtx, SymWord};
+use symsc_symex::{CowVec, StateDigest, SymCtx, SymWord};
 use symsc_tlm::{BlockingTransport, GenericPayload};
 
 /// Why [`Cpu::step`] (or [`Cpu::run`]) stopped.
@@ -17,6 +17,10 @@ pub enum StepOutcome {
     /// `wfi` with no interrupt pending: the hart is parked until the
     /// interrupt line rises (advance the kernel and retry).
     Wfi,
+    /// [`Cpu::run`]'s instruction budget ran out before the program
+    /// halted, trapped or parked — distinct from [`StepOutcome::Trap`]
+    /// so a testbench can tell "driver is wrong" from "fuel too small".
+    OutOfFuel,
     /// The hart cannot continue: fetch outside the program, an undecodable
     /// instruction, or a failed bus access.
     Trap(String),
@@ -29,12 +33,56 @@ pub enum StepOutcome {
 /// itself are concrete, while register *values* may be symbolic —
 /// branches on symbolic data fork the exploration.
 pub struct Cpu {
-    regs: Vec<SymWord>,
+    regs: CowVec<SymWord>,
     pc: u32,
     program_base: u32,
     program: Vec<u32>,
     interrupt_flag: Rc<RefCell<bool>>,
     retired: u64,
+}
+
+/// A copy-on-write capture of a hart's architectural state.
+///
+/// The register file rides the [`CowVec`] chunks, so taking a snapshot is
+/// a handful of reference-count bumps — forked paths share the register
+/// prefix and copy a chunk only when they diverge, the same discipline
+/// the kernel and PLIC snapshots follow. The program itself is immutable
+/// and deliberately *not* captured.
+#[derive(Clone, Debug)]
+pub struct CpuSnapshot {
+    regs: CowVec<SymWord>,
+    pc: u32,
+    retired: u64,
+    interrupt_pending: bool,
+}
+
+impl CpuSnapshot {
+    /// A structural hash of the captured state: register fingerprints
+    /// plus pc, retirement count and the interrupt line. Two snapshots
+    /// hash equal iff the hart would behave identically from here on —
+    /// the `Cpu` contribution to a merge-fence state mark.
+    pub fn structural_hash(&self) -> u64 {
+        let mut digest = StateDigest::new();
+        self.regs.fold_digest(&mut digest, |w| w.fingerprint());
+        digest.push_u64(u64::from(self.pc));
+        digest.push_u64(self.retired);
+        digest.push_u64(u64::from(self.interrupt_pending));
+        digest.finish()
+    }
+
+    /// Structural equality: same pc, fuel spent, interrupt line and
+    /// register-file fingerprints (storage layout is irrelevant).
+    pub fn deep_equals(&self, other: &CpuSnapshot) -> bool {
+        self.pc == other.pc
+            && self.retired == other.retired
+            && self.interrupt_pending == other.interrupt_pending
+            && self.regs.len() == other.regs.len()
+            && self
+                .regs
+                .iter()
+                .zip(other.regs.iter())
+                .all(|(a, b)| a.fingerprint() == b.fingerprint())
+    }
 }
 
 impl std::fmt::Debug for Cpu {
@@ -70,6 +118,33 @@ impl Cpu {
         self.interrupt_flag.clone()
     }
 
+    /// Captures the architectural state (registers, pc, fuel spent,
+    /// interrupt line) as a copy-on-write snapshot.
+    pub fn snapshot(&self) -> CpuSnapshot {
+        CpuSnapshot {
+            regs: self.regs.clone(),
+            pc: self.pc,
+            retired: self.retired,
+            interrupt_pending: *self.interrupt_flag.borrow(),
+        }
+    }
+
+    /// Restores a snapshot taken from this hart (or a same-program twin).
+    /// The interrupt line value is written back through the shared cell,
+    /// so PLIC wiring established via [`Cpu::interrupt_line`] stays live.
+    pub fn restore(&mut self, snapshot: &CpuSnapshot) {
+        self.regs = snapshot.regs.clone();
+        self.pc = snapshot.pc;
+        self.retired = snapshot.retired;
+        *self.interrupt_flag.borrow_mut() = snapshot.interrupt_pending;
+    }
+
+    /// The hart's contribution to a merge-fence state mark — see
+    /// [`CpuSnapshot::structural_hash`].
+    pub fn state_mark(&self) -> u64 {
+        self.snapshot().structural_hash()
+    }
+
     /// Current program counter.
     pub fn pc(&self) -> u32 {
         self.pc
@@ -90,7 +165,7 @@ impl Cpu {
         if r == 0 {
             ctx.word32(0)
         } else {
-            self.regs[r as usize].clone()
+            self.regs.get(r as usize).expect("32 registers").clone()
         }
     }
 
@@ -102,7 +177,7 @@ impl Cpu {
     pub fn set_reg(&mut self, _ctx: &SymCtx, r: u32, value: SymWord) {
         assert!(r < 32);
         if r != 0 {
-            self.regs[r as usize] = value;
+            self.regs.set(r as usize, value);
         }
     }
 
@@ -266,10 +341,14 @@ impl Cpu {
             0b1110011 => match inst {
                 0x0010_0073 => return StepOutcome::Halted, // ebreak
                 0x1050_0073 => {
-                    // wfi: retire only when the interrupt line is up.
-                    if !*self.interrupt_flag.borrow() {
+                    // wfi: retire only when the interrupt line is up, and
+                    // consume the latched wake — the next wfi parks again
+                    // until a fresh notify arrives (ISR-loop pacing).
+                    let mut flag = self.interrupt_flag.borrow_mut();
+                    if !*flag {
                         return StepOutcome::Wfi;
                     }
+                    *flag = false;
                 }
                 _ => return StepOutcome::Trap(format!("unsupported SYSTEM {inst:#010x}")),
             },
@@ -305,7 +384,7 @@ impl Cpu {
                 done => return done,
             }
         }
-        StepOutcome::Trap(format!("instruction budget ({max_instructions}) exhausted"))
+        StepOutcome::OutOfFuel
     }
 }
 
@@ -519,6 +598,141 @@ mod tests {
                 assert_eq!(cpu.reg(ctx, 2).as_const(), Some(11));
             },
         );
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_out_of_fuel_not_a_silent_halt() {
+        // An infinite loop must exhaust the budget with the distinct
+        // OutOfFuel outcome, never Halted or a decode trap.
+        let program = vec![asm::jal(0, 0)];
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut ram = Ram::new(ctx);
+            let mut cpu = Cpu::new(ctx, program.clone());
+            let outcome = cpu.run(ctx, &mut kernel, &mut ram, 25);
+            assert_eq!(outcome, StepOutcome::OutOfFuel);
+            assert_eq!(cpu.retired(), 25, "budget spent exactly");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn fuel_exhaustion_mid_li_sequence_is_out_of_fuel() {
+        // li expands to lui+addi; a budget of 1 stops between the two.
+        // The partial upper-immediate write must be visible and the
+        // outcome must say OutOfFuel so the caller can refuel and resume.
+        let value = 0x1234_5678u32;
+        let mut program = asm::li(1, value);
+        assert!(program.len() >= 2, "li must be a multi-instruction burst");
+        program.push(asm::ebreak());
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut ram = Ram::new(ctx);
+            let mut cpu = Cpu::new(ctx, program.clone());
+            let outcome = cpu.run(ctx, &mut kernel, &mut ram, 1);
+            assert_eq!(outcome, StepOutcome::OutOfFuel);
+            assert_eq!(cpu.retired(), 1);
+            // Refuelling resumes mid-sequence and completes the load.
+            let outcome = cpu.run(ctx, &mut kernel, &mut ram, 10);
+            assert_eq!(outcome, StepOutcome::Halted);
+            assert_eq!(cpu.reg(ctx, 1).as_const(), Some(u64::from(value)));
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn fuel_exhaustion_inside_wfi_is_out_of_fuel() {
+        // A wfi with kernel activity but no interrupt burns fuel-less
+        // kernel steps; when the kernel goes quiet the outcome is Wfi,
+        // but if the budget dies first while instructions retire around
+        // the park, the caller must see OutOfFuel.
+        let program = vec![
+            asm::addi(1, 1, 1), // spin: x1 += 1
+            asm::jal(0, -4),
+        ];
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut ram = Ram::new(ctx);
+            let mut cpu = Cpu::new(ctx, program.clone());
+            let outcome = cpu.run(ctx, &mut kernel, &mut ram, 7);
+            assert_eq!(outcome, StepOutcome::OutOfFuel);
+
+            // A parked wfi with a dead kernel still reports Wfi, not fuel.
+            let mut parked = Cpu::new(ctx, vec![asm::wfi(), asm::ebreak()]);
+            let outcome = parked.run(ctx, &mut kernel, &mut ram, 7);
+            assert_eq!(outcome, StepOutcome::Wfi);
+            assert_eq!(parked.retired(), 0, "wfi did not retire");
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn interrupt_on_exact_fuel_boundary_wakes_before_out_of_fuel() {
+        // The interrupt line rises exactly when the last unit of fuel is
+        // spent: wfi retires with that final unit and the program halts
+        // on the next run call, rather than the wake being lost.
+        let program = vec![asm::wfi(), asm::addi(1, 0, 7), asm::ebreak()];
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut ram = Ram::new(ctx);
+            let mut cpu = Cpu::new(ctx, program.clone());
+            let line = cpu.interrupt_line();
+
+            // Budget 1, line down: parked, no fuel spent on the park.
+            assert_eq!(cpu.run(ctx, &mut kernel, &mut ram, 1), StepOutcome::Wfi);
+            assert_eq!(cpu.retired(), 0);
+
+            // Line rises; the same single unit of fuel now retires the
+            // wfi itself — OutOfFuel, not a lost wake.
+            *line.borrow_mut() = true;
+            assert_eq!(
+                cpu.run(ctx, &mut kernel, &mut ram, 1),
+                StepOutcome::OutOfFuel
+            );
+            assert_eq!(cpu.retired(), 1, "the wfi retired on the boundary");
+
+            // Refuel: execution continues past the wfi to the halt.
+            assert_eq!(cpu.run(ctx, &mut kernel, &mut ram, 5), StepOutcome::Halted);
+            assert_eq!(cpu.reg(ctx, 1).as_const(), Some(7));
+        });
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_marks_track_state() {
+        let program = vec![
+            asm::addi(1, 0, 5),
+            asm::addi(2, 0, 9),
+            asm::add(3, 1, 2),
+            asm::ebreak(),
+        ];
+        let report = Explorer::new().explore(|ctx| {
+            let mut kernel = Kernel::new();
+            let mut ram = Ram::new(ctx);
+            let mut cpu = Cpu::new(ctx, program.clone());
+            assert_eq!(
+                cpu.run(ctx, &mut kernel, &mut ram, 2),
+                StepOutcome::OutOfFuel
+            );
+            let snap = cpu.snapshot();
+            let mark = cpu.state_mark();
+
+            assert_eq!(cpu.run(ctx, &mut kernel, &mut ram, 10), StepOutcome::Halted);
+            assert_ne!(cpu.state_mark(), mark, "execution moved the mark");
+            assert!(!cpu.snapshot().deep_equals(&snap));
+
+            cpu.restore(&snap);
+            assert_eq!(cpu.state_mark(), mark, "restore reproduces the mark");
+            assert!(cpu.snapshot().deep_equals(&snap));
+            assert_eq!(cpu.pc(), 8);
+            assert_eq!(cpu.retired(), 2);
+            assert_eq!(cpu.reg(ctx, 3).as_const(), Some(0), "add undone");
+
+            // Replay from the snapshot reaches the same halt state.
+            assert_eq!(cpu.run(ctx, &mut kernel, &mut ram, 10), StepOutcome::Halted);
+            assert_eq!(cpu.reg(ctx, 3).as_const(), Some(14));
+        });
         assert!(report.passed());
     }
 

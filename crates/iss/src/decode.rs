@@ -1,0 +1,305 @@
+//! An independent RV32I decoder for the supported subset.
+//!
+//! This module is the structural inverse of [`asm`](crate::asm), written
+//! against the instruction-format tables of the RISC-V spec rather than
+//! by inverting the encoder's code: each immediate is reassembled
+//! bit-field by bit-field and sign-extended through a shift pair, so an
+//! encoder bug and a decoder bug would have to agree to cancel out. The
+//! property tests in `tests/asm_props.rs` round-trip seeded random
+//! instruction streams through both directions.
+
+/// One decoded instruction of the supported RV32I subset.
+///
+/// Field names follow the assembler's conventions: `rd`/`rs1`/`rs2` are
+/// register indices, `offset`/`imm` are *sign-extended* byte offsets or
+/// immediates, `imm20` is the raw upper-immediate field and `shamt` a
+/// 5-bit shift amount.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DecodedInst {
+    Lui { rd: u32, imm20: u32 },
+    Auipc { rd: u32, imm20: u32 },
+    Jal { rd: u32, offset: i32 },
+    Jalr { rd: u32, rs1: u32, offset: i32 },
+    Beq { rs1: u32, rs2: u32, offset: i32 },
+    Bne { rs1: u32, rs2: u32, offset: i32 },
+    Blt { rs1: u32, rs2: u32, offset: i32 },
+    Bge { rs1: u32, rs2: u32, offset: i32 },
+    Bltu { rs1: u32, rs2: u32, offset: i32 },
+    Bgeu { rs1: u32, rs2: u32, offset: i32 },
+    Lw { rd: u32, rs1: u32, offset: i32 },
+    Sw { rs2: u32, rs1: u32, offset: i32 },
+    Addi { rd: u32, rs1: u32, imm: i32 },
+    Slti { rd: u32, rs1: u32, imm: i32 },
+    Sltiu { rd: u32, rs1: u32, imm: i32 },
+    Xori { rd: u32, rs1: u32, imm: i32 },
+    Ori { rd: u32, rs1: u32, imm: i32 },
+    Andi { rd: u32, rs1: u32, imm: i32 },
+    Slli { rd: u32, rs1: u32, shamt: u32 },
+    Srli { rd: u32, rs1: u32, shamt: u32 },
+    Srai { rd: u32, rs1: u32, shamt: u32 },
+    Add { rd: u32, rs1: u32, rs2: u32 },
+    Sub { rd: u32, rs1: u32, rs2: u32 },
+    Sll { rd: u32, rs1: u32, rs2: u32 },
+    Slt { rd: u32, rs1: u32, rs2: u32 },
+    Sltu { rd: u32, rs1: u32, rs2: u32 },
+    Xor { rd: u32, rs1: u32, rs2: u32 },
+    Srl { rd: u32, rs1: u32, rs2: u32 },
+    Sra { rd: u32, rs1: u32, rs2: u32 },
+    Or { rd: u32, rs1: u32, rs2: u32 },
+    And { rd: u32, rs1: u32, rs2: u32 },
+    Ebreak,
+    Wfi,
+}
+
+/// Sign-extends the low `bits` bits of `value`.
+fn sext(value: u32, bits: u32) -> i32 {
+    debug_assert!((1..=31).contains(&bits));
+    ((value << (32 - bits)) as i32) >> (32 - bits)
+}
+
+/// Decodes one instruction word, or `None` if it is outside the subset
+/// (the same universe [`Cpu::step`](crate::Cpu::step) would trap on).
+pub fn decode(inst: u32) -> Option<DecodedInst> {
+    let opcode = inst & 0x7F;
+    let rd = (inst >> 7) & 0x1F;
+    let funct3 = (inst >> 12) & 0x7;
+    let rs1 = (inst >> 15) & 0x1F;
+    let rs2 = (inst >> 20) & 0x1F;
+    let funct7 = inst >> 25;
+
+    // Immediate reassembly, straight from the spec's format tables.
+    let imm_i = sext(inst >> 20, 12);
+    let imm_s = sext(((inst >> 25) << 5) | ((inst >> 7) & 0x1F), 12);
+    let imm_b = sext(
+        (((inst >> 31) & 1) << 12)
+            | (((inst >> 7) & 1) << 11)
+            | (((inst >> 25) & 0x3F) << 5)
+            | (((inst >> 8) & 0xF) << 1),
+        13,
+    );
+    let imm_j = sext(
+        (((inst >> 31) & 1) << 20)
+            | (((inst >> 12) & 0xFF) << 12)
+            | (((inst >> 20) & 1) << 11)
+            | (((inst >> 21) & 0x3FF) << 1),
+        21,
+    );
+
+    Some(match opcode {
+        0b0110111 => DecodedInst::Lui {
+            rd,
+            imm20: inst >> 12,
+        },
+        0b0010111 => DecodedInst::Auipc {
+            rd,
+            imm20: inst >> 12,
+        },
+        0b1101111 => DecodedInst::Jal { rd, offset: imm_j },
+        0b1100111 if funct3 == 0b000 => DecodedInst::Jalr {
+            rd,
+            rs1,
+            offset: imm_i,
+        },
+        0b1100011 => {
+            let offset = imm_b;
+            match funct3 {
+                0b000 => DecodedInst::Beq { rs1, rs2, offset },
+                0b001 => DecodedInst::Bne { rs1, rs2, offset },
+                0b100 => DecodedInst::Blt { rs1, rs2, offset },
+                0b101 => DecodedInst::Bge { rs1, rs2, offset },
+                0b110 => DecodedInst::Bltu { rs1, rs2, offset },
+                0b111 => DecodedInst::Bgeu { rs1, rs2, offset },
+                _ => return None,
+            }
+        }
+        0b0000011 if funct3 == 0b010 => DecodedInst::Lw {
+            rd,
+            rs1,
+            offset: imm_i,
+        },
+        0b0100011 if funct3 == 0b010 => DecodedInst::Sw {
+            rs2,
+            rs1,
+            offset: imm_s,
+        },
+        0b0010011 => match funct3 {
+            0b000 => DecodedInst::Addi {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b010 => DecodedInst::Slti {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b011 => DecodedInst::Sltiu {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b100 => DecodedInst::Xori {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b110 => DecodedInst::Ori {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b111 => DecodedInst::Andi {
+                rd,
+                rs1,
+                imm: imm_i,
+            },
+            0b001 if funct7 == 0 => DecodedInst::Slli {
+                rd,
+                rs1,
+                shamt: rs2,
+            },
+            0b101 if funct7 == 0 => DecodedInst::Srli {
+                rd,
+                rs1,
+                shamt: rs2,
+            },
+            0b101 if funct7 == 0b0100000 => DecodedInst::Srai {
+                rd,
+                rs1,
+                shamt: rs2,
+            },
+            _ => return None,
+        },
+        0b0110011 => match (funct3, funct7) {
+            (0b000, 0) => DecodedInst::Add { rd, rs1, rs2 },
+            (0b000, 0b0100000) => DecodedInst::Sub { rd, rs1, rs2 },
+            (0b001, 0) => DecodedInst::Sll { rd, rs1, rs2 },
+            (0b010, 0) => DecodedInst::Slt { rd, rs1, rs2 },
+            (0b011, 0) => DecodedInst::Sltu { rd, rs1, rs2 },
+            (0b100, 0) => DecodedInst::Xor { rd, rs1, rs2 },
+            (0b101, 0) => DecodedInst::Srl { rd, rs1, rs2 },
+            (0b101, 0b0100000) => DecodedInst::Sra { rd, rs1, rs2 },
+            (0b110, 0) => DecodedInst::Or { rd, rs1, rs2 },
+            (0b111, 0) => DecodedInst::And { rd, rs1, rs2 },
+            _ => return None,
+        },
+        0b1110011 if inst == 0x0010_0073 => DecodedInst::Ebreak,
+        0b1110011 if inst == 0x1050_0073 => DecodedInst::Wfi,
+        _ => return None,
+    })
+}
+
+impl DecodedInst {
+    /// Re-encodes through the [`asm`](crate::asm) encoder — the pivot of
+    /// the decode→encode round-trip property.
+    pub fn encode(&self) -> u32 {
+        use crate::asm;
+        match *self {
+            DecodedInst::Lui { rd, imm20 } => asm::lui(rd, imm20),
+            DecodedInst::Auipc { rd, imm20 } => asm::auipc(rd, imm20),
+            DecodedInst::Jal { rd, offset } => asm::jal(rd, offset),
+            DecodedInst::Jalr { rd, rs1, offset } => asm::jalr(rd, rs1, offset),
+            DecodedInst::Beq { rs1, rs2, offset } => asm::beq(rs1, rs2, offset),
+            DecodedInst::Bne { rs1, rs2, offset } => asm::bne(rs1, rs2, offset),
+            DecodedInst::Blt { rs1, rs2, offset } => asm::blt(rs1, rs2, offset),
+            DecodedInst::Bge { rs1, rs2, offset } => asm::bge(rs1, rs2, offset),
+            DecodedInst::Bltu { rs1, rs2, offset } => asm::bltu(rs1, rs2, offset),
+            DecodedInst::Bgeu { rs1, rs2, offset } => asm::bgeu(rs1, rs2, offset),
+            DecodedInst::Lw { rd, rs1, offset } => asm::lw(rd, rs1, offset),
+            DecodedInst::Sw { rs2, rs1, offset } => asm::sw(rs2, rs1, offset),
+            DecodedInst::Addi { rd, rs1, imm } => asm::addi(rd, rs1, imm),
+            DecodedInst::Slti { rd, rs1, imm } => asm::slti(rd, rs1, imm),
+            DecodedInst::Sltiu { rd, rs1, imm } => asm::sltiu(rd, rs1, imm),
+            DecodedInst::Xori { rd, rs1, imm } => asm::xori(rd, rs1, imm),
+            DecodedInst::Ori { rd, rs1, imm } => asm::ori(rd, rs1, imm),
+            DecodedInst::Andi { rd, rs1, imm } => asm::andi(rd, rs1, imm),
+            DecodedInst::Slli { rd, rs1, shamt } => asm::slli(rd, rs1, shamt),
+            DecodedInst::Srli { rd, rs1, shamt } => asm::srli(rd, rs1, shamt),
+            DecodedInst::Srai { rd, rs1, shamt } => asm::srai(rd, rs1, shamt),
+            DecodedInst::Add { rd, rs1, rs2 } => asm::add(rd, rs1, rs2),
+            DecodedInst::Sub { rd, rs1, rs2 } => asm::sub(rd, rs1, rs2),
+            DecodedInst::Sll { rd, rs1, rs2 } => asm::sll(rd, rs1, rs2),
+            DecodedInst::Slt { rd, rs1, rs2 } => asm::slt(rd, rs1, rs2),
+            DecodedInst::Sltu { rd, rs1, rs2 } => asm::sltu(rd, rs1, rs2),
+            DecodedInst::Xor { rd, rs1, rs2 } => asm::xor(rd, rs1, rs2),
+            DecodedInst::Srl { rd, rs1, rs2 } => asm::srl(rd, rs1, rs2),
+            DecodedInst::Sra { rd, rs1, rs2 } => asm::sra(rd, rs1, rs2),
+            DecodedInst::Or { rd, rs1, rs2 } => asm::or(rd, rs1, rs2),
+            DecodedInst::And { rd, rs1, rs2 } => asm::and(rd, rs1, rs2),
+            DecodedInst::Ebreak => asm::ebreak(),
+            DecodedInst::Wfi => asm::wfi(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn decodes_the_canonical_encodings() {
+        assert_eq!(
+            decode(0x02A0_0093),
+            Some(DecodedInst::Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 42
+            })
+        );
+        assert_eq!(
+            decode(0xFFF0_8093),
+            Some(DecodedInst::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: -1
+            })
+        );
+        assert_eq!(
+            decode(0xFE00_0EE3),
+            Some(DecodedInst::Beq {
+                rs1: 0,
+                rs2: 0,
+                offset: -4
+            })
+        );
+        assert_eq!(decode(0x0010_0073), Some(DecodedInst::Ebreak));
+        assert_eq!(decode(0x1050_0073), Some(DecodedInst::Wfi));
+    }
+
+    #[test]
+    fn rejects_out_of_subset_words() {
+        assert_eq!(decode(0), None, "all-zero word");
+        assert_eq!(decode(0xFFFF_FFFF), None, "all-ones word");
+        assert_eq!(decode(asm::lw(1, 0, 0) ^ 0x1000), None, "lb is unsupported");
+        assert_eq!(decode(0x0000_0073), None, "ecall is unsupported");
+    }
+
+    #[test]
+    fn negative_branch_and_jump_offsets_sign_extend() {
+        assert_eq!(
+            decode(asm::jal(1, -2048)),
+            Some(DecodedInst::Jal {
+                rd: 1,
+                offset: -2048
+            })
+        );
+        assert_eq!(
+            decode(asm::bge(3, 4, -4096)),
+            Some(DecodedInst::Bge {
+                rs1: 3,
+                rs2: 4,
+                offset: -4096
+            })
+        );
+        assert_eq!(
+            decode(asm::sw(2, 5, -2048)),
+            Some(DecodedInst::Sw {
+                rs2: 2,
+                rs1: 5,
+                offset: -2048
+            })
+        );
+    }
+}

@@ -59,5 +59,7 @@
 
 pub mod asm;
 pub mod cpu;
+pub mod decode;
 
-pub use cpu::{Cpu, StepOutcome};
+pub use cpu::{Cpu, CpuSnapshot, StepOutcome};
+pub use decode::{decode, DecodedInst};

@@ -24,7 +24,8 @@ done
 
 cargo build --offline --release -p symsc-bench \
   --bin solver_stack --bin incremental_speedup --bin mutation_kill \
-  --bin fuzz_diff --bin cow_fork --bin path_merge --bin bench_gate
+  --bin firmware_kill --bin fuzz_diff --bin cow_fork --bin path_merge \
+  --bin bench_gate
 
 out=target/bench_gate
 mkdir -p "$out"
@@ -46,12 +47,16 @@ echo "==> COW fork-engine ablation (sources=8/16/32, workers=1/2/8)"
 echo "==> path-merging ablation (full FE310, 51 sources + 2-HART variant)"
 ./target/release/path_merge --emit "$out/path_merge.json"
 
+echo "==> firmware-in-the-loop kill matrix (F1-F5, all 33 mutants)"
+./target/release/firmware_kill --emit "$out/firmware_kill.json"
+
 pairs=(
   BENCH_solver_stack.json "$out/solver_stack.json"
   BENCH_incremental_solve.json "$out/incremental_solve.json"
   BENCH_fuzz_diff.json "$out/fuzz_diff.json"
   BENCH_cow_fork.json "$out/cow_fork.json"
   BENCH_path_merge.json "$out/path_merge.json"
+  BENCH_firmware_kill.json "$out/firmware_kill.json"
 )
 
 if [[ "$skip_mutation" -eq 0 ]]; then

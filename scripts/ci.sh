@@ -48,6 +48,9 @@ echo "==> parallel exploration determinism + cache smoke"
 echo "==> differential fuzzing smoke (IF presets must die)"
 scripts/fuzz_smoke.sh
 
+echo "==> firmware-in-the-loop smoke (stuck_enable_1 must die)"
+scripts/firmware_smoke.sh
+
 echo "==> COW fork-engine differential smoke"
 scripts/cow_smoke.sh
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The firmware-in-the-loop smoke: the reduced firmware kill matrix
+# (drivers F1/F2/F5 against the IF presets plus a named slice of
+# generated mutants that includes stuck_enable_1). The harness itself
+# fails unless the baseline drivers pass on the fixed PLIC and
+# stuck_enable_1 — the mutant no register-level TLM test can kill — dies
+# to F5's racy driver; the emission is then gated against the committed
+# BENCH_firmware_smoke.json baseline.
+#
+# Everything runs offline; the release binaries are built if missing.
+#
+# Usage: scripts/firmware_smoke.sh [--skip-gate]
+#   --skip-gate  only run the harness, don't compare against the
+#                committed baseline (used when the baseline is being
+#                regenerated)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_gate=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-gate) skip_gate=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --offline --release -p symsc-bench --bin firmware_kill --bin bench_gate
+
+out=target/bench_gate
+mkdir -p "$out"
+
+echo "==> firmware smoke matrix (F1/F2/F5, presets + stuck_enable_1 slice)"
+./target/release/firmware_kill --smoke --emit "$out/firmware_smoke.json"
+
+if [[ "$skip_gate" -eq 0 ]]; then
+  echo "==> comparing against the committed baseline"
+  ./target/release/bench_gate BENCH_firmware_smoke.json "$out/firmware_smoke.json"
+fi
+
+echo "Firmware smoke passed."

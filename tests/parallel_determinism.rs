@@ -10,6 +10,9 @@
 //! faithful PLIC, so the suite exercises both failing reports (T1 finds
 //! the F1 claim bug) and passing ones.
 
+use symsc_firmware::{
+    firmware_bench, run_firmware_kill_matrix_with, run_firmware_test, FirmwareId,
+};
 use symsc_mutate::{run_kill_matrix, run_kill_matrix_with, Mutant};
 use symsc_plic::{InjectedFault, MutationOp, PlicConfig, PlicVariant, ThresholdCmp};
 use symsc_testbench::{run_test, SuiteParams, TestId};
@@ -486,6 +489,169 @@ fn kill_matrix_verdicts_are_unchanged_under_merge_eager() {
         !merged.mutants[3].killed(),
         "duplicate notify still survives"
     );
+}
+
+/// One firmware-suite run under an explicit worker count, fork strategy
+/// and exploration order, on the fixed scaled PLIC.
+fn run_firmware(
+    test: FirmwareId,
+    workers: usize,
+    strategy: ForkStrategy,
+    order: ExploreOrder,
+) -> TestOutcome {
+    run_firmware_test(
+        test,
+        PlicConfig::fe310_scaled().variant(PlicVariant::Fixed),
+        &Verifier::new(test.name())
+            .workers(workers)
+            .fork_strategy(strategy)
+            .explore_order(order),
+    )
+}
+
+#[test]
+fn every_firmware_test_is_worker_and_strategy_independent() {
+    // The firmware suite runs whole RV32I driver programs on the symbolic
+    // ISS through the router into the TLM PLIC — far deeper paths than
+    // any register-level test, with CPU snapshots carrying symbolic
+    // register files across forks. The report must still be a pure
+    // function of the state space: byte-identical at every worker count
+    // and under both fork engines (COW snapshots vs. the re-execution
+    // oracle).
+    for test in FirmwareId::ALL {
+        let sequential = stable_view(&run_firmware(
+            test,
+            1,
+            ForkStrategy::CowSnapshot,
+            ExploreOrder::Exhaustive,
+        ));
+        for workers in [1, 2, 8] {
+            for strategy in [ForkStrategy::CowSnapshot, ForkStrategy::Reexec] {
+                let run = stable_view(&run_firmware(
+                    test,
+                    workers,
+                    strategy,
+                    ExploreOrder::Exhaustive,
+                ));
+                assert_eq!(
+                    sequential, run,
+                    "{test} report changed at {workers} workers under {strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn firmware_merge_eager_matches_the_exhaustive_oracle() {
+    // The firmware benches fence at wfi park boundaries (kernel + PLIC +
+    // CPU + RAM digests), so MergeEager may adopt finished subtrees and
+    // shrink the decide counter; everything on the merge projection —
+    // verdicts, represented paths, errors, counterexamples, coverage,
+    // branch counts — must not move, at any worker count.
+    for test in FirmwareId::ALL {
+        let oracle = merge_view(&run_firmware(
+            test,
+            1,
+            ForkStrategy::CowSnapshot,
+            ExploreOrder::Exhaustive,
+        ));
+        for workers in [1, 2, 8] {
+            let merged = merge_view(&run_firmware(
+                test,
+                workers,
+                ForkStrategy::CowSnapshot,
+                ExploreOrder::MergeEager,
+            ));
+            assert_eq!(
+                oracle, merged,
+                "{test} report changed between the exhaustive oracle and \
+                 the {workers}-worker MergeEager run"
+            );
+        }
+    }
+}
+
+#[test]
+fn firmware_kill_matrix_is_byte_identical_across_engines() {
+    // The reduced firmware kill matrix — two driver tests, one preset,
+    // the firmware-unique stuck-enable kill and a known-equivalent
+    // survivor — must render byte-identically across worker counts, fork
+    // strategies and exploration orders, and keep its verdicts.
+    let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    let mutants = vec![
+        Mutant::from_preset(InjectedFault::If6ThresholdOffByOne),
+        Mutant::new(
+            "stuck_enable_1",
+            "enable bit of source 1 reads as always set",
+            MutationOp::StuckEnableForId(1),
+        ),
+        Mutant::new("dup_notify", "double notify", MutationOp::DuplicateNotify),
+    ];
+    let tests = [FirmwareId::F2, FirmwareId::F5];
+    let baseline = run_firmware_kill_matrix_with(config, &mutants, &tests, |name| {
+        Verifier::new(name).workers(1)
+    });
+    for (workers, strategy, order) in [
+        (8, ForkStrategy::CowSnapshot, ExploreOrder::Exhaustive),
+        (1, ForkStrategy::Reexec, ExploreOrder::Exhaustive),
+        (2, ForkStrategy::CowSnapshot, ExploreOrder::MergeEager),
+    ] {
+        let other = run_firmware_kill_matrix_with(config, &mutants, &tests, |name| {
+            Verifier::new(name)
+                .workers(workers)
+                .fork_strategy(strategy)
+                .explore_order(order)
+        });
+        assert_eq!(
+            baseline.stable_view(),
+            other.stable_view(),
+            "firmware kill matrix changed at {workers} workers under \
+             {strategy:?}/{order:?}"
+        );
+    }
+    assert!(baseline.killed_mutant("IF6"), "IF6 killed by F2");
+    assert!(
+        baseline.killed_mutant("stuck_enable_1"),
+        "the firmware-unique stuck-enable kill holds"
+    );
+    assert!(
+        !baseline.killed_mutant("dup_notify"),
+        "duplicate notify stays equivalent"
+    );
+}
+
+#[test]
+fn replay_reproduces_a_firmware_counterexample() {
+    // F5 against the stuck-enable mutant fails on the path where the
+    // masked source fires anyway; replaying the recorded counterexample
+    // through a fresh firmware bench must reproduce the same error on a
+    // single path — the driver program, the ISS and the peripheral all
+    // re-execute from scratch under the pinned decisions.
+    let config = PlicConfig::fe310_scaled()
+        .variant(PlicVariant::Fixed)
+        .mutate(MutationOp::StuckEnableForId(1));
+    let outcome = run_firmware_test(
+        FirmwareId::F5,
+        config,
+        &Verifier::new(FirmwareId::F5.name()).workers(1),
+    );
+    assert!(!outcome.passed(), "F5 kills the stuck-enable mutant");
+    let error = outcome
+        .report
+        .errors
+        .iter()
+        .max_by_key(|e| e.path)
+        .expect("F5 reports an error");
+    let verifier = Verifier::new(FirmwareId::F5.name());
+    let replayed = verifier.replay(
+        &error.counterexample,
+        firmware_bench(FirmwareId::F5, config),
+    );
+    assert_eq!(replayed.report.stats.paths, 1, "replay is single-path");
+    assert_eq!(replayed.report.errors.len(), 1);
+    assert_eq!(replayed.report.errors[0].kind, error.kind);
+    assert_eq!(replayed.report.errors[0].message, error.message);
 }
 
 #[test]

@@ -14,13 +14,7 @@
 //! `scripts/bench_gate.sh` regenerates the current emissions at the
 //! baselines' scales and runs this binary over all of them.
 
-use symsc_bench::gate::compare;
-use symsc_bench::json::{parse, Json};
-
-fn load(path: &str) -> Result<Json, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
-    parse(&text).map_err(|e| format!("could not parse {path}: {e}"))
-}
+use symsc_bench::gate::compare_files;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,22 +26,19 @@ fn main() {
     let mut failed = false;
     for pair in args.chunks(2) {
         let (baseline_path, current_path) = (&pair[0], &pair[1]);
-        let docs = load(baseline_path).and_then(|b| load(current_path).map(|c| (b, c)));
-        match docs {
+        match compare_files(baseline_path, current_path) {
             Err(message) => {
                 println!("GATE ERROR: {message}");
                 failed = true;
             }
-            Ok((baseline, current)) => {
-                let violations = compare(&baseline, &current);
-                if violations.is_empty() {
-                    println!("gate OK: {current_path} vs {baseline_path}");
-                } else {
-                    for v in &violations {
-                        println!("GATE FAIL: {v}");
-                    }
-                    failed = true;
+            Ok(violations) if violations.is_empty() => {
+                println!("gate OK: {current_path} vs {baseline_path}");
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    println!("GATE FAIL: {v}");
                 }
+                failed = true;
             }
         }
     }

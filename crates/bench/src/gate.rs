@@ -54,6 +54,18 @@ impl Gate {
         let (Some(b), Some(c)) = (self.num(base, context, key), self.num(cur, context, key)) else {
             return;
         };
+        // A zero baseline makes the relative tolerance meaningless (any
+        // growth is infinite): say so explicitly instead of emitting a
+        // "factor 1.5 of 0" bound.
+        if b == 0.0 {
+            if c > 0.0 {
+                self.fail(format!(
+                    "{context}: {key} grew to {c} but the baseline is zero \
+                     (relative tolerance is undefined; re-record the baseline)"
+                ));
+            }
+            return;
+        }
         if c > b * COUNTER_FACTOR {
             self.fail(format!(
                 "{context}: {key} regressed to {c} (baseline {b}, allowed factor {COUNTER_FACTOR})"
@@ -112,7 +124,16 @@ impl Gate {
         cur: &'j Json,
     ) -> Vec<(String, &'j Json, &'j Json)> {
         let mut pairs = Vec::new();
-        let base_ws = base.get("workloads").and_then(Json::as_arr).unwrap_or(&[]);
+        // A baseline without workloads would make every per-workload
+        // check pass vacuously — treat it as a broken baseline instead.
+        let Some(base_ws) = base.get("workloads").and_then(Json::as_arr) else {
+            self.fail("baseline has no \"workloads\" array (vacuous gate)".to_string());
+            return pairs;
+        };
+        if base_ws.is_empty() {
+            self.fail("baseline \"workloads\" array is empty (vacuous gate)".to_string());
+            return pairs;
+        }
         let cur_ws = cur.get("workloads").and_then(Json::as_arr).unwrap_or(&[]);
         for bw in base_ws {
             let Some(name) = bw.get("name").and_then(Json::as_str) else {
@@ -361,6 +382,60 @@ fn compare_path_merge(g: &mut Gate, base: &Json, cur: &Json) {
     }
 }
 
+fn compare_campaign(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "campaign";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    // The determinism contract: a clean baseline, byte-identical reports
+    // across worker counts, and a byte-identical kill/resume round-trip.
+    for flag in ["baseline_clean", "reports_identical", "resume_identical"] {
+        if cur.get(flag).and_then(Json::as_bool) != Some(true) {
+            g.fail(format!(
+                "{ctx}: current run does not report \"{flag}\": true"
+            ));
+        }
+    }
+    // Everything the final report derives is a pure function of the spec:
+    // exact equality, no tolerance.
+    for key in [
+        "jobs",
+        "mutants_total",
+        "mutants_killed",
+        "seeds_exchanged",
+        "findings_exchanged",
+    ] {
+        g.counter_exact(base, cur, ctx, key);
+    }
+    // The worker-scaling floor: 8 workers must not run slower than 1 by
+    // more than the recorded floor (generous — CI runners share cores).
+    let floor = base
+        .get("scaling_floor")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.8);
+    let speedup = cur.get("speedup8").and_then(Json::as_f64).unwrap_or(0.0);
+    if speedup < floor {
+        g.fail(format!(
+            "{ctx}: 8-worker speedup {speedup:.2}x fell below the {floor:.1}x floor"
+        ));
+    }
+    for (name, bw, cw) in g.workload_pairs(base, cur) {
+        let ctx = format!("campaign/{name}");
+        // Every run executes the full plan fresh.
+        g.counter_exact(bw, cw, &ctx, "executed");
+        g.seconds_within(bw, cw, &ctx, "seconds");
+        // A single worker has nobody to steal from — any steal is a
+        // scheduler bug, not noise.
+        if name == "w1" {
+            g.counter_exact(bw, cw, &ctx, "steals");
+        }
+    }
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
 /// Compares a current harness emission against its committed baseline and
 /// returns the violation list (empty = gate passes). The harness kind is
 /// taken from the baseline's `"harness"` field; a current document from a
@@ -390,9 +465,23 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
         "cow_fork" => compare_cow_fork(&mut g, baseline, current),
         "path_merge" => compare_path_merge(&mut g, baseline, current),
+        "campaign" => compare_campaign(&mut g, baseline, current),
         other => g.fail(format!("unknown harness kind \"{other}\"")),
     }
     g.violations
+}
+
+/// Loads and compares a `(baseline, current)` file pair. An unreadable or
+/// malformed file on *either* side is an error, never a pass: a baseline
+/// that fails to parse must stop the gate loudly instead of comparing
+/// zero fields. This is the function the `bench_gate` binary drives.
+pub fn compare_files(baseline_path: &str, current_path: &str) -> Result<Vec<String>, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        crate::json::parse(&text).map_err(|e| format!("could not parse {path}: {e}"))
+    };
+    Ok(compare(&load(baseline_path)?, &load(current_path)?))
 }
 
 #[cfg(test)]
@@ -709,6 +798,145 @@ mod tests {
         let violations = compare(&base, &smoke);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("smoke flag differs"));
+    }
+
+    fn campaign_doc(
+        killed: u64,
+        seeds: u64,
+        speedup8: f64,
+        resume_identical: bool,
+        w1_steals: u64,
+    ) -> Json {
+        parse(&format!(
+            "{{\"harness\": \"campaign\", \"smoke\": true, \"jobs\": 40, \
+              \"mutants_total\": 6, \"mutants_killed\": {killed}, \
+              \"seeds_exchanged\": {seeds}, \"findings_exchanged\": 5, \
+              \"baseline_clean\": true, \"reports_identical\": true, \
+              \"resume_identical\": {resume_identical}, \
+              \"scaling_floor\": 0.8, \"speedup8\": {speedup8:.2}, \
+              \"workloads\": [\
+              {{\"name\": \"w1\", \"workers\": 1, \"seconds\": 8.0, \
+                \"jobs_per_sec\": 5.0, \"executed\": 40, \"steals\": {w1_steals}}}, \
+              {{\"name\": \"w8\", \"workers\": 8, \"seconds\": 2.5, \
+                \"jobs_per_sec\": 16.0, \"executed\": 40, \"steals\": 11}}], \
+              \"seconds\": 60.0}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_gate_pins_determinism_counters_and_the_scaling_floor() {
+        let base = campaign_doc(6, 12, 2.8, true, 0);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        // Exchange-counter drift is a behavior change, not noise.
+        let drifted = campaign_doc(6, 9, 2.8, true, 0);
+        assert!(compare(&base, &drifted)
+            .iter()
+            .any(|v| v.contains("seeds_exchanged")));
+        // A kill-count drop in either direction is exact-equality fatal.
+        let weakened = campaign_doc(4, 12, 2.8, true, 0);
+        assert!(compare(&base, &weakened)
+            .iter()
+            .any(|v| v.contains("mutants_killed")));
+        // Losing the kill/resume byte-identity is fatal on its own.
+        let nondeterministic = campaign_doc(6, 12, 2.8, false, 0);
+        assert!(compare(&base, &nondeterministic)
+            .iter()
+            .any(|v| v.contains("resume_identical")));
+        // Worker scaling collapsing below the floor trips the gate.
+        let serial = campaign_doc(6, 12, 0.5, true, 0);
+        assert!(compare(&base, &serial)
+            .iter()
+            .any(|v| v.contains("below the 0.8x floor")));
+        // A single worker stealing jobs is a scheduler bug.
+        let stealing = campaign_doc(6, 12, 2.8, true, 3);
+        assert!(compare(&base, &stealing)
+            .iter()
+            .any(|v| v.contains("steals")));
+    }
+
+    #[test]
+    fn missing_baseline_keys_are_violations_not_passes() {
+        let base = parse(
+            "{\"harness\": \"mutation_kill\", \"smoke\": false, \
+              \"kill_rate\": 87.88, \"presets_killed\": 6, \
+              \"generated_killed\": 23, \"seconds\": 41.7}",
+        )
+        .unwrap();
+        // The baseline lacks mutants_total: the gate must flag the hole
+        // instead of silently skipping the check.
+        let violations = compare(&base, &base);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("missing numeric field \"mutants_total\"")),
+            "expected a missing-field violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn zero_valued_baseline_counters_refuse_relative_tolerance() {
+        let doc = |calls: u64| {
+            parse(&format!(
+                "{{\"harness\": \"solver_stack\", \"sources\": 32, \
+                  \"equivalent\": true, \"workloads\": [\
+                  {{\"name\": \"t1\", \"paths\": 32, \"layered_seconds\": 0.07, \
+                    \"layered\": {{\"sat_core_calls\": {calls}, \
+                      \"above_core_rate\": 0.72}}, \
+                    \"flat\": {{\"sat_core_calls\": 134}}}}]}}"
+            ))
+            .unwrap()
+        };
+        // Zero baseline, zero current: fine.
+        assert_eq!(compare(&doc(0), &doc(0)), Vec::<String>::new());
+        // Zero baseline, nonzero current: `1.5 * 0` must not silently
+        // allow 0 — the gate names the undefined tolerance explicitly.
+        let violations = compare(&doc(0), &doc(7));
+        assert!(
+            violations.iter().any(|v| v.contains("baseline is zero")),
+            "expected a zero-baseline violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn baselines_without_workloads_fail_instead_of_passing_vacuously() {
+        let empty = parse(
+            "{\"harness\": \"solver_stack\", \"sources\": 32, \
+              \"equivalent\": true, \"workloads\": []}",
+        )
+        .unwrap();
+        let violations = compare(&empty, &solver_stack_doc(72));
+        assert!(
+            violations.iter().any(|v| v.contains("vacuous gate")),
+            "expected a vacuous-gate violation, got {violations:?}"
+        );
+        let missing =
+            parse("{\"harness\": \"solver_stack\", \"sources\": 32, \"equivalent\": true}")
+                .unwrap();
+        assert!(compare(&missing, &solver_stack_doc(72))
+            .iter()
+            .any(|v| v.contains("no \"workloads\" array")));
+    }
+
+    #[test]
+    fn malformed_baseline_files_fail_loudly() {
+        let dir = std::env::temp_dir().join("symsc_bench_gate_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&good, "{\"harness\": \"mutation_kill\", \"smoke\": true}").unwrap();
+        std::fs::write(&bad, "{\"harness\": \"mutation_kill\", ").unwrap();
+        // A truncated baseline is an error, not an empty violation list.
+        let err = compare_files(bad.to_str().unwrap(), good.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("could not parse"), "unexpected error: {err}");
+        // Same for the current side, and for a missing file.
+        assert!(compare_files(good.to_str().unwrap(), bad.to_str().unwrap()).is_err());
+        let gone = dir.join("does_not_exist.json");
+        let err = compare_files(gone.to_str().unwrap(), good.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("could not read"), "unexpected error: {err}");
+        // A well-formed pair flows through to the comparison itself.
+        let violations = compare_files(good.to_str().unwrap(), good.to_str().unwrap()).unwrap();
+        assert!(!violations.is_empty(), "incomplete doc still gates fields");
     }
 
     #[test]

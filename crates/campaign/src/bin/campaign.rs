@@ -1,0 +1,188 @@
+//! `campaign` — run, resume and inspect verification campaigns.
+//!
+//! ```text
+//! campaign run    --dir DIR [--smoke | --full] [--seed N] [--mutants N]
+//!                 [--workers N] [--halt-after N] [--jsonl]
+//! campaign resume --dir DIR [--workers N] [--halt-after N] [--jsonl]
+//! campaign status --dir DIR
+//! ```
+//!
+//! `run` starts a fresh campaign in DIR (refusing to overwrite one);
+//! `resume` continues from the last checkpoint; `status` prints progress
+//! without executing anything. Results stream incrementally — one line
+//! per completed job, as JSONL with `--jsonl`. Exit codes: 0 campaign
+//! finished, 3 campaign halted at the `--halt-after` checkpoint (resume
+//! later), 2 usage error, 1 runtime error.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use symsc_campaign::{resume, start, status, CampaignOutcome, CampaignSpec, JobEvent, RunOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign run    --dir DIR [--smoke | --full] [--seed N] [--mutants N]\n\
+         \x20                   [--workers N] [--halt-after N] [--jsonl]\n\
+         \x20      campaign resume --dir DIR [--workers N] [--halt-after N] [--jsonl]\n\
+         \x20      campaign status --dir DIR"
+    );
+    exit(2);
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct Cli {
+    dir: PathBuf,
+    options: RunOptions,
+    jsonl: bool,
+    smoke: bool,
+    seed: u64,
+    mutants: usize,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        dir: PathBuf::new(),
+        options: RunOptions::default(),
+        jsonl: false,
+        smoke: true,
+        seed: 0xCA3F,
+        mutants: 0,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> &str {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v,
+            None => usage(),
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => cli.dir = PathBuf::from(value(&mut i)),
+            "--smoke" => cli.smoke = true,
+            "--full" => cli.smoke = false,
+            "--jsonl" => cli.jsonl = true,
+            "--seed" => cli.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mutants" => cli.mutants = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cli.options.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--halt-after" => {
+                cli.options.halt_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cli.dir.as_os_str().is_empty() {
+        usage();
+    }
+    cli
+}
+
+fn stream_event(jsonl: bool) -> impl Fn(&JobEvent) + Sync {
+    move |event| {
+        if jsonl {
+            println!(
+                "{{\"event\": \"job\", \"id\": {}, \"label\": \"{}\", \"done\": {}, \"total\": {}}}",
+                event.id,
+                json_escape(&event.label),
+                event.done,
+                event.total
+            );
+        } else {
+            println!("[{:>3}/{}] {}", event.done, event.total, event.label);
+        }
+    }
+}
+
+fn finish(outcome: CampaignOutcome, jsonl: bool) -> ! {
+    if outcome.halted {
+        if jsonl {
+            println!(
+                "{{\"event\": \"halted\", \"done\": {}, \"total\": {}, \"executed\": {}, \
+                 \"steals\": {}}}",
+                outcome.done, outcome.total, outcome.queue.executed, outcome.queue.steals
+            );
+        } else {
+            println!(
+                "halted at checkpoint {}/{} ({} executed this run; resume to continue)",
+                outcome.done, outcome.total, outcome.queue.executed
+            );
+        }
+        exit(3);
+    }
+    let report = outcome.report.as_ref().expect("finished campaign");
+    if jsonl {
+        println!(
+            "{{\"event\": \"finished\", \"jobs\": {}, \"executed\": {}, \"steals\": {}, \
+             \"mutants_killed\": {}, \"mutants_total\": {}, \"seeds_exchanged\": {}, \
+             \"findings_exchanged\": {}}}",
+            outcome.total,
+            outcome.queue.executed,
+            outcome.queue.steals,
+            report.killed(),
+            report.rows.len(),
+            report.seeds_exchanged(),
+            report.findings_exchanged()
+        );
+    } else {
+        print!("{}", report.render_text());
+        println!(
+            "(this run: {} executed, {} stolen)",
+            outcome.queue.executed, outcome.queue.steals
+        );
+    }
+    exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+    };
+    match command.as_str() {
+        "run" => {
+            let cli = parse_cli(rest);
+            let spec = if cli.smoke {
+                CampaignSpec::smoke(cli.seed)
+            } else {
+                CampaignSpec::full(cli.seed, cli.mutants)
+            };
+            let on_event = stream_event(cli.jsonl);
+            match start(&cli.dir, &spec, &cli.options, &on_event) {
+                Ok(outcome) => finish(outcome, cli.jsonl),
+                Err(e) => {
+                    eprintln!("campaign run: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "resume" => {
+            let cli = parse_cli(rest);
+            let on_event = stream_event(cli.jsonl);
+            match resume(&cli.dir, &cli.options, &on_event) {
+                Ok(outcome) => finish(outcome, cli.jsonl),
+                Err(e) => {
+                    eprintln!("campaign resume: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "status" => {
+            let cli = parse_cli(rest);
+            match status(&cli.dir) {
+                Ok(view) => {
+                    print!("{}", view.render());
+                    exit(0);
+                }
+                Err(e) => {
+                    eprintln!("campaign status: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

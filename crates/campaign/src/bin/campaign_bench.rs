@@ -1,0 +1,246 @@
+//! `campaign_bench` — the campaign-orchestrator bench harness.
+//!
+//! Runs the smoke campaign spec at 1, 2 and 8 workers plus one
+//! kill-at-checkpoint/resume pair, and emits `BENCH_campaign.json` for
+//! `symsc_bench::gate`:
+//!
+//! - **throughput** per worker count (jobs/second, wall-clock, steal and
+//!   exchange counters);
+//! - **determinism**: the final `report.json`/`report.txt` must be
+//!   byte-identical across all worker counts *and* across the
+//!   kill/resume pair — any divergence prints a `MISMATCH` line and
+//!   exits 1 (and the emitted flags fail the gate).
+//!
+//! Usage: `campaign_bench [--seed N] [--emit PATH]`
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use symsc_campaign::{resume, start, CampaignSpec, RunOptions, REPORT_JSON, REPORT_TEXT};
+
+struct WorkerRun {
+    workers: usize,
+    seconds: f64,
+    executed: u64,
+    steals: u64,
+    seeds_exchanged: u64,
+    findings_exchanged: u64,
+    report_json: String,
+    report_text: String,
+    killed: usize,
+    mutants: usize,
+    jobs: u64,
+    baseline_clean: bool,
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("symsc_campaign_bench_{tag}_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing bench dir");
+    }
+    dir
+}
+
+fn read_reports(dir: &Path) -> (String, String) {
+    (
+        std::fs::read_to_string(dir.join(REPORT_JSON)).expect("report.json"),
+        std::fs::read_to_string(dir.join(REPORT_TEXT)).expect("report.txt"),
+    )
+}
+
+fn run_at(spec: &CampaignSpec, workers: usize) -> WorkerRun {
+    let dir = fresh_dir(&format!("w{workers}"));
+    let started = Instant::now();
+    let outcome = start(
+        &dir,
+        spec,
+        &RunOptions {
+            workers,
+            halt_after: None,
+        },
+        &|_| {},
+    )
+    .expect("bench campaign failed");
+    let seconds = started.elapsed().as_secs_f64();
+    let report = outcome.report.as_ref().expect("campaign finished");
+    let (report_json, report_text) = read_reports(&dir);
+    let run = WorkerRun {
+        workers,
+        seconds,
+        executed: outcome.queue.executed,
+        steals: outcome.queue.steals,
+        seeds_exchanged: report.seeds_exchanged(),
+        findings_exchanged: report.findings_exchanged(),
+        killed: report.killed(),
+        mutants: report.rows.len(),
+        jobs: outcome.total,
+        baseline_clean: report.baseline_clean,
+        report_json,
+        report_text,
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    run
+}
+
+/// One kill-at-checkpoint + resume round-trip at `workers`; returns the
+/// resumed run's final report bytes and the steal/executed counters of
+/// both phases.
+fn killed_and_resumed(
+    spec: &CampaignSpec,
+    workers: usize,
+    halt_after: u64,
+) -> (String, String, u64) {
+    let dir = fresh_dir(&format!("resume_w{workers}"));
+    let options = RunOptions {
+        workers,
+        halt_after: Some(halt_after),
+    };
+    let halted = start(&dir, spec, &options, &|_| {}).expect("halted campaign failed");
+    assert!(halted.halted, "halt budget did not stop the campaign");
+    let resumed = resume(
+        &dir,
+        &RunOptions {
+            workers,
+            halt_after: None,
+        },
+        &|_| {},
+    )
+    .expect("resume failed");
+    assert!(!resumed.halted);
+    let executed_total = halted.queue.executed + resumed.queue.executed;
+    let (json, text) = read_reports(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    (json, text, executed_total)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut emit: Option<PathBuf> = None;
+    let mut seed: u64 = 0xCA3F;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--emit" => {
+                i += 1;
+                emit = Some(PathBuf::from(args.get(i).expect("--emit needs a path")));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("bad seed");
+            }
+            other => {
+                eprintln!("usage: campaign_bench [--seed N] [--emit PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let spec = CampaignSpec::smoke(seed);
+    let total_start = Instant::now();
+
+    println!("==> smoke campaign at 1/2/8 workers (seed {seed:#x})");
+    let runs: Vec<WorkerRun> = [1usize, 2, 8].iter().map(|&w| run_at(&spec, w)).collect();
+    for run in &runs {
+        println!(
+            "    workers={}: {:.2}s, {:.1} jobs/s, {} steals, {} seeds exchanged",
+            run.workers,
+            run.seconds,
+            run.jobs as f64 / run.seconds.max(1e-9),
+            run.steals,
+            run.seeds_exchanged
+        );
+    }
+
+    let mut ok = true;
+    let reports_identical = runs
+        .iter()
+        .all(|r| r.report_json == runs[0].report_json && r.report_text == runs[0].report_text);
+    if !reports_identical {
+        println!("MISMATCH: final reports differ across worker counts");
+        ok = false;
+    }
+    if !runs[0].baseline_clean {
+        println!("MISMATCH: baseline suite or baseline fuzz lane is dirty");
+        ok = false;
+    }
+
+    // Kill mid-run (at roughly half the plan) and resume, at every
+    // measured worker count — the resumed report must be byte-identical.
+    println!("==> kill-at-checkpoint + resume round-trips");
+    let halt_after = runs[0].jobs / 2;
+    let mut resume_identical = true;
+    for &w in &[1usize, 2, 8] {
+        let (json, text, executed) = killed_and_resumed(&spec, w, halt_after);
+        let identical = json == runs[0].report_json && text == runs[0].report_text;
+        println!(
+            "    workers={w}: halted at {halt_after}, {executed} executed across both runs, \
+             byte-identical={identical}"
+        );
+        resume_identical &= identical;
+    }
+    if !resume_identical {
+        println!("MISMATCH: kill/resume round-trip changed the final report");
+        ok = false;
+    }
+
+    let seconds = total_start.elapsed().as_secs_f64();
+    let speedup8 = runs[0].seconds / runs[2].seconds.max(1e-9);
+    println!("speedup at 8 workers: {speedup8:.2}x; total bench wall-clock {seconds:.1}s");
+
+    if let Some(path) = emit {
+        let mut j = String::from("{\n");
+        j.push_str("  \"harness\": \"campaign\",\n");
+        j.push_str("  \"smoke\": true,\n");
+        j.push_str(&format!("  \"jobs\": {},\n", runs[0].jobs));
+        j.push_str(&format!("  \"mutants_total\": {},\n", runs[0].mutants));
+        j.push_str(&format!("  \"mutants_killed\": {},\n", runs[0].killed));
+        j.push_str(&format!(
+            "  \"seeds_exchanged\": {},\n",
+            runs[0].seeds_exchanged
+        ));
+        j.push_str(&format!(
+            "  \"findings_exchanged\": {},\n",
+            runs[0].findings_exchanged
+        ));
+        j.push_str(&format!(
+            "  \"baseline_clean\": {},\n",
+            runs[0].baseline_clean
+        ));
+        j.push_str(&format!("  \"reports_identical\": {reports_identical},\n"));
+        j.push_str(&format!("  \"resume_identical\": {resume_identical},\n"));
+        // 8 workers must never be catastrophically slower than 1 — but
+        // a >1x floor would be unachievable on single-core runners, so
+        // this is a scaling *sanity* floor, not a speedup demand.
+        j.push_str("  \"scaling_floor\": 0.7,\n");
+        j.push_str(&format!("  \"speedup8\": {speedup8:.3},\n"));
+        j.push_str("  \"workloads\": [\n");
+        for (i, run) in runs.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"name\": \"w{}\", \"workers\": {}, \"seconds\": {:.3}, \
+                 \"jobs_per_sec\": {:.2}, \"executed\": {}, \"steals\": {}}}{}\n",
+                run.workers,
+                run.workers,
+                run.seconds,
+                run.jobs as f64 / run.seconds.max(1e-9),
+                run.executed,
+                run.steals,
+                if i + 1 == runs.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("  ],\n");
+        j.push_str(&format!("  \"seconds\": {seconds:.3}\n"));
+        j.push_str("}\n");
+        std::fs::write(&path, j).expect("writing emission");
+        println!("wrote {}", path.display());
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,101 @@
+//! The live two-way seed exchange between symbolic and fuzz workers.
+//!
+//! PR 5 introduced the exchange as one-shot calls
+//! (`symsc_fuzz::seeds_from_symbolic` before a campaign, `confirm_by_*`
+//! after). Here it becomes a *channel*: probe jobs publish their
+//! counterexample seeds the moment they complete, fuzz lanes collect
+//! from every producer they depend on, and fuzz findings flow back as
+//! confirm jobs — all while the campaign is running, interleaved by the
+//! work-stealing scheduler.
+//!
+//! Determinism survives the streaming because a consumer's read set is
+//! declared, not raced: a fuzz lane's producers are its dependency
+//! edges, the queue guarantees they published before the lane starts,
+//! and [`SeedChannel::collect`] orders seeds by producer id, then
+//! discovery order. The live counters are scheduling-*independent* for
+//! the same reason (they count what flowed, and what flows is a pure
+//! function of the spec) — the final report re-derives them from results
+//! and the bench harness asserts both derivations agree.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::job::JobId;
+
+/// The in-flight seed mailbox plus exchange counters.
+#[derive(Debug, Default)]
+pub struct SeedChannel {
+    published: Mutex<BTreeMap<JobId, Vec<Vec<u8>>>>,
+    /// Seeds published by symbolic probe jobs (symbolic → fuzz).
+    pub seeds_from_symbolic: AtomicU64,
+    /// Findings handed to symbolic confirm jobs (fuzz → symbolic).
+    pub findings_to_symbolic: AtomicU64,
+}
+
+impl SeedChannel {
+    /// A fresh channel.
+    pub fn new() -> SeedChannel {
+        SeedChannel::default()
+    }
+
+    /// Publishes a completed probe job's seeds (called by whichever
+    /// worker finished the job).
+    pub fn publish(&self, producer: JobId, seeds: Vec<Vec<u8>>) {
+        self.seeds_from_symbolic
+            .fetch_add(seeds.len() as u64, Ordering::Relaxed);
+        self.published
+            .lock()
+            .expect("seed mailbox poisoned")
+            .insert(producer, seeds);
+    }
+
+    /// Collects the seeds of `producers` in producer-id order (then
+    /// discovery order within a producer), deduplicated first-wins. The
+    /// caller's dependency edges guarantee every producer has published.
+    pub fn collect(&self, producers: &[JobId]) -> Vec<Vec<u8>> {
+        let mut ids: Vec<JobId> = producers.to_vec();
+        ids.sort_unstable();
+        let published = self.published.lock().expect("seed mailbox poisoned");
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for id in ids {
+            for seed in published.get(&id).expect("producer has not published") {
+                if seen.insert(seed.clone()) {
+                    out.push(seed.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Records findings flowing back to the symbolic engine.
+    pub fn note_findings(&self, count: u64) {
+        self.findings_to_symbolic
+            .fetch_add(count, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_orders_by_producer_id_and_deduplicates() {
+        let channel = SeedChannel::new();
+        channel.publish(9, vec![vec![3], vec![1]]);
+        channel.publish(4, vec![vec![1], vec![2]]);
+        // Declared order of producers must not matter.
+        let seeds = channel.collect(&[9, 4]);
+        assert_eq!(seeds, vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(seeds, channel.collect(&[4, 9]));
+        assert_eq!(channel.seeds_from_symbolic.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "has not published")]
+    fn collecting_an_unpublished_producer_is_a_bug() {
+        let channel = SeedChannel::new();
+        channel.collect(&[7]);
+    }
+}

@@ -1,0 +1,314 @@
+//! The sharded work-stealing executor behind a campaign.
+//!
+//! Ready jobs live in per-worker shards (a job's home shard is
+//! `id % shards`). Each worker drains its own shard from the front and,
+//! when empty, steals from the other shards' backs — the classic deque
+//! protocol, here under small mutexes because campaign jobs are seconds
+//! long and contention is irrelevant next to execution time. Dependency
+//! tracking is a countdown per job: completing a job decrements its
+//! dependents and enqueues the ones that hit zero on *their* home
+//! shards, so symbolic and fuzz jobs share one pool and an idle fuzz
+//! worker steals symbolic work (and vice versa) automatically.
+//!
+//! Scheduling affects wall-clock and the steal counter only. Results are
+//! written once per job and merged by id, so the executed plan is
+//! byte-identical at any worker count — the property the campaign's
+//! resume proof rests on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::job::{Job, JobId, JobResult};
+
+/// Aggregated scheduling counters (diagnostics; never part of a report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs executed by this run (excludes journal-replayed ones).
+    pub executed: u64,
+    /// Jobs a worker stole from another worker's shard.
+    pub steals: u64,
+}
+
+/// The shared queue state for one campaign run.
+pub struct WorkQueue {
+    shards: Vec<Mutex<VecDeque<JobId>>>,
+    /// `deps_left[id]` = unfinished dependencies; a job is enqueued when
+    /// it reaches zero.
+    deps_left: Vec<Mutex<usize>>,
+    dependents: Vec<Vec<JobId>>,
+    results: Vec<OnceLock<JobResult>>,
+    /// Completed-job count (journal-replayed jobs included).
+    done: AtomicU64,
+    total: u64,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    /// Set when a halt budget is exhausted: workers stop pulling.
+    halted: AtomicBool,
+    /// Jobs this run may complete before halting (`u64::MAX` = no halt).
+    halt_budget: AtomicU64,
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl WorkQueue {
+    /// Builds the queue over `jobs`, seeding the shards with every job
+    /// whose dependencies are already satisfied. `completed` marks
+    /// journal-replayed jobs: their results are installed verbatim and
+    /// they count as done without executing.
+    pub fn new(jobs: &[Job], completed: &[Option<JobResult>], shards: usize) -> WorkQueue {
+        let shards = shards.max(1);
+        let queue = WorkQueue {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deps_left: jobs.iter().map(|j| Mutex::new(j.deps.len())).collect(),
+            dependents: {
+                let mut deps: Vec<Vec<JobId>> = vec![Vec::new(); jobs.len()];
+                for job in jobs {
+                    for &d in &job.deps {
+                        deps[d].push(job.id);
+                    }
+                }
+                deps
+            },
+            results: jobs.iter().map(|_| OnceLock::new()).collect(),
+            done: AtomicU64::new(0),
+            total: jobs.len() as u64,
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            halted: AtomicBool::new(false),
+            halt_budget: AtomicU64::new(u64::MAX),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        };
+        // Splice journaled results first (they count as done without
+        // executing or enqueueing), then seed the ready shards with the
+        // remaining jobs whose live dependencies are all journaled.
+        for (id, result) in completed.iter().enumerate() {
+            if let Some(result) = result {
+                queue.results[id]
+                    .set(result.clone())
+                    .expect("journal splice on a fresh queue");
+                queue.done.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        for job in jobs {
+            if completed[job.id].is_some() {
+                continue;
+            }
+            let left = job.deps.iter().filter(|&&d| completed[d].is_none()).count();
+            *queue.deps_left[job.id].lock().expect("deps poisoned") = left;
+            if left == 0 {
+                queue.push_ready(job.id);
+            }
+        }
+        queue
+    }
+
+    /// Arms the halt budget: after `jobs` more completions the queue
+    /// stops handing out work (the kill point of `--halt-after`).
+    pub fn halt_after(&self, jobs: u64) {
+        self.halt_budget.store(jobs, Ordering::SeqCst);
+    }
+
+    fn push_ready(&self, id: JobId) {
+        let shard = id % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .expect("shard poisoned")
+            .push_back(id);
+        self.wake.notify_all();
+    }
+
+    /// Stops the run immediately (used when persisting a result fails —
+    /// continuing would complete jobs the journal never saw).
+    pub fn halt_now(&self) {
+        self.halted.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Pulls the next job for `worker`: own shard front first, then a
+    /// steal sweep over the other shards' backs. Blocks while the queue
+    /// is drained but jobs are still in flight; returns `None` when the
+    /// campaign is complete or halted.
+    pub fn pull(&self, worker: usize) -> Option<JobId> {
+        let n = self.shards.len();
+        loop {
+            if self.halted.load(Ordering::SeqCst) || self.done.load(Ordering::SeqCst) >= self.total
+            {
+                self.wake.notify_all();
+                return None;
+            }
+            if let Some(id) = self.shards[worker % n]
+                .lock()
+                .expect("shard poisoned")
+                .pop_front()
+            {
+                return Some(id);
+            }
+            for offset in 1..n {
+                let victim = (worker + offset) % n;
+                if let Some(id) = self.shards[victim]
+                    .lock()
+                    .expect("shard poisoned")
+                    .pop_back()
+                {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(id);
+                }
+            }
+            // Nothing ready anywhere: wait for a completion to release
+            // dependents (or for the campaign to finish/halt).
+            let guard = self.idle.lock().expect("idle poisoned");
+            let _guard = self
+                .wake
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .expect("idle poisoned");
+        }
+    }
+
+    /// Records `result` for `id`, releases dependents, and applies the
+    /// halt budget. `executed` distinguishes fresh runs from journal
+    /// replays in the stats.
+    pub fn complete(&self, id: JobId, result: JobResult, executed: bool) {
+        self.results[id]
+            .set(result)
+            .expect("job completed more than once");
+        if executed {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            let left = self.halt_budget.fetch_sub(1, Ordering::SeqCst);
+            if left != u64::MAX && left <= 1 {
+                self.halted.store(true, Ordering::SeqCst);
+            }
+        }
+        for &dep in &self.dependents[id] {
+            let mut left = self.deps_left[dep].lock().expect("deps poisoned");
+            *left -= 1;
+            if *left == 0 {
+                drop(left);
+                self.push_ready(dep);
+            }
+        }
+        self.done.fetch_add(1, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// The result of a completed job (deps guarantee completion before
+    /// any dependent reads it).
+    pub fn result(&self, id: JobId) -> &JobResult {
+        self.results[id].get().expect("dependency not completed")
+    }
+
+    /// Whether the halt budget stopped the run early.
+    pub fn halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
+    }
+
+    /// Completed jobs (replayed + executed).
+    pub fn completed_jobs(&self) -> u64 {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Scheduling counters for this run.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains every result slot (campaign complete), in job-id order.
+    pub fn into_results(self) -> Vec<JobResult> {
+        self.results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("campaign incomplete"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::plan;
+
+    fn dummy_result(id: JobId) -> JobResult {
+        JobResult::Confirm {
+            findings: id as u64,
+            confirmed_trace: 0,
+            confirmed_replay: 0,
+        }
+    }
+
+    #[test]
+    fn executes_a_plan_respecting_dependencies() {
+        let jobs = plan(2, 2, 3);
+        let completed = vec![None; jobs.len()];
+        let queue = WorkQueue::new(&jobs, &completed, 4);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let queue = &queue;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    while let Some(id) = queue.pull(worker) {
+                        // Dependencies must already have results.
+                        for &d in &jobs[id].deps {
+                            let _ = queue.result(d);
+                        }
+                        queue.complete(id, dummy_result(id), true);
+                    }
+                });
+            }
+        });
+        assert_eq!(queue.completed_jobs(), jobs.len() as u64);
+        assert!(!queue.halted());
+        let results = queue.into_results();
+        assert_eq!(results.len(), jobs.len());
+        assert_eq!(results[3], dummy_result(3));
+    }
+
+    #[test]
+    fn halt_budget_stops_the_run_and_replay_completes_it() {
+        let jobs = plan(1, 1, 2);
+        let completed = vec![None; jobs.len()];
+        let queue = WorkQueue::new(&jobs, &completed, 2);
+        queue.halt_after(3);
+        std::thread::scope(|scope| {
+            for worker in 0..2 {
+                let queue = &queue;
+                scope.spawn(move || {
+                    while let Some(id) = queue.pull(worker) {
+                        queue.complete(id, dummy_result(id), true);
+                    }
+                });
+            }
+        });
+        assert!(queue.halted());
+        let done = queue.completed_jobs();
+        assert!(done >= 3 && done < jobs.len() as u64, "done={done}");
+        assert_eq!(queue.stats().executed, done);
+
+        // "Resume": splice the completed prefix as journal replays.
+        let mut journaled: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        for (id, journal_slot) in journaled.iter_mut().enumerate() {
+            if let Some(r) = queue.results[id].get() {
+                *journal_slot = Some(r.clone());
+            }
+        }
+        let resumed = WorkQueue::new(&jobs, &journaled, 2);
+        std::thread::scope(|scope| {
+            for worker in 0..2 {
+                let resumed = &resumed;
+                scope.spawn(move || {
+                    while let Some(id) = resumed.pull(worker) {
+                        resumed.complete(id, dummy_result(id), true);
+                    }
+                });
+            }
+        });
+        assert_eq!(resumed.completed_jobs(), jobs.len() as u64);
+        assert_eq!(resumed.stats().executed, jobs.len() as u64 - done);
+        let results = resumed.into_results();
+        for (id, result) in results.iter().enumerate() {
+            assert_eq!(*result, dummy_result(id));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The final campaign report: a pure fold of the executed plan.
+//!
+//! Everything here is derived from `(spec, results)` in job-id order —
+//! no timing, no worker identity, no scheduling counters — so two
+//! campaigns over the same spec render byte-identical reports no matter
+//! how many workers ran them or how often they were killed and resumed.
+//! That is the property `campaign_smoke.sh` and the `campaign_bench`
+//! harness enforce with a byte compare.
+
+use std::fmt::Write as _;
+
+use symsc_plic::Mutation;
+
+use crate::job::{Job, JobKind, JobResult};
+use crate::spec::ResolvedSpec;
+
+/// Per-mutant verdicts and exchange traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutantReportRow {
+    /// Mutant name (registry order).
+    pub name: String,
+    /// Whether it is one of the paper's IF presets.
+    pub preset: bool,
+    /// A symbolic test that passes on the baseline failed on the mutant.
+    pub symbolic_killed: bool,
+    /// The fuzz lane found a divergence.
+    pub fuzz_killed: bool,
+    /// Probe seeds streamed into the lane (symbolic → fuzz).
+    pub probe_seeds: u64,
+    /// Findings the lane handed back (fuzz → symbolic).
+    pub findings: u64,
+    /// Findings the concolic trace re-derived.
+    pub confirmed_trace: u64,
+    /// Findings the constant-folded replay re-derived.
+    pub confirmed_replay: u64,
+    /// Fuzz executions spent.
+    pub fuzz_execs: u64,
+    /// Coverage points the lane reached.
+    pub coverage_points: u64,
+    /// Symbolic paths explored across the mutant's tests.
+    pub sym_paths: u64,
+}
+
+impl MutantReportRow {
+    /// Killed by either engine.
+    pub fn killed(&self) -> bool {
+        self.symbolic_killed || self.fuzz_killed
+    }
+}
+
+/// The campaign's deterministic final report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign seed (echoed from the spec).
+    pub seed: u64,
+    /// Baseline suite and baseline fuzz lane are clean.
+    pub baseline_clean: bool,
+    /// Symbolic paths explored by the baseline suite.
+    pub baseline_paths: u64,
+    /// Shared corpus entries exported by the baseline lane.
+    pub corpus_len: u64,
+    /// Coverage points of the baseline lane.
+    pub baseline_coverage_points: u64,
+    /// One row per mutant, registry order.
+    pub rows: Vec<MutantReportRow>,
+}
+
+impl CampaignReport {
+    /// Folds the executed plan into the report. `results` is parallel to
+    /// `jobs` (the completed campaign).
+    pub fn build(resolved: &ResolvedSpec, jobs: &[Job], results: &[JobResult]) -> CampaignReport {
+        let spec = &resolved.spec;
+        let mut baseline_sym_passed = vec![false; spec.tests.len()];
+        let mut baseline_clean = true;
+        let mut baseline_paths = 0;
+        let mut corpus_len = 0;
+        let mut baseline_coverage_points = 0;
+        let mut rows: Vec<MutantReportRow> = resolved
+            .mutants
+            .iter()
+            .map(|m| MutantReportRow {
+                name: m.name(),
+                preset: m.preset().is_some(),
+                symbolic_killed: false,
+                fuzz_killed: false,
+                probe_seeds: 0,
+                findings: 0,
+                confirmed_trace: 0,
+                confirmed_replay: 0,
+                fuzz_execs: 0,
+                coverage_points: 0,
+                sym_paths: 0,
+            })
+            .collect();
+
+        // First pass: the baseline verdicts (kills are relative to them).
+        for (job, result) in jobs.iter().zip(results) {
+            if let (
+                JobKind::SymTest { test, mutant: None },
+                JobResult::SymTest { passed, paths, .. },
+            ) = (&job.kind, result)
+            {
+                baseline_sym_passed[*test] = *passed;
+                baseline_clean &= *passed;
+                baseline_paths += *paths;
+            }
+        }
+        for (job, result) in jobs.iter().zip(results) {
+            match (&job.kind, result) {
+                (
+                    JobKind::Fuzz { mutant: None },
+                    JobResult::Fuzz {
+                        corpus,
+                        coverage_points,
+                        findings,
+                        ..
+                    },
+                ) => {
+                    baseline_clean &= findings.is_empty();
+                    corpus_len = corpus.len() as u64;
+                    baseline_coverage_points = *coverage_points;
+                }
+                (
+                    JobKind::SymTest {
+                        test,
+                        mutant: Some(m),
+                    },
+                    JobResult::SymTest { passed, paths, .. },
+                ) => {
+                    let row = &mut rows[*m];
+                    row.symbolic_killed |= baseline_sym_passed[*test] && !passed;
+                    row.sym_paths += *paths;
+                }
+                (JobKind::Probe { mutant, .. }, JobResult::Probe { seeds }) => {
+                    rows[*mutant].probe_seeds += seeds.len() as u64;
+                }
+                (
+                    JobKind::Fuzz { mutant: Some(m) },
+                    JobResult::Fuzz {
+                        execs,
+                        coverage_points,
+                        findings,
+                        ..
+                    },
+                ) => {
+                    let row = &mut rows[*m];
+                    row.fuzz_killed = !findings.is_empty();
+                    row.fuzz_execs = *execs;
+                    row.coverage_points = *coverage_points;
+                    row.findings = findings.len() as u64;
+                }
+                (
+                    JobKind::Confirm { mutant },
+                    JobResult::Confirm {
+                        confirmed_trace,
+                        confirmed_replay,
+                        ..
+                    },
+                ) => {
+                    rows[*mutant].confirmed_trace = *confirmed_trace;
+                    rows[*mutant].confirmed_replay = *confirmed_replay;
+                }
+                _ => {}
+            }
+        }
+        CampaignReport {
+            seed: spec.seed,
+            baseline_clean,
+            baseline_paths,
+            corpus_len,
+            baseline_coverage_points,
+            rows,
+        }
+    }
+
+    /// Mutants killed by either engine.
+    pub fn killed(&self) -> usize {
+        self.rows.iter().filter(|r| r.killed()).count()
+    }
+
+    /// Kill rate in percent.
+    pub fn kill_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.killed() as f64 / self.rows.len() as f64
+    }
+
+    /// Total seeds exchanged symbolic → fuzz.
+    pub fn seeds_exchanged(&self) -> u64 {
+        self.rows.iter().map(|r| r.probe_seeds).sum()
+    }
+
+    /// Total findings exchanged fuzz → symbolic.
+    pub fn findings_exchanged(&self) -> u64 {
+        self.rows.iter().map(|r| r.findings).sum()
+    }
+
+    /// Findings the symbolic engine independently re-derived (trace).
+    pub fn confirmed_trace(&self) -> u64 {
+        self.rows.iter().map(|r| r.confirmed_trace).sum()
+    }
+
+    /// Findings the constant-folded replay re-derived.
+    pub fn confirmed_replay(&self) -> u64 {
+        self.rows.iter().map(|r| r.confirmed_replay).sum()
+    }
+
+    /// The deterministic human-readable rendering (`report.txt`).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "campaign seed={}", self.seed);
+        let _ = writeln!(
+            s,
+            "baseline: {} paths={} corpus={} coverage={}",
+            if self.baseline_clean {
+                "clean"
+            } else {
+                "DIRTY"
+            },
+            self.baseline_paths,
+            self.corpus_len,
+            self.baseline_coverage_points
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "mutant {}{}: symbolic={} fuzz={} seeds={} findings={} \
+                 confirmed={}t/{}r execs={} coverage={} paths={} => {}",
+                r.name,
+                if r.preset { " [preset]" } else { "" },
+                if r.symbolic_killed { "killed" } else { "pass" },
+                if r.fuzz_killed { "killed" } else { "pass" },
+                r.probe_seeds,
+                r.findings,
+                r.confirmed_trace,
+                r.confirmed_replay,
+                r.fuzz_execs,
+                r.coverage_points,
+                r.sym_paths,
+                if r.killed() { "KILLED" } else { "SURVIVED" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "killed {}/{} ({:.1}%), exchange {} seeds / {} findings \
+             ({} trace-confirmed, {} replay-confirmed)",
+            self.killed(),
+            self.rows.len(),
+            self.kill_rate(),
+            self.seeds_exchanged(),
+            self.findings_exchanged(),
+            self.confirmed_trace(),
+            self.confirmed_replay()
+        );
+        s
+    }
+
+    /// The deterministic JSON rendering (`report.json`). Contains no
+    /// timing and nothing scheduling-dependent.
+    pub fn render_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"seed\": {},", self.seed);
+        let _ = writeln!(j, "  \"baseline_clean\": {},", self.baseline_clean);
+        let _ = writeln!(j, "  \"baseline_paths\": {},", self.baseline_paths);
+        let _ = writeln!(j, "  \"corpus_len\": {},", self.corpus_len);
+        let _ = writeln!(
+            j,
+            "  \"baseline_coverage_points\": {},",
+            self.baseline_coverage_points
+        );
+        let _ = writeln!(j, "  \"mutants_total\": {},", self.rows.len());
+        let _ = writeln!(j, "  \"mutants_killed\": {},", self.killed());
+        let _ = writeln!(j, "  \"kill_rate\": {:.2},", self.kill_rate());
+        let _ = writeln!(j, "  \"seeds_exchanged\": {},", self.seeds_exchanged());
+        let _ = writeln!(
+            j,
+            "  \"findings_exchanged\": {},",
+            self.findings_exchanged()
+        );
+        let _ = writeln!(j, "  \"confirmed_trace\": {},", self.confirmed_trace());
+        let _ = writeln!(j, "  \"confirmed_replay\": {},", self.confirmed_replay());
+        let _ = writeln!(j, "  \"mutants\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"name\": \"{}\", \"preset\": {}, \"symbolic_killed\": {}, \
+                 \"fuzz_killed\": {}, \"probe_seeds\": {}, \"findings\": {}, \
+                 \"confirmed_trace\": {}, \"confirmed_replay\": {}, \
+                 \"fuzz_execs\": {}, \"coverage_points\": {}, \"sym_paths\": {}}}{}",
+                escape(&r.name),
+                r.preset,
+                r.symbolic_killed,
+                r.fuzz_killed,
+                r.probe_seeds,
+                r.findings,
+                r.confirmed_trace,
+                r.confirmed_replay,
+                r.fuzz_execs,
+                r.coverage_points,
+                r.sym_paths,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(j, "  ]");
+        j.push_str("}\n");
+        j
+    }
+}

@@ -1,0 +1,194 @@
+//! The journal/store wire codec: a tiny, dependency-free binary format
+//! with a hex text armor.
+//!
+//! Journal and store records must round-trip *exactly* — resume replays
+//! serialized job results in place of re-execution, and the
+//! byte-identical-report guarantee rests on the decoded result being
+//! indistinguishable from a fresh one. The codec is therefore
+//! deliberately dumb: length-prefixed fields, little-endian integers, no
+//! optional anything. Records travel inside line-oriented files as
+//! lowercase hex, so a journal stays greppable and diff-able while the
+//! payload stays byte-exact.
+
+use std::fmt;
+
+/// A decode failure (truncated or malformed payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only byte sink with the encoding primitives.
+#[derive(Clone, Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// One raw byte (tags, booleans).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A 64-bit integer, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor over an encoded payload with the decoding primitives.
+#[derive(Clone, Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("truncated at byte {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A 64-bit little-endian integer.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError("invalid UTF-8".to_string()))
+    }
+
+    /// Fails unless the whole payload was consumed.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes after record",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Hex-armors a payload (lowercase, two digits per byte).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex armor produced by [`to_hex`].
+pub fn from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    let t = text.as_bytes();
+    if !t.len().is_multiple_of(2) {
+        return Err(WireError("odd-length hex string".to_string()));
+    }
+    let nibble = |c: u8| -> Result<u8, WireError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            _ => Err(WireError(format!("invalid hex digit '{}'", c as char))),
+        }
+    };
+    t.chunks_exact(2)
+        .map(|p| Ok(nibble(p[0])? << 4 | nibble(p[1])?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u64(0xDEAD_BEEF_0042);
+        e.bytes(&[0, 255, 1]);
+        e.str("hello \"quoted\" \n line");
+        let payload = e.finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), 0xDEAD_BEEF_0042);
+        assert_eq!(d.bytes().unwrap(), vec![0, 255, 1]);
+        assert_eq!(d.str().unwrap(), "hello \"quoted\" \n line");
+        d.done().unwrap();
+    }
+
+    #[test]
+    fn hex_armor_round_trips_and_rejects_garbage() {
+        let payload = vec![0u8, 1, 0xAB, 0xFF];
+        let hex = to_hex(&payload);
+        assert_eq!(hex, "0001abff");
+        assert_eq!(from_hex(&hex).unwrap(), payload);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_loud() {
+        let mut e = Enc::new();
+        e.bytes(&[1, 2, 3]);
+        let mut payload = e.finish();
+        let mut d = Dec::new(&payload[..5]);
+        assert!(d.bytes().is_err());
+        payload.push(9);
+        let mut d = Dec::new(&payload);
+        d.bytes().unwrap();
+        assert!(d.done().is_err());
+    }
+}

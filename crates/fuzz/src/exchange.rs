@@ -47,6 +47,51 @@ pub fn gateway_probe() -> Vec<OpPin> {
     vec![OpPin::kind(op::TRIGGER)]
 }
 
+/// A named symbolic probe: a pin script plus the path budget its bounded
+/// exploration runs under. The campaign orchestrator schedules one probe
+/// job per `(probe, mutant)` pair and streams the resulting seeds into
+/// that mutant's fuzz lane — the streaming lift of
+/// [`seeds_from_symbolic`].
+#[derive(Clone, Debug)]
+pub struct Probe {
+    /// Stable probe name (journaled; part of the campaign spec).
+    pub name: String,
+    /// The pin script handed to [`scripted_bench`].
+    pub pins: Vec<OpPin>,
+    /// Path budget of the bounded exploration.
+    pub max_paths: u64,
+}
+
+impl Probe {
+    /// Runs the probe against `config` and returns the exported seeds.
+    pub fn run(&self, config: PlicConfig) -> Vec<Vec<u8>> {
+        seeds_from_symbolic(config, &self.pins, self.max_paths)
+    }
+}
+
+/// The standard probe set: the gateway probe plus masking probes on a
+/// low and a mid-range source. Stable names and order — campaign specs
+/// reference probes by name.
+pub fn probe_registry(config: &PlicConfig) -> Vec<Probe> {
+    vec![
+        Probe {
+            name: "gateway".to_string(),
+            pins: gateway_probe(),
+            max_paths: 64,
+        },
+        Probe {
+            name: "masking_3".to_string(),
+            pins: masking_probe(3),
+            max_paths: 400,
+        },
+        Probe {
+            name: format!("masking_{}", config.sources / 2),
+            pins: masking_probe(config.sources / 2),
+            max_paths: 400,
+        },
+    ]
+}
+
 /// Probe: arm source `irq` with a symbolic priority, enable everything,
 /// set a symbolic threshold, fire and step. Exercises the
 /// priority-vs-threshold comparison — against a threshold-compare mutant

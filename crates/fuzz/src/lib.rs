@@ -22,7 +22,9 @@ pub mod minimize;
 
 pub use corpus::dictionary;
 pub use engine::{run_input, Finding, FuzzReport, Fuzzer, InputOutcome, InputRunner};
-pub use exchange::{confirm_by_replay, confirm_by_trace, seeds_from_symbolic};
+pub use exchange::{
+    confirm_by_replay, confirm_by_trace, probe_registry, seeds_from_symbolic, Probe,
+};
 pub use firmware::{
     firmware_dictionary, firmware_differential_bench, run_firmware_fuzz_matrix, run_firmware_input,
 };

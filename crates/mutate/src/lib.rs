@@ -212,6 +212,23 @@ pub fn generate(config: &PlicConfig) -> Vec<Mutant> {
     out
 }
 
+/// The complete mutant registry for `config`: the six IF presets followed
+/// by the generated first-order sweep, in stable registry order. This is
+/// the population every matrix harness and the campaign orchestrator
+/// iterate over.
+pub fn registry(config: &PlicConfig) -> Vec<Mutant> {
+    let mut out = presets();
+    out.extend(generate(config));
+    out
+}
+
+/// Resolves one mutant of the registry by name. Campaign journals persist
+/// mutant selections as names; resume reconstructs the operators through
+/// this lookup, so a name that no longer resolves is a spec mismatch.
+pub fn by_name(config: &PlicConfig, name: &str) -> Option<Mutant> {
+    registry(config).into_iter().find(|m| m.name == name)
+}
+
 /// One (mutant, test) cell of the kill matrix. Every field is a pure
 /// function of the explored path set — deterministic across worker counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

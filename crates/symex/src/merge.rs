@@ -285,6 +285,21 @@ impl StateDigest {
         self.push(u128::from(value));
     }
 
+    /// Folds a byte string, length-prefixed so distinct concatenations
+    /// fold distinctly (used by the campaign orchestrator to fingerprint
+    /// specs and serialized results).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.push_u64(bytes.len() as u64);
+        for b in bytes {
+            self.push(u128::from(*b));
+        }
+    }
+
+    /// Folds a string (UTF-8 bytes, length-prefixed).
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
+    }
+
     /// The folded digest, ready for [`crate::SymCtx::note_state`].
     pub fn finish(&self) -> u64 {
         (self.h as u64) ^ ((self.h >> 64) as u64)

@@ -39,6 +39,13 @@ impl TestId {
     /// All five tests, in paper order.
     pub const ALL: [TestId; 5] = [TestId::T1, TestId::T2, TestId::T3, TestId::T4, TestId::T5];
 
+    /// Parses the paper's label back into the identifier (the inverse of
+    /// [`name`](TestId::name); used by campaign specs that persist test
+    /// selections as text).
+    pub fn from_name(name: &str) -> Option<TestId> {
+        TestId::ALL.into_iter().find(|t| t.name() == name)
+    }
+
     /// The paper's label ("T1" … "T5").
     pub fn name(self) -> &'static str {
         match self {

@@ -7,17 +7,22 @@
 #
 # Everything runs offline; the release binaries are built if missing.
 #
-# Usage: scripts/bench_gate.sh [--skip-mutation]
+# Usage: scripts/bench_gate.sh [--skip-mutation] [--skip-campaign]
 #   --skip-mutation  don't rerun the mutation smoke matrix (used by the
-#                    Actions gate job, where the mutation-smoke job runs
+#                    Actions smoke matrix, where the mutation arm runs
 #                    and gates that emission itself)
+#   --skip-campaign  don't rerun the campaign orchestrator bench (used
+#                    by the Actions smoke matrix, where the campaign arm
+#                    runs and gates that emission itself)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_mutation=0
+skip_campaign=0
 for arg in "$@"; do
   case "$arg" in
     --skip-mutation) skip_mutation=1 ;;
+    --skip-campaign) skip_campaign=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -26,6 +31,7 @@ cargo build --offline --release -p symsc-bench \
   --bin solver_stack --bin incremental_speedup --bin mutation_kill \
   --bin firmware_kill --bin fuzz_diff --bin cow_fork --bin path_merge \
   --bin bench_gate
+cargo build --offline --release -p symsc-campaign --bin campaign_bench
 
 out=target/bench_gate
 mkdir -p "$out"
@@ -63,6 +69,12 @@ if [[ "$skip_mutation" -eq 0 ]]; then
   echo "==> mutation-testing smoke matrix"
   ./target/release/mutation_kill --smoke --floor 80 --emit "$out/mutation_smoke.json"
   pairs+=(BENCH_mutation_smoke.json "$out/mutation_smoke.json")
+fi
+
+if [[ "$skip_campaign" -eq 0 ]]; then
+  echo "==> campaign orchestrator bench (1/2/8 workers + kill/resume)"
+  ./target/release/campaign_bench --emit "$out/campaign.json"
+  pairs+=(BENCH_campaign.json "$out/campaign.json")
 fi
 
 echo "==> comparing against committed baselines"

@@ -57,6 +57,9 @@ scripts/cow_smoke.sh
 echo "==> state-merging / path-scheduling differential smoke"
 scripts/merge_smoke.sh
 
+echo "==> campaign orchestrator smoke (kill at checkpoint + resume)"
+scripts/campaign_smoke.sh
+
 echo "==> bench gate (ablation harnesses + baseline comparison)"
 # Runs the solver-stack and incremental-core ablations at the committed
 # baselines' scales plus the reduced mutation kill matrix, and compares

@@ -1,0 +1,54 @@
+//! The cross-level equivalence kill harness (standalone binary).
+//!
+//! Thin CLI over [`symsc_bench::cross_check`]. Exits nonzero on any
+//! violation. With `--emit FILE`, writes the summary JSON (the
+//! `BENCH_cross_check.json` trajectory datapoint).
+//!
+//! Usage: `cross_check [--smoke] [--floor PCT] [--workers N]
+//!                     [--order ORDER] [--emit FILE]`
+
+use symsc_bench::cross_check::CrossCheckOptions;
+use symsc_symex::ExploreOrder;
+
+fn main() {
+    let mut opts = CrossCheckOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--floor" => {
+                opts.floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.floor)
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.workers)
+            }
+            "--order" => match args.next().as_deref() {
+                Some("eager") => {
+                    (opts.order, opts.order_name) = (ExploreOrder::MergeEager, "eager")
+                }
+                Some("guided") => {
+                    (opts.order, opts.order_name) = (ExploreOrder::CoverageGuided, "guided")
+                }
+                Some("exhaustive") => {}
+                other => {
+                    eprintln!("unknown exploration order: {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--emit" => opts.emit = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !symsc_bench::cross_check::run(&opts) {
+        std::process::exit(1);
+    }
+}

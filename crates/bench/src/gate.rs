@@ -227,6 +227,56 @@ fn compare_firmware_kill(g: &mut Gate, base: &Json, cur: &Json) {
     g.seconds_within(base, cur, ctx, "seconds");
 }
 
+fn compare_cross_check(g: &mut Gate, base: &Json, cur: &Json) {
+    let ctx = "cross_check";
+    if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
+        g.fail(format!(
+            "{ctx}: baseline and current runs are at different scales (smoke flag differs)"
+        ));
+        return;
+    }
+    g.counter_exact(base, cur, ctx, "mutants_total");
+    g.rate_at_least(base, cur, ctx, "kill_rate", PERCENT_SLACK);
+    g.rate_at_least(base, cur, ctx, "presets_killed", 0.0);
+    g.rate_at_least(base, cur, ctx, "generated_killed", 1.0);
+    // The headline properties of the cross-level suite: equivalence
+    // holds on the fixed baseline, reports stay byte-identical across
+    // worker counts / fork strategies / orders, and the kill unique to
+    // equivalence checking stays killed.
+    for flag in [
+        "baseline_passed",
+        "reports_identical",
+        "stuck_enable_1_killed",
+    ] {
+        if cur.get(flag).and_then(Json::as_bool) != Some(true) {
+            g.fail(format!(
+                "{ctx}: current run does not report \"{flag}\": true"
+            ));
+        }
+    }
+    // Every TLM-matrix survivor the baseline records as killed by
+    // equivalence must stay killed — losing any one is a regression of
+    // the cross-level suite's unique contribution.
+    match base.get("unique_kills").and_then(Json::as_arr) {
+        Some(base_unique) if !base_unique.is_empty() => {
+            let cur_unique: Vec<&str> = cur
+                .get("unique_kills")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_str).collect())
+                .unwrap_or_default();
+            for name in base_unique.iter().filter_map(Json::as_str) {
+                if !cur_unique.contains(&name) {
+                    g.fail(format!("{ctx}: unique equivalence kill \"{name}\" is gone"));
+                }
+            }
+        }
+        _ => g.fail(format!(
+            "{ctx}: baseline records no \"unique_kills\" (vacuous uniqueness claim)"
+        )),
+    }
+    g.seconds_within(base, cur, ctx, "seconds");
+}
+
 fn compare_fuzz_kill(g: &mut Gate, base: &Json, cur: &Json) {
     let ctx = "fuzz_kill";
     if base.get("smoke").and_then(Json::as_bool) != cur.get("smoke").and_then(Json::as_bool) {
@@ -436,6 +486,33 @@ fn compare_campaign(g: &mut Gate, base: &Json, cur: &Json) {
     g.seconds_within(base, cur, ctx, "seconds");
 }
 
+/// The mutant names a baseline document lists in its `"survivors"` array.
+pub fn survivor_names(doc: &Json) -> Vec<String> {
+    doc.get("survivors")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|s| s.get("name").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The mutants `reference`'s matrix failed to kill that `doc`'s matrix
+/// killed: the survivor set of the first minus the survivor set of the
+/// second. This is the cross-engine uniqueness claim each kill-matrix
+/// baseline makes against the TLM-only matrix — both documents must be
+/// full sweeps over the same mutant registry for the difference to be
+/// meaningful.
+pub fn unique_kills(reference: &Json, doc: &Json) -> Vec<String> {
+    let killed_by_doc = survivor_names(doc);
+    survivor_names(reference)
+        .into_iter()
+        .filter(|name| !killed_by_doc.contains(name))
+        .collect()
+}
+
 /// Compares a current harness emission against its committed baseline and
 /// returns the violation list (empty = gate passes). The harness kind is
 /// taken from the baseline's `"harness"` field; a current document from a
@@ -460,6 +537,7 @@ pub fn compare(baseline: &Json, current: &Json) -> Vec<String> {
         "solver_stack" => compare_solver_stack(&mut g, baseline, current),
         "mutation_kill" => compare_mutation(&mut g, baseline, current),
         "firmware_kill" => compare_firmware_kill(&mut g, baseline, current),
+        "cross_check" => compare_cross_check(&mut g, baseline, current),
         "fuzz_kill" => compare_fuzz_kill(&mut g, baseline, current),
         "fuzz_diff" => compare_fuzz_diff(&mut g, baseline, current),
         "incremental_speedup" => compare_incremental(&mut g, baseline, current),
@@ -607,32 +685,133 @@ mod tests {
     }
 
     #[test]
-    fn the_committed_baselines_pin_the_firmware_unique_kill() {
+    fn the_committed_baselines_pin_their_unique_kills() {
         // The stuck-at-1 enable mutant survives the whole register-level
         // TLM suite (no TLM test ever disables a source) but dies to the
-        // firmware suite's F5 racy driver. Both committed baselines must
-        // keep telling that story — this is the cross-engine uniqueness
-        // claim of the firmware-in-the-loop matrix.
+        // firmware suite's F5 racy driver AND to the cross-level suite's
+        // X3 symbolic enable word. All committed baselines must keep
+        // telling that story — this is the cross-engine uniqueness claim
+        // of each matrix, computed per baseline by [`unique_kills`].
         let tlm = parse(include_str!("../../../BENCH_mutation_kill.json")).unwrap();
-        let survivors = tlm.get("survivors").and_then(Json::as_arr).unwrap();
         assert!(
-            survivors
-                .iter()
-                .any(|s| s.get("name").and_then(Json::as_str) == Some("stuck_enable_1")),
+            survivor_names(&tlm).contains(&"stuck_enable_1".to_string()),
             "TLM baseline no longer lists stuck_enable_1 as a survivor"
         );
         let fw = parse(include_str!("../../../BENCH_firmware_kill.json")).unwrap();
+        assert!(
+            unique_kills(&tlm, &fw).contains(&"stuck_enable_1".to_string()),
+            "firmware baseline no longer kills stuck_enable_1 uniquely"
+        );
         assert_eq!(
             fw.get("stuck_enable_1_killed").and_then(Json::as_bool),
-            Some(true),
-            "firmware baseline no longer kills stuck_enable_1"
+            Some(true)
         );
-        let fw_survivors = fw.get("survivors").and_then(Json::as_arr).unwrap();
-        assert!(fw_survivors
+        let cross = parse(include_str!("../../../BENCH_cross_check.json")).unwrap();
+        assert!(
+            unique_kills(&tlm, &cross).contains(&"stuck_enable_1".to_string()),
+            "cross-level baseline no longer kills stuck_enable_1 by equivalence"
+        );
+        assert_eq!(
+            cross.get("stuck_enable_1_killed").and_then(Json::as_bool),
+            Some(true)
+        );
+        // The cross baseline's own record of the claim agrees with the
+        // survivor-set computation.
+        let recorded: Vec<String> = cross
+            .get("unique_kills")
+            .and_then(Json::as_arr)
+            .unwrap()
             .iter()
-            .all(|s| s.get("name").and_then(Json::as_str) != Some("stuck_enable_1")));
-        // And the committed firmware baseline passes its own gate.
+            .filter_map(|j| j.as_str().map(str::to_string))
+            .collect();
+        assert!(recorded.contains(&"stuck_enable_1".to_string()));
+        // And both committed baselines pass their own gate.
         assert_eq!(compare(&fw, &fw), Vec::<String>::new());
+        assert_eq!(compare(&cross, &cross), Vec::<String>::new());
+    }
+
+    fn cross_check_doc(kill_rate: f64, unique: &str, identical: bool, stuck: bool) -> Json {
+        parse(&format!(
+            "{{\"harness\": \"cross_check\", \"smoke\": false, \
+              \"mutants_total\": 33, \"kill_rate\": {kill_rate:.2}, \
+              \"presets_killed\": 6, \"generated_killed\": 20, \
+              \"stuck_enable_1_killed\": {stuck}, \
+              \"unique_kills\": [{unique}], \
+              \"baseline_passed\": true, \
+              \"reports_identical\": {identical}, \
+              \"seconds\": 60.0}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn cross_check_gate_pins_the_unique_kill_and_determinism() {
+        // The demonstration the acceptance criteria ask for: an injected
+        // regression in the cross-level matrix (say the cycle model's
+        // enable path stops being symbolic and stuck_enable_1 survives)
+        // must fail the gate.
+        let base = cross_check_doc(78.79, "\"stuck_enable_1\"", true, true);
+        assert_eq!(compare(&base, &base), Vec::<String>::new());
+        // Losing the unique equivalence kill is fatal on its own.
+        let lost = cross_check_doc(75.76, "", true, false);
+        let violations = compare(&base, &lost);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("unique equivalence kill \"stuck_enable_1\" is gone")),
+            "expected a unique-kill violation, got {violations:?}"
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("stuck_enable_1_killed")));
+        // A determinism break (stable views diverge across workers or
+        // fork strategies) is fatal regardless of kill counts.
+        let nondeterministic = cross_check_doc(78.79, "\"stuck_enable_1\"", false, true);
+        assert!(compare(&base, &nondeterministic)
+            .iter()
+            .any(|v| v.contains("reports_identical")));
+        // A kill-rate collapse trips the rate floor.
+        let collapsed = cross_check_doc(40.0, "\"stuck_enable_1\"", true, true);
+        assert!(compare(&base, &collapsed)
+            .iter()
+            .any(|v| v.contains("kill_rate")));
+        // A baseline with no recorded unique kills cannot gate the claim.
+        let vacuous = cross_check_doc(78.79, "", true, true);
+        assert!(compare(&vacuous, &vacuous)
+            .iter()
+            .any(|v| v.contains("vacuous uniqueness claim")));
+        // Scale mismatches are rejected outright.
+        let smoke = parse(
+            "{\"harness\": \"cross_check\", \"smoke\": true, \
+              \"mutants_total\": 12, \"kill_rate\": 83.33, \
+              \"presets_killed\": 6, \"generated_killed\": 4, \
+              \"stuck_enable_1_killed\": true, \
+              \"unique_kills\": [\"stuck_enable_1\"], \
+              \"baseline_passed\": true, \"reports_identical\": true, \
+              \"seconds\": 12.0}",
+        )
+        .unwrap();
+        let violations = compare(&base, &smoke);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("smoke flag differs"));
+    }
+
+    #[test]
+    fn unique_kills_is_a_survivor_set_difference() {
+        let a =
+            parse("{\"survivors\": [{\"name\": \"m1\"}, {\"name\": \"m2\"}, {\"name\": \"m3\"}]}")
+                .unwrap();
+        let b = parse("{\"survivors\": [{\"name\": \"m2\"}]}").unwrap();
+        assert_eq!(
+            unique_kills(&a, &b),
+            vec!["m1".to_string(), "m3".to_string()]
+        );
+        // Symmetric query: nothing a's matrix kills survives in b only.
+        assert_eq!(unique_kills(&b, &a), Vec::<String>::new());
+        // Documents without a survivors array contribute empty sets.
+        let empty = parse("{}").unwrap();
+        assert_eq!(unique_kills(&empty, &a), Vec::<String>::new());
+        assert_eq!(unique_kills(&a, &empty), vec!["m1", "m2", "m3"]);
     }
 
     fn fuzz_kill_doc(kill_rate: f64, presets: u64, generated: u64) -> Json {

@@ -20,6 +20,9 @@
 //!   TLM suite by default; `--suite firmware` swaps in the ISS-hosted
 //!   firmware drivers).
 //! * `firmware_kill` — the firmware-in-the-loop kill matrix, standalone.
+//! * `cross_check` — the cross-level equivalence kill matrix: every
+//!   mutant injected into the cycle-level PLIC and checked against the
+//!   fixed TLM model, and vice versa.
 //! * `bench_gate` — compares fresh harness emissions against the
 //!   committed `BENCH_*.json` baselines and fails on regressions.
 //!
@@ -32,6 +35,7 @@
 
 use symsc_symex::SymError;
 
+pub mod cross_check;
 pub mod firmware_kill;
 pub mod gate;
 pub mod json;

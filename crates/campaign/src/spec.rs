@@ -247,12 +247,16 @@ mod tests {
         assert_eq!(spec.fingerprint(), back.fingerprint());
         let resolved = spec.resolve().unwrap();
         assert_eq!(resolved.mutants.len(), 6);
-        assert_eq!(resolved.probes.len(), 3);
-        // The smoke spec throttles the expensive masking probes via the
-        // `@paths` suffix and leaves the gateway probe's budget alone.
+        assert_eq!(resolved.probes.len(), 4);
+        // The smoke spec throttles the expensive masking and cross-level
+        // probes via the `@paths` suffix and leaves the gateway probe's
+        // budget alone.
         assert_eq!(resolved.probes[0].max_paths, 64);
         assert_eq!(resolved.probes[1].max_paths, 16);
         assert_eq!(resolved.probes[2].max_paths, 16);
+        assert_eq!(resolved.probes[3].max_paths, 16);
+        use symsc_fuzz::ProbeLane;
+        assert_eq!(resolved.probes[3].lane, ProbeLane::Cross);
     }
 
     #[test]

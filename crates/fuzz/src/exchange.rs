@@ -47,6 +47,21 @@ pub fn gateway_probe() -> Vec<OpPin> {
     vec![OpPin::kind(op::TRIGGER)]
 }
 
+/// Which differential harness a probe's bounded exploration (and the
+/// fuzz lane its seeds feed) runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeLane {
+    /// The TLM model against the concrete [`ReferencePlic`] oracle
+    /// ([`crate::harness`]).
+    ///
+    /// [`ReferencePlic`]: symsc_plic::reference::ReferencePlic
+    Tlm,
+    /// The cycle-level model against the fixed TLM oracle
+    /// ([`crate::cycle`]); the configuration's mutation rides the
+    /// cycle-level side.
+    Cross,
+}
+
 /// A named symbolic probe: a pin script plus the path budget its bounded
 /// exploration runs under. The campaign orchestrator schedules one probe
 /// job per `(probe, mutant)` pair and streams the resulting seeds into
@@ -56,38 +71,56 @@ pub fn gateway_probe() -> Vec<OpPin> {
 pub struct Probe {
     /// Stable probe name (journaled; part of the campaign spec).
     pub name: String,
-    /// The pin script handed to [`scripted_bench`].
+    /// The pin script handed to [`scripted_bench`] (or its cross-level
+    /// analog).
     pub pins: Vec<OpPin>,
     /// Path budget of the bounded exploration.
     pub max_paths: u64,
+    /// The differential harness the probe explores.
+    pub lane: ProbeLane,
 }
 
 impl Probe {
     /// Runs the probe against `config` and returns the exported seeds.
     pub fn run(&self, config: PlicConfig) -> Vec<Vec<u8>> {
-        seeds_from_symbolic(config, &self.pins, self.max_paths)
+        match self.lane {
+            ProbeLane::Tlm => seeds_from_symbolic(config, &self.pins, self.max_paths),
+            ProbeLane::Cross => {
+                crate::cycle::seeds_from_cycle_symbolic(config, &self.pins, self.max_paths)
+            }
+        }
     }
 }
 
-/// The standard probe set: the gateway probe plus masking probes on a
-/// low and a mid-range source. Stable names and order — campaign specs
-/// reference probes by name.
+/// The standard probe set: the gateway probe, masking probes on a low
+/// and a mid-range source, and the same masking script explored on the
+/// cross-level lane. Stable names and order — campaign specs reference
+/// probes by name.
 pub fn probe_registry(config: &PlicConfig) -> Vec<Probe> {
     vec![
         Probe {
             name: "gateway".to_string(),
             pins: gateway_probe(),
             max_paths: 64,
+            lane: ProbeLane::Tlm,
         },
         Probe {
             name: "masking_3".to_string(),
             pins: masking_probe(3),
             max_paths: 400,
+            lane: ProbeLane::Tlm,
         },
         Probe {
             name: format!("masking_{}", config.sources / 2),
             pins: masking_probe(config.sources / 2),
             max_paths: 400,
+            lane: ProbeLane::Tlm,
+        },
+        Probe {
+            name: "cross_3".to_string(),
+            pins: masking_probe(3),
+            max_paths: 96,
+            lane: ProbeLane::Cross,
         },
     ]
 }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod cycle;
 pub mod engine;
 pub mod exchange;
 pub mod firmware;
@@ -21,9 +22,12 @@ pub mod matrix;
 pub mod minimize;
 
 pub use corpus::dictionary;
+pub use cycle::{
+    cycle_differential_bench, run_cycle_input, scripted_cycle_bench, seeds_from_cycle_symbolic,
+};
 pub use engine::{run_input, Finding, FuzzReport, Fuzzer, InputOutcome, InputRunner};
 pub use exchange::{
-    confirm_by_replay, confirm_by_trace, probe_registry, seeds_from_symbolic, Probe,
+    confirm_by_replay, confirm_by_trace, probe_registry, seeds_from_symbolic, Probe, ProbeLane,
 };
 pub use firmware::{
     firmware_dictionary, firmware_differential_bench, run_firmware_fuzz_matrix, run_firmware_input,

@@ -1,0 +1,297 @@
+//! The cross-level kill matrix: every mutant injected into the
+//! cycle-level model and checked by equivalence against the fixed TLM
+//! model — and injected into the TLM model and checked against the
+//! fixed cycle model.
+//!
+//! The T-suite matrix ([`crate::run_kill_matrix`]) judges mutants
+//! against *encoded expectations* (latency bounds, claim-order
+//! formulas); this matrix judges them against the *other abstraction
+//! level*, with no expectations in the testbench at all. Mutants that
+//! survive the T suite because no test encodes the affected behavior
+//! (the canonical example: `stuck_enable_1`, invisible behind the
+//! enable-all idiom) are killed here by X3's symbolic enable word — the
+//! headline unique kill `BENCH_cross_check.json` records and the bench
+//! gate enforces.
+
+use symsc_plic::{Mutation, PlicConfig};
+use symsc_testbench::{run_cross_test, CrossId};
+use symsysc_core::Verifier;
+
+use crate::{CellResult, Mutant};
+
+/// The cross-level suite's result on the both-fixed baseline for one
+/// test (it must pass for kills to be meaningful).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossBaselineRow {
+    /// Which cross-level test.
+    pub test: CrossId,
+    /// Whether the both-fixed baseline passes.
+    pub passed: bool,
+    /// Paths explored.
+    pub paths: u64,
+    /// Distinct symbolic fork sites decided.
+    pub branch_sites: u64,
+    /// Branch directions exercised.
+    pub branches_covered: u64,
+}
+
+/// One mutant's cross-level row: its verdict under every test, for both
+/// injection directions.
+#[derive(Clone, Debug)]
+pub struct CrossMutantRow {
+    /// The mutant's name.
+    pub name: String,
+    /// One-line description of the seeded defect.
+    pub description: String,
+    /// Whether this row is one of the paper's IF presets.
+    pub preset: bool,
+    /// Per-test results with the mutant injected into the *cycle-level*
+    /// model (fixed TLM as oracle), parallel to
+    /// [`CrossKillMatrix::tests`].
+    pub cycle_cells: Vec<CellResult>,
+    /// Per-test results with the mutant injected into the *TLM* model
+    /// (fixed cycle model as oracle), parallel to
+    /// [`CrossKillMatrix::tests`].
+    pub tlm_cells: Vec<CellResult>,
+}
+
+impl CrossMutantRow {
+    /// Whether any test killed this mutant in either direction.
+    pub fn killed(&self) -> bool {
+        self.killed_in_cycle() || self.killed_in_tlm()
+    }
+
+    /// Whether the cycle-injected mutant was caught by the TLM oracle.
+    pub fn killed_in_cycle(&self) -> bool {
+        self.cycle_cells.iter().any(|c| c.killed)
+    }
+
+    /// Whether the TLM-injected mutant was caught by the cycle oracle.
+    pub fn killed_in_tlm(&self) -> bool {
+        self.tlm_cells.iter().any(|c| c.killed)
+    }
+}
+
+/// The full cross-level kill matrix: tests × mutants × two injection
+/// directions, plus the both-fixed baseline row.
+#[derive(Clone, Debug)]
+pub struct CrossKillMatrix {
+    /// The (unmutated, fixed) configuration every run derives from.
+    pub config: PlicConfig,
+    /// The cross-level tests that ran (columns).
+    pub tests: Vec<CrossId>,
+    /// Baseline results (both levels fixed).
+    pub baseline: Vec<CrossBaselineRow>,
+    /// One row per mutant.
+    pub mutants: Vec<CrossMutantRow>,
+}
+
+impl CrossKillMatrix {
+    /// Killed mutants over total mutants, in percent.
+    pub fn kill_rate(&self) -> f64 {
+        if self.mutants.is_empty() {
+            return 0.0;
+        }
+        let killed = self.mutants.iter().filter(|m| m.killed()).count();
+        100.0 * killed as f64 / self.mutants.len() as f64
+    }
+
+    /// The mutants neither direction killed.
+    pub fn survivors(&self) -> Vec<&CrossMutantRow> {
+        self.mutants.iter().filter(|m| !m.killed()).collect()
+    }
+
+    /// Whether the named mutant was killed (in either direction).
+    pub fn killed_mutant(&self, name: &str) -> bool {
+        self.mutants.iter().any(|m| m.name == name && m.killed())
+    }
+
+    /// A deterministic rendering of the whole matrix: no timing, no
+    /// worker-dependent data — byte-identical across worker counts, fork
+    /// strategies and exploration orders.
+    pub fn stable_view(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cross-kill-matrix sources={} maxp={} variant={:?}",
+            self.config.sources, self.config.max_priority, self.config.variant
+        );
+        for b in &self.baseline {
+            let _ = writeln!(
+                s,
+                "baseline {}: {} paths={} sites={} covered={}",
+                b.test,
+                if b.passed { "pass" } else { "FAIL" },
+                b.paths,
+                b.branch_sites,
+                b.branches_covered
+            );
+        }
+        for m in &self.mutants {
+            let _ = write!(
+                s,
+                "mutant {}{}:",
+                m.name,
+                if m.preset { " [preset]" } else { "" }
+            );
+            for (side, cells) in [("cycle", &m.cycle_cells), ("tlm", &m.tlm_cells)] {
+                for (t, cell) in self.tests.iter().zip(cells) {
+                    let verdict = if cell.killed {
+                        format!("kill({})", cell.distinct_errors)
+                    } else {
+                        "pass".to_string()
+                    };
+                    let _ = write!(
+                        s,
+                        " {t}@{side}={verdict} paths={} sites={} covered={}",
+                        cell.paths, cell.branch_sites, cell.branches_covered
+                    );
+                }
+            }
+            let _ = writeln!(s, " => {}", if m.killed() { "killed" } else { "SURVIVED" });
+        }
+        let killed = self.mutants.iter().filter(|m| m.killed()).count();
+        let _ = writeln!(s, "killed {}/{}", killed, self.mutants.len());
+        s
+    }
+}
+
+/// Runs the cross-level suite on the both-fixed baseline and against
+/// every mutant, injected into each level in turn.
+///
+/// `config` should be the *fixed* variant; the mutant side is
+/// `config.mutate(op)` and the oracle side stays `config`.
+pub fn run_cross_kill_matrix(
+    config: PlicConfig,
+    mutants: &[Mutant],
+    tests: &[CrossId],
+    workers: usize,
+) -> CrossKillMatrix {
+    run_cross_kill_matrix_with(config, mutants, tests, |name| {
+        Verifier::new(name).workers(workers)
+    })
+}
+
+/// Like [`run_cross_kill_matrix`], but with full control over the
+/// verifier each exploration uses; `verifier` receives
+/// `"{test}/{mutant}/cycle"` or `"{test}/{mutant}/tlm"` per cell. Every
+/// verifier configuration explores the same path set, so the matrix is
+/// identical for any choice — the determinism tests pin this.
+pub fn run_cross_kill_matrix_with<F: Fn(&str) -> Verifier>(
+    config: PlicConfig,
+    mutants: &[Mutant],
+    tests: &[CrossId],
+    verifier: F,
+) -> CrossKillMatrix {
+    let baseline: Vec<CrossBaselineRow> = tests
+        .iter()
+        .map(|&test| {
+            let o = run_cross_test(test, config, config, &verifier(test.name()));
+            CrossBaselineRow {
+                test,
+                passed: o.passed(),
+                paths: o.report.stats.paths,
+                branch_sites: o.report.stats.branch_sites(),
+                branches_covered: o.report.stats.branches_covered(),
+            }
+        })
+        .collect();
+
+    let cell = |o: symsysc_core::TestOutcome, base: &CrossBaselineRow| CellResult {
+        killed: base.passed && !o.passed(),
+        distinct_errors: o.report.distinct_errors().len(),
+        paths: o.report.stats.paths,
+        branch_sites: o.report.stats.branch_sites(),
+        branches_covered: o.report.stats.branches_covered(),
+    };
+
+    let rows: Vec<CrossMutantRow> = mutants
+        .iter()
+        .map(|mutant| {
+            let mutated = config.mutate(mutant.op());
+            let cycle_cells: Vec<CellResult> = tests
+                .iter()
+                .zip(&baseline)
+                .map(|(&test, base)| {
+                    let name = format!("{}/{}/cycle", test.name(), Mutation::name(mutant));
+                    cell(
+                        run_cross_test(test, config, mutated, &verifier(&name)),
+                        base,
+                    )
+                })
+                .collect();
+            let tlm_cells: Vec<CellResult> = tests
+                .iter()
+                .zip(&baseline)
+                .map(|(&test, base)| {
+                    let name = format!("{}/{}/tlm", test.name(), Mutation::name(mutant));
+                    cell(
+                        run_cross_test(test, mutated, config, &verifier(&name)),
+                        base,
+                    )
+                })
+                .collect();
+            CrossMutantRow {
+                name: Mutation::name(mutant),
+                description: mutant.description(),
+                preset: mutant.preset().is_some(),
+                cycle_cells,
+                tlm_cells,
+            }
+        })
+        .collect();
+
+    CrossKillMatrix {
+        config,
+        tests: tests.to_vec(),
+        baseline,
+        mutants: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsc_plic::{MutationOp, PlicVariant, ThresholdCmp};
+
+    #[test]
+    fn cross_matrix_kills_symmetrically_and_spares_equivalents() {
+        let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+        let mutants = vec![
+            Mutant::new(
+                "cmp_never",
+                "delivery dead",
+                MutationOp::ThresholdCompare(ThresholdCmp::NeverPass),
+            ),
+            Mutant::new("dup_notify", "double notify", MutationOp::DuplicateNotify),
+            Mutant::new(
+                "stuck_enable_1",
+                "enable bit 1 stuck high",
+                MutationOp::StuckEnableForId(1),
+            ),
+        ];
+        let matrix = run_cross_kill_matrix(config, &mutants, &[CrossId::X1, CrossId::X3], 1);
+        assert!(
+            matrix.baseline.iter().all(|b| b.passed),
+            "baseline must pass"
+        );
+        let dead = &matrix.mutants[0];
+        assert!(
+            dead.killed_in_cycle() && dead.killed_in_tlm(),
+            "dead delivery diverges whichever level carries it"
+        );
+        assert!(
+            !matrix.mutants[1].killed(),
+            "duplicate notify is equivalent at both levels"
+        );
+        // The headline: the T-suite survivor falls to X3's symbolic
+        // enable word, in both directions.
+        assert!(matrix.killed_mutant("stuck_enable_1"));
+        let view = matrix.stable_view();
+        assert!(view.contains("cross-kill-matrix"));
+        assert!(view.contains("X3@cycle"));
+        assert!(view.contains("X1@tlm"));
+        assert!(view.contains("killed 2/3"));
+    }
+}

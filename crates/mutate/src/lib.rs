@@ -29,6 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cross;
+
+pub use cross::{
+    run_cross_kill_matrix, run_cross_kill_matrix_with, CrossBaselineRow, CrossKillMatrix,
+    CrossMutantRow,
+};
+
 use symsc_plic::{InjectedFault, Mutation, MutationOp, PlicConfig, ThresholdCmp};
 use symsc_testbench::{run_test, SuiteParams, TestId};
 use symsysc_core::Verifier;

@@ -1,0 +1,30 @@
+//! symsc-rtl — a cycle-level PLIC and the cross-level equivalence
+//! harness that checks it against the TLM peripheral.
+//!
+//! The TLM model in `symsc-plic` is loosely timed: a register access
+//! completes in one blocking call, and the delivery scan is an
+//! event-driven kernel thread. This crate implements the *same
+//! architectural contract* at cycle level — gateway IP latches, a
+//! pairwise priority comparison tree, a claim/complete handshake state
+//! machine, per-hart notification registers — advancing only on explicit
+//! clock edges. [`adapter::CycleAdapter`] pins the timing contract
+//! between the two abstraction levels (TLM transaction → N posedges),
+//! and [`cross::CrossChecker`] drives both models from one symbolic
+//! transaction stream, asserting observable equivalence path by path on
+//! the solver.
+//!
+//! Both models sit on the same symbolic term layer, so a cross-level
+//! testbench is still one `Explorer` run: COW forking, state merging and
+//! deterministic parallel scheduling apply to the pair exactly as they
+//! do to the TLM model alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod cross;
+pub mod cycle;
+
+pub use adapter::CycleAdapter;
+pub use cross::CrossChecker;
+pub use cycle::{CyclePlic, CycleSnapshot};

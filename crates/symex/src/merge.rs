@@ -300,6 +300,12 @@ impl StateDigest {
         self.push_bytes(s.as_bytes());
     }
 
+    /// Folds a concrete boolean (handshake flags, option discriminants —
+    /// the cycle-level model's notification registers fold these).
+    pub fn push_bool(&mut self, value: bool) {
+        self.push_u64(u64::from(value));
+    }
+
     /// The folded digest, ready for [`crate::SymCtx::note_state`].
     pub fn finish(&self) -> u64 {
         (self.h as u64) ^ ((self.h >> 64) as u64)

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cross;
 pub mod hart;
 pub mod suite;
 
 pub use baseline::{random_search, random_search_for, BaselineResult};
+pub use cross::{cross_bench, run_cross_test, CrossId};
 pub use hart::MockHart;
 pub use suite::{run_test, test_bench, SuiteParams, TestId};

@@ -29,8 +29,8 @@ done
 
 cargo build --offline --release -p symsc-bench \
   --bin solver_stack --bin incremental_speedup --bin mutation_kill \
-  --bin firmware_kill --bin fuzz_diff --bin cow_fork --bin path_merge \
-  --bin bench_gate
+  --bin firmware_kill --bin cross_check --bin fuzz_diff --bin cow_fork \
+  --bin path_merge --bin bench_gate
 cargo build --offline --release -p symsc-campaign --bin campaign_bench
 
 out=target/bench_gate
@@ -56,6 +56,9 @@ echo "==> path-merging ablation (full FE310, 51 sources + 2-HART variant)"
 echo "==> firmware-in-the-loop kill matrix (F1-F5, all 33 mutants)"
 ./target/release/firmware_kill --emit "$out/firmware_kill.json"
 
+echo "==> cross-level equivalence matrix (X1-X3, all 33 mutants, both directions)"
+./target/release/cross_check --workers 2 --emit "$out/cross_check.json"
+
 pairs=(
   BENCH_solver_stack.json "$out/solver_stack.json"
   BENCH_incremental_solve.json "$out/incremental_solve.json"
@@ -63,6 +66,7 @@ pairs=(
   BENCH_cow_fork.json "$out/cow_fork.json"
   BENCH_path_merge.json "$out/path_merge.json"
   BENCH_firmware_kill.json "$out/firmware_kill.json"
+  BENCH_cross_check.json "$out/cross_check.json"
 )
 
 if [[ "$skip_mutation" -eq 0 ]]; then

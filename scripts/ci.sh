@@ -51,6 +51,9 @@ scripts/fuzz_smoke.sh
 echo "==> firmware-in-the-loop smoke (stuck_enable_1 must die)"
 scripts/firmware_smoke.sh
 
+echo "==> cross-level equivalence smoke (stuck_enable_1 must die to X3)"
+scripts/cross_smoke.sh
+
 echo "==> COW fork-engine differential smoke"
 scripts/cow_smoke.sh
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# The cross-level equivalence smoke: the reduced cross kill matrix
+# (X1/X3 against the IF presets plus a named slice of generated mutants
+# that includes stuck_enable_1), every mutant injected into the cycle
+# model and into the TLM model in turn. The harness itself fails unless
+# the two fixed models are solver-proven equivalent, stuck_enable_1 —
+# a survivor of the TLM-only matrix — dies to X3's symbolic enable
+# word, and the reduced matrix renders byte-identically across
+# 1/2/8 workers x fork strategies x exploration orders.
+#
+# On top of the harness's internal determinism check, the smoke runs
+# the whole emission twice at different worker counts and byte-compares
+# the JSON (minus the wall-clock line); the second emission is then
+# gated against the committed BENCH_cross_smoke.json baseline.
+#
+# Everything runs offline; the release binaries are built if missing.
+#
+# Usage: scripts/cross_smoke.sh [--skip-gate]
+#   --skip-gate  only run the harness, don't compare against the
+#                committed baseline (used when the baseline is being
+#                regenerated)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_gate=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-gate) skip_gate=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --offline --release -p symsc-bench --bin cross_check --bin bench_gate
+
+out=target/bench_gate
+mkdir -p "$out"
+
+echo "==> cross-level smoke matrix (X1/X3, presets + stuck_enable_1 slice), workers=1"
+./target/release/cross_check --smoke --workers 1 --emit "$out/cross_smoke_w1.json"
+
+echo "==> cross-level smoke matrix again, workers=8"
+./target/release/cross_check --smoke --workers 8 --emit "$out/cross_smoke.json"
+
+echo "==> worker-count byte-identity of the emission"
+if ! diff <(grep -v '"seconds"' "$out/cross_smoke_w1.json") \
+          <(grep -v '"seconds"' "$out/cross_smoke.json"); then
+  echo "MISMATCH: cross_check emission changed between 1 and 8 workers" >&2
+  exit 1
+fi
+
+if [[ "$skip_gate" -eq 0 ]]; then
+  echo "==> comparing against the committed baseline"
+  ./target/release/bench_gate BENCH_cross_smoke.json "$out/cross_smoke.json"
+fi
+
+echo "Cross-level smoke passed."

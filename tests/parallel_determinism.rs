@@ -13,9 +13,9 @@
 use symsc_firmware::{
     firmware_bench, run_firmware_kill_matrix_with, run_firmware_test, FirmwareId,
 };
-use symsc_mutate::{run_kill_matrix, run_kill_matrix_with, Mutant};
+use symsc_mutate::{run_cross_kill_matrix_with, run_kill_matrix, run_kill_matrix_with, Mutant};
 use symsc_plic::{InjectedFault, MutationOp, PlicConfig, PlicVariant, ThresholdCmp};
-use symsc_testbench::{run_test, SuiteParams, TestId};
+use symsc_testbench::{run_cross_test, run_test, CrossId, SuiteParams, TestId};
 use symsysc_core::prelude::{ExploreOrder, ForkStrategy};
 use symsysc_core::{TestOutcome, Verifier};
 
@@ -652,6 +652,145 @@ fn replay_reproduces_a_firmware_counterexample() {
     assert_eq!(replayed.report.errors.len(), 1);
     assert_eq!(replayed.report.errors[0].kind, error.kind);
     assert_eq!(replayed.report.errors[0].message, error.message);
+}
+
+/// One cross-level equivalence run under an explicit worker count, fork
+/// strategy and exploration order. Both levels are built from the fixed
+/// scaled PLIC, so the run passes — determinism must hold for passing
+/// equivalence proofs exactly as for failing ones.
+fn run_cross(
+    test: CrossId,
+    workers: usize,
+    strategy: ForkStrategy,
+    order: ExploreOrder,
+) -> TestOutcome {
+    let fixed = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    run_cross_test(
+        test,
+        fixed,
+        fixed,
+        &Verifier::new(test.name())
+            .workers(workers)
+            .fork_strategy(strategy)
+            .explore_order(order),
+    )
+}
+
+#[test]
+fn every_cross_test_is_worker_and_strategy_independent() {
+    // The X suite drives the TLM PLIC and the cycle-level model from one
+    // symbolic transaction stream; a cross-check path carries both
+    // levels' state through every fork. The equivalence report must
+    // still be a pure function of the state space: byte-identical at
+    // every worker count and under both fork engines.
+    for test in CrossId::ALL {
+        let sequential = stable_view(&run_cross(
+            test,
+            1,
+            ForkStrategy::CowSnapshot,
+            ExploreOrder::Exhaustive,
+        ));
+        for workers in [1, 2, 8] {
+            for strategy in [ForkStrategy::CowSnapshot, ForkStrategy::Reexec] {
+                let run = stable_view(&run_cross(
+                    test,
+                    workers,
+                    strategy,
+                    ExploreOrder::Exhaustive,
+                ));
+                assert_eq!(
+                    sequential, run,
+                    "{test} report changed at {workers} workers under {strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_merge_eager_matches_the_exhaustive_oracle() {
+    // The X testbenches fence after every delivery window (both levels'
+    // digests feed the join key), so MergeEager may adopt finished
+    // subtrees; on the merge projection the report must equal the
+    // exhaustive oracle at every worker count.
+    for test in CrossId::ALL {
+        let oracle = merge_view(&run_cross(
+            test,
+            1,
+            ForkStrategy::CowSnapshot,
+            ExploreOrder::Exhaustive,
+        ));
+        for workers in [1, 2, 8] {
+            let merged = merge_view(&run_cross(
+                test,
+                workers,
+                ForkStrategy::CowSnapshot,
+                ExploreOrder::MergeEager,
+            ));
+            assert_eq!(
+                oracle, merged,
+                "{test} report changed between the exhaustive oracle and \
+                 the {workers}-worker MergeEager run"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_kill_matrix_is_byte_identical_across_engines() {
+    // The reduced cross-level kill matrix — the equivalence-unique
+    // stuck-enable kill, a dead-delivery kill and a known-equivalent
+    // survivor, each injected into both levels in turn — must render
+    // byte-identically across worker counts, fork strategies and
+    // exploration orders, and keep its verdicts.
+    let config = PlicConfig::fe310_scaled().variant(PlicVariant::Fixed);
+    let mutants = vec![
+        Mutant::new(
+            "stuck_enable_1",
+            "enable bit of source 1 reads as always set",
+            MutationOp::StuckEnableForId(1),
+        ),
+        Mutant::new(
+            "cmp_never",
+            "delivery dead",
+            MutationOp::ThresholdCompare(ThresholdCmp::NeverPass),
+        ),
+        Mutant::new("dup_notify", "double notify", MutationOp::DuplicateNotify),
+    ];
+    let tests = [CrossId::X1, CrossId::X3];
+    let baseline = run_cross_kill_matrix_with(config, &mutants, &tests, |name| {
+        Verifier::new(name).workers(1)
+    });
+    for (workers, strategy, order) in [
+        (8, ForkStrategy::CowSnapshot, ExploreOrder::Exhaustive),
+        (2, ForkStrategy::Reexec, ExploreOrder::Exhaustive),
+        (2, ForkStrategy::CowSnapshot, ExploreOrder::MergeEager),
+    ] {
+        let other = run_cross_kill_matrix_with(config, &mutants, &tests, |name| {
+            Verifier::new(name)
+                .workers(workers)
+                .fork_strategy(strategy)
+                .explore_order(order)
+        });
+        assert_eq!(
+            baseline.stable_view(),
+            other.stable_view(),
+            "cross kill matrix changed at {workers} workers under \
+             {strategy:?}/{order:?}"
+        );
+    }
+    assert!(
+        baseline.killed_mutant("stuck_enable_1"),
+        "the equivalence-unique stuck-enable kill holds"
+    );
+    assert!(
+        baseline.killed_mutant("cmp_never"),
+        "dead delivery killed by equivalence"
+    );
+    assert!(
+        !baseline.killed_mutant("dup_notify"),
+        "duplicate notify stays equivalent at this scale"
+    );
 }
 
 #[test]
